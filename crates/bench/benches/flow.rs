@@ -1,0 +1,56 @@
+//! End-to-end flow performance: how long one implementation run takes,
+//! baseline vs fully optimized.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlsb::{Flow, OptimizationOptions, PlaceEffort};
+use hlsb_benchmarks::{genome, stream_buffer};
+use hlsb_fabric::Device;
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+
+    let genome_design = genome::design(32);
+    group.bench_function("genome32_baseline", |b| {
+        b.iter(|| {
+            Flow::new(genome_design.clone())
+                .device(Device::ultrascale_plus_vu9p())
+                .clock_mhz(300.0)
+                .options(OptimizationOptions::none())
+                .place_effort(PlaceEffort::Fast)
+                .place_seeds(1)
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("genome32_optimized", |b| {
+        b.iter(|| {
+            Flow::new(genome_design.clone())
+                .device(Device::ultrascale_plus_vu9p())
+                .clock_mhz(300.0)
+                .options(OptimizationOptions::all())
+                .place_effort(PlaceEffort::Fast)
+                .place_seeds(1)
+                .run()
+                .unwrap()
+        })
+    });
+
+    let sb = stream_buffer::design(1 << 18);
+    group.bench_function("stream_buffer_256k_optimized", |b| {
+        b.iter(|| {
+            Flow::new(sb.clone())
+                .device(Device::ultrascale_plus_vu9p())
+                .clock_mhz(300.0)
+                .options(OptimizationOptions::all())
+                .place_effort(PlaceEffort::Fast)
+                .place_seeds(1)
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Physical-flow performance: placement, STA and the optimization passes
+//! on a mid-size lowered netlist.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlsb_delay::HlsPredictedModel;
+use hlsb_fabric::{Device, WireModel};
+use hlsb_ir::unroll::unroll_loop;
+use hlsb_place::{place_with, AnnealConfig};
+use hlsb_rtlgen::{lower_design, RtlOptions, ScheduledDesign, ScheduledLoop};
+use hlsb_sched::schedule_loop;
+use hlsb_timing::{optimize_fanout, sta, FanoutOptions};
+
+fn lowered_stencil() -> hlsb_netlist::Netlist {
+    let design = hlsb_benchmarks::stencil::design(2);
+    let model = HlsPredictedModel::new();
+    let loops = design
+        .kernels
+        .iter()
+        .map(|k| {
+            k.loops
+                .iter()
+                .map(|lp| {
+                    let u = unroll_loop(lp).looop;
+                    let schedule = schedule_loop(&u, &design, &model, 3.0);
+                    ScheduledLoop {
+                        looop: u,
+                        schedule,
+                        mem_plan: Default::default(),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    lower_design(
+        &ScheduledDesign {
+            design: design.clone(),
+            loops,
+        },
+        &RtlOptions::baseline(),
+        &model,
+    )
+    .netlist
+}
+
+fn bench_physical(c: &mut Criterion) {
+    let netlist = lowered_stencil();
+    let device = Device::ultrascale_plus_vu9p();
+    let wire = WireModel::for_device(&device);
+    let fast = AnnealConfig {
+        moves_per_cell: 12,
+        min_moves: 3_000,
+        max_moves: 60_000,
+        cooling: 0.8,
+        batches: 25,
+    };
+
+    let mut group = c.benchmark_group("physical");
+    group.sample_size(10);
+    group.bench_function("place_stencil2_fast", |b| {
+        b.iter(|| place_with(&netlist, &device, 7, fast))
+    });
+
+    let placement = place_with(&netlist, &device, 7, fast);
+    group.bench_function("sta_stencil2", |b| {
+        b.iter(|| sta(&netlist, &placement, &wire))
+    });
+    group.bench_function("fanout_opt_stencil2", |b| {
+        b.iter(|| {
+            let mut nl = netlist.clone();
+            let mut p = placement.clone();
+            optimize_fanout(&mut nl, &mut p, FanoutOptions::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_physical);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation: explicit source-level broadcast trees (the paper's rejected
+//! §4.1 alternative) vs broadcast-aware scheduling + physical register
+//! duplication, on the genome kernel at unroll 64.
+//!
+//! The paper: "it is better to let the physical design tools handle the
+//! register duplication during placement, in which phase the delay model
+//! and knowledge of layout are more comprehensive and accurate" — and the
+//! tree "needs iterative tuning for a satisfying tree topology" (ref 21).
+
+use hlsb::ir::tree::insert_broadcast_tree;
+use hlsb::ir::unroll::unroll_loop;
+use hlsb::ir::{Design, Kernel, Loop, OpKind};
+use hlsb::{Flow, OptimizationOptions};
+use hlsb_bench::SEED;
+use hlsb_benchmarks::genome;
+use hlsb_fabric::Device;
+
+/// Wraps an already-unrolled loop back into a design.
+fn with_body(design: &Design, lp: Loop) -> Design {
+    Design {
+        kernels: vec![Kernel {
+            name: design.kernels[0].name.clone(),
+            loops: vec![lp],
+            static_latency: design.kernels[0].static_latency,
+        }],
+        ..design.clone()
+    }
+}
+
+fn main() {
+    let device = Device::ultrascale_plus_vu9p();
+    let design = genome::design(32);
+    let unrolled = unroll_loop(&design.kernels[0].loops[0]).looop;
+
+    let run = |d: Design, opts: OptimizationOptions| {
+        Flow::new(d)
+            .device(device.clone())
+            .clock_mhz(333.0)
+            .options(opts)
+            .seed(SEED)
+            .run()
+            .expect("flow")
+    };
+
+    println!("Ablation: handling a 32-way data broadcast (genome kernel)\n");
+    let orig = run(with_body(&design, unrolled.clone()), OptimizationOptions::none());
+    println!("{:<34} {:>4.0} MHz  (FF {:.1}%)", "no fix (baseline)", orig.fmax_mhz,
+        orig.utilization.ff_pct);
+
+    let aware = run(with_body(&design, unrolled.clone()), OptimizationOptions::data_only());
+    println!(
+        "{:<34} {:>4.0} MHz  (FF {:.1}%, {} regs inserted)",
+        "broadcast-aware scheduling (ours)", aware.fmax_mhz, aware.utilization.ff_pct,
+        aware.inserted_regs
+    );
+
+    for arity in [4usize, 8, 16] {
+        // Tree every heavily-read invariant source.
+        let mut body = unrolled.body.clone();
+        loop {
+            let target = body
+                .iter()
+                .filter(|(_, i)| matches!(i.kind, OpKind::Input { invariant: true }))
+                .map(|(id, _)| id)
+                .find(|&id| body.fanout(id) > arity);
+            match target {
+                Some(id) => body = insert_broadcast_tree(&body, id, arity).0,
+                None => break,
+            }
+        }
+        let treed = Loop { body, ..unrolled.clone() };
+        let r = run(with_body(&design, treed), OptimizationOptions::none());
+        println!(
+            "{:<34} {:>4.0} MHz  (FF {:.1}%)",
+            format!("explicit broadcast tree, arity {arity}"),
+            r.fmax_mhz,
+            r.utilization.ff_pct
+        );
+    }
+    println!(
+        "\nexpected: the tree helps over the baseline but needs per-design\n\
+         arity tuning and spends registers on every level; broadcast-aware\n\
+         scheduling reaches comparable or better Fmax without tuning (§4.1/§6)."
+    );
+}

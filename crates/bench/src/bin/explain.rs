@@ -1,0 +1,66 @@
+//! Diagnostic tool: prints the critical path of a benchmark under a given
+//! optimization setting.
+//!
+//! ```text
+//! explain <benchmark-name-substring> [none|data|skid|all]
+//! ```
+
+use hlsb::{Flow, OptimizationOptions};
+use hlsb_bench::SEED;
+use hlsb_benchmarks::all_benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("genome");
+    let level = args.get(2).map(String::as_str).unwrap_or("none");
+    let options = match level {
+        "all" => OptimizationOptions::all(),
+        "data" => OptimizationOptions::data_only(),
+        "skid" => OptimizationOptions::skid_plain(),
+        _ => OptimizationOptions::none(),
+    };
+
+    let bench = if name.contains("dotscale") {
+        hlsb_benchmarks::Benchmark {
+            name: "dot-scale 512",
+            broadcast_type: "Pipe. Ctrl.",
+            design: hlsb_benchmarks::vector_arith::dot_scale_pipeline(512),
+            device: hlsb::fabric::Device::ultrascale_plus_vu9p(),
+            clock_mhz: 333.0,
+        }
+    } else {
+        all_benchmarks()
+            .into_iter()
+            .find(|b| b.name.to_lowercase().contains(&name.to_lowercase()))
+            .unwrap_or_else(|| panic!("no benchmark matching '{name}'"))
+    };
+    println!("== {} ({level}) on {} ==", bench.name, bench.device);
+
+    let (result, netlist, placement) = Flow::new(bench.design.clone())
+        .device(bench.device.clone())
+        .clock_mhz(bench.clock_mhz)
+        .options(options)
+        .seed(SEED)
+        .run_detailed()
+        .expect("flow");
+
+    println!(
+        "Fmax {:.0} MHz  period {:.2} ns  depth {} cells",
+        result.fmax_mhz,
+        result.period_ns,
+        result.timing.critical_path.len()
+    );
+    println!(
+        "inserted_regs {}  duplicated {}  retime_moves {}  ctrl_fanout {}  mem_fanout {}  sync {}/{}",
+        result.inserted_regs,
+        result.duplicated_regs,
+        result.retime_moves,
+        result.lower_info.max_control_fanout,
+        result.lower_info.max_memory_fanout,
+        result.lower_info.sync_waited,
+        result.lower_info.sync_inputs,
+    );
+    let wire = hlsb::fabric::WireModel::for_device(&bench.device);
+    print!("{}", result.timing.path_text(&netlist, &placement, &wire));
+    println!("stats: {}", result.stats);
+}

@@ -1,0 +1,48 @@
+//! Exports a benchmark's implemented netlist as structural Verilog.
+//!
+//! ```text
+//! export <benchmark-name-substring> [none|data|skid|all] [output.v]
+//! ```
+
+use hlsb::{Flow, OptimizationOptions};
+use hlsb_bench::SEED;
+use hlsb_benchmarks::all_benchmarks;
+use hlsb_netlist::to_verilog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("genome");
+    let level = args.get(2).map(String::as_str).unwrap_or("all");
+    let options = match level {
+        "all" => OptimizationOptions::all(),
+        "data" => OptimizationOptions::data_only(),
+        "skid" => OptimizationOptions::skid_plain(),
+        _ => OptimizationOptions::none(),
+    };
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.to_lowercase().contains(&name.to_lowercase()))
+        .unwrap_or_else(|| panic!("no benchmark matching '{name}'"));
+
+    let (result, netlist, _) = Flow::new(bench.design.clone())
+        .device(bench.device.clone())
+        .clock_mhz(bench.clock_mhz)
+        .options(options)
+        .seed(SEED)
+        .run_detailed()
+        .expect("flow");
+
+    let verilog = to_verilog(&netlist);
+    match args.get(3) {
+        Some(path) => {
+            std::fs::write(path, &verilog).expect("write verilog");
+            eprintln!(
+                "wrote {} ({} cells, Fmax {:.0} MHz) to {path}",
+                bench.name,
+                netlist.cell_count(),
+                result.fmax_mhz
+            );
+        }
+        None => print!("{verilog}"),
+    }
+}

@@ -1,0 +1,62 @@
+//! Regenerates Fig. 9: Vivado-HLS-estimated delay, our calibrated delay
+//! and the raw experimental delay for three operator classes across
+//! broadcast factors.
+//!
+//! Pass `--placed` to use the slow placed back-end (real placement + STA
+//! per skeleton) instead of the analytic model.
+
+use hlsb::delay::{
+    characterize, classify, CalibratedModel, CharacterizeConfig, DelayModel, HlsPredictedModel,
+    OpClass,
+};
+use hlsb::fabric::Device;
+use hlsb::ir::{ArrayId, DataType, OpKind};
+
+fn main() {
+    let placed = std::env::args().any(|a| a == "--placed");
+    let device = Device::ultrascale_plus_vu9p();
+    let config = CharacterizeConfig {
+        placed,
+        ..CharacterizeConfig::default()
+    };
+    let ch = characterize(&device, &config);
+    let calibrated = CalibratedModel::from_characterization(&ch);
+    let predicted = HlsPredictedModel::new();
+
+    let cases: [(&str, OpKind, DataType, OpClass); 3] = [
+        ("int add", OpKind::Add, DataType::Int(32), OpClass::IntAlu),
+        (
+            "buffer access",
+            OpKind::Store(ArrayId(0)),
+            DataType::Int(32),
+            OpClass::Mem,
+        ),
+        ("float mul", OpKind::Mul, DataType::Float32, OpClass::FloatMul),
+    ];
+
+    println!(
+        "Fig. 9: delay vs broadcast factor ({} back-end)",
+        if placed { "placed" } else { "analytic" }
+    );
+    for (name, op, ty, class) in cases {
+        println!("\n-- {name} ({}) --", classify(op, ty));
+        println!(
+            "{:>6} {:>14} {:>16} {:>12}",
+            "bf", "HLS est (ns)", "calibrated (ns)", "raw (ns)"
+        );
+        let curve = ch.curve(class).expect("characterized");
+        for point in curve {
+            println!(
+                "{:>6} {:>14.2} {:>16.2} {:>12.2}",
+                point.bf,
+                predicted.delay_ns(op, ty, point.bf),
+                calibrated.delay_ns(op, ty, point.bf),
+                point.raw_ns,
+            );
+        }
+    }
+    println!(
+        "\nexpected shape: add/buffer calibrated ≫ flat prediction at large bf;\n\
+         float-mul prediction is conservative (above raw) until very large bf."
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 17: the bitwidth of the data passed between pipeline
+//! stages of the `(a · b) c` kernel, and the min-area skid-buffer split it
+//! implies.
+
+use hlsb::ctrl::{min_area_split, naive_area_bits};
+use hlsb::delay::HlsPredictedModel;
+use hlsb::rtlgen::stage_widths;
+use hlsb::sched::schedule_loop;
+use hlsb_benchmarks::vector_arith::dot_scale_pipeline;
+
+fn main() {
+    let width = 32; // the paper's Fig. 17 example size
+    let design = dot_scale_pipeline(width);
+    let lp = &design.kernels[0].loops[0];
+    let schedule = schedule_loop(lp, &design, &HlsPredictedModel::new(), 3.0);
+    let widths = stage_widths(lp, &schedule);
+
+    println!("Fig. 17: inter-stage bitwidth of the (a.b)c pipeline ({width}-wide float)");
+    println!("{:>6} {:>12}", "stage", "bits");
+    for (i, w) in widths.iter().enumerate() {
+        println!("{:>6} {:>12}", i + 1, w);
+    }
+
+    let n = widths.len();
+    let plan = min_area_split(&widths);
+    let naive = naive_area_bits(n, *widths.last().unwrap());
+    println!("\npipeline stages: {n}");
+    println!("waist: stage {} ({} bits)",
+        widths.iter().enumerate().min_by_key(|(_, &w)| w).map(|(i, _)| i + 1).unwrap(),
+        widths.iter().min().unwrap());
+    println!("naive end buffer:      {naive} bits");
+    println!(
+        "min-area split {:?}:  {} bits  ({:.0}% saved)",
+        plan.cuts,
+        plan.total_bits,
+        100.0 * plan.saving()
+    );
+    println!("\npaper anchor (61-stage version): 63488 -> 7968 bits (87% saved)");
+}

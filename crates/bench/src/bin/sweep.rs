@@ -1,0 +1,45 @@
+//! Clock-target sweep: how the HLS clock target interacts with the
+//! achieved frequency (the schedule gets deeper as the target rises, but
+//! the physical fabric has the last word).
+//!
+//! ```text
+//! sweep <benchmark-name-substring> [none|data|skid|all]
+//! ```
+
+use hlsb::{Flow, OptimizationOptions};
+use hlsb_bench::SEED;
+use hlsb_benchmarks::all_benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("genome");
+    let level = args.get(2).map(String::as_str).unwrap_or("all");
+    let options = match level {
+        "all" => OptimizationOptions::all(),
+        "data" => OptimizationOptions::data_only(),
+        "skid" => OptimizationOptions::skid_plain(),
+        _ => OptimizationOptions::none(),
+    };
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.to_lowercase().contains(&name.to_lowercase()))
+        .unwrap_or_else(|| panic!("no benchmark matching '{name}'"));
+
+    println!("clock-target sweep: {} ({level})", bench.name);
+    println!("{:>13} {:>15} {:>7} {:>6}", "target (MHz)", "achieved (MHz)", "depth", "regs");
+    for target in [150.0f64, 200.0, 250.0, 300.0, 333.0, 400.0, 500.0] {
+        let r = Flow::new(bench.design.clone())
+            .device(bench.device.clone())
+            .clock_mhz(target)
+            .options(options)
+            .seed(SEED)
+            .run()
+            .expect("flow");
+        println!(
+            "{target:>13.0} {:>15.0} {:>7} {:>6}",
+            r.fmax_mhz,
+            r.schedule_depths.iter().max().copied().unwrap_or(0),
+            r.inserted_regs
+        );
+    }
+}

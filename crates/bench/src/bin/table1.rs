@@ -1,0 +1,36 @@
+//! Regenerates Table 1: timing improvements and post-implementation
+//! resources on all nine benchmarks, original vs fully optimized.
+
+use hlsb::OptimizationOptions;
+use hlsb_bench::{run_benchmark, table1_row};
+use hlsb_benchmarks::all_benchmarks;
+
+fn main() {
+    println!("Table 1: timing improvements and post-implementation resources");
+    println!(
+        "{:<20} {:<20} {:<24} {:>7} {:>7} {:>7} {:>7} {:>4} {:>4} {:>6}",
+        "Application", "Broadcast type", "Target FPGA", "LUT%", "FF%", "BRAM%", "DSP%", "Orig",
+        "Opt", "Diff"
+    );
+    println!("{:-<134}", "");
+
+    let mut gains = Vec::new();
+    for bench in all_benchmarks() {
+        let orig = run_benchmark(&bench, OptimizationOptions::none());
+        let opt = run_benchmark(&bench, OptimizationOptions::all());
+        println!(
+            "{}",
+            table1_row(
+                bench.name,
+                bench.broadcast_type,
+                &bench.device.name,
+                &orig,
+                &opt
+            )
+        );
+        gains.push(opt.gain_over(&orig));
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    println!("{:-<134}", "");
+    println!("average frequency gain: {avg:+.0}%  (paper: +53%)");
+}

@@ -1,0 +1,76 @@
+//! # hlsb-bench — experiment regenerators and performance benches
+//!
+//! One binary per table/figure of the paper's evaluation section:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — nine benchmarks, orig vs opt (freq + resources) |
+//! | `table2` | Table 2 — 512-wide vector product control styles |
+//! | `table3` | Table 3 — pattern matching optimization ladder |
+//! | `fig09`  | Fig. 9 — predicted / calibrated / raw delay vs broadcast factor |
+//! | `fig15a` | Fig. 15a — genome op-chain delay estimations vs actual |
+//! | `fig15b` | Fig. 15b — genome Fmax vs unroll factor |
+//! | `fig16`  | Fig. 16 — Jacobi Fmax vs pipeline length, stall vs skid |
+//! | `fig17`  | Fig. 17 — inter-stage bitwidths of the (a·b)c pipeline |
+//! | `fig19`  | Fig. 19 — stream-buffer Fmax vs buffer size, 3 variants |
+//!
+//! Criterion benches (in `benches/`) measure the flow's own runtime
+//! (scheduler, placement, DP, simulation).
+
+use hlsb::{Flow, ImplementationResult, OptimizationOptions, PlaceEffort};
+use hlsb_benchmarks::Benchmark;
+
+/// Shared deterministic seed for every experiment.
+pub const SEED: u64 = 0xDAC2_2020;
+
+/// Runs one benchmark through the flow with the given options.
+///
+/// # Panics
+///
+/// Panics if the flow fails — experiment inputs are all expected to fit.
+pub fn run_benchmark(bench: &Benchmark, options: OptimizationOptions) -> ImplementationResult {
+    run_benchmark_with(bench, options, PlaceEffort::Normal)
+}
+
+/// Like [`run_benchmark`] with explicit placement effort (tests use
+/// `Fast`).
+pub fn run_benchmark_with(
+    bench: &Benchmark,
+    options: OptimizationOptions,
+    effort: PlaceEffort,
+) -> ImplementationResult {
+    Flow::new(bench.design.clone())
+        .device(bench.device.clone())
+        .clock_mhz(bench.clock_mhz)
+        .options(options)
+        .seed(SEED)
+        .place_effort(effort)
+        .run()
+        .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name))
+}
+
+/// Formats a utilization/fmax row in the Table-1 layout.
+pub fn table1_row(
+    name: &str,
+    btype: &str,
+    target: &str,
+    orig: &ImplementationResult,
+    opt: &ImplementationResult,
+) -> String {
+    format!(
+        "{name:<20} {btype:<20} {target:<24} \
+         {:>3.0}/{:<3.0} {:>3.0}/{:<3.0} {:>3.0}/{:<3.0} {:>3.0}/{:<3.0} \
+         {:>4.0} {:>4.0} {:>+5.0}%",
+        orig.utilization.lut_pct,
+        opt.utilization.lut_pct,
+        orig.utilization.ff_pct,
+        opt.utilization.ff_pct,
+        orig.utilization.bram_pct,
+        opt.utilization.bram_pct,
+        orig.utilization.dsp_pct,
+        opt.utilization.dsp_pct,
+        orig.fmax_mhz,
+        opt.fmax_mhz,
+        opt.gain_over(orig)
+    )
+}

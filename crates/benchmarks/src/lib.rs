@@ -1,0 +1,88 @@
+//! # hlsb-benchmarks — the paper's nine evaluation designs
+//!
+//! Parameterized reconstructions of the benchmarks in Table 1 of the DAC'20
+//! paper, built from their published structure (source papers, code
+//! snippets and §5 descriptions):
+//!
+//! | module | application | broadcast type | target |
+//! |---|---|---|---|
+//! | [`genome`] | genome sequencing chaining \[1\] | data | AWS F1 |
+//! | [`lstm`] | CLINK LSTM inference \[9\] | data | AWS F1 |
+//! | [`face_detect`] | Rosetta face detection \[10\] | data | ZC706 |
+//! | [`matmul`] | matrix multiply \[4\] | pipe ctrl + data | AWS F1 |
+//! | [`stream_buffer`] | large stream buffer (Fig. 18) | pipe ctrl + data | AWS F1 |
+//! | [`stencil`] | SODA Jacobi pipeline \[2\] | pipe ctrl | AWS F1 |
+//! | [`vector_arith`] | 512-wide vector product (Table 2) | pipe ctrl + sync | AWS F1 |
+//! | [`hbm_stencil`] | HBM Jacobi, 28 ports \[2, 12\] | pipe ctrl + sync | Alveo U50 |
+//! | [`pattern_match`] | pattern matching \[4\] | data + sync | Virtex-7 |
+//!
+//! Each module exposes a `design(params)` constructor and a `benchmark()`
+//! preset with the paper's parameters and target device.
+
+pub mod face_detect;
+pub mod genome;
+pub mod hbm_stencil;
+pub mod lstm;
+pub mod matmul;
+pub mod pattern_match;
+pub mod stencil;
+pub mod stream_buffer;
+pub mod vector_arith;
+
+use hlsb_fabric::Device;
+use hlsb_ir::Design;
+
+/// A benchmark: a design plus its paper-mandated target device and clock.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name (Table 1 row).
+    pub name: &'static str,
+    /// Broadcast classification from Table 1.
+    pub broadcast_type: &'static str,
+    /// The design.
+    pub design: Design,
+    /// Target FPGA.
+    pub device: Device,
+    /// HLS clock target, MHz.
+    pub clock_mhz: f64,
+}
+
+/// All nine Table-1 benchmarks with the paper's parameters.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        genome::benchmark(),
+        lstm::benchmark(),
+        face_detect::benchmark(),
+        matmul::benchmark(),
+        stream_buffer::benchmark(),
+        stencil::benchmark(),
+        vector_arith::benchmark(),
+        hbm_stencil::benchmark(),
+        pattern_match::benchmark(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_ir::verify::verify_design;
+
+    #[test]
+    fn all_nine_build_and_verify() {
+        let benches = all_benchmarks();
+        assert_eq!(benches.len(), 9);
+        for b in &benches {
+            verify_design(&b.design).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(b.clock_mhz > 100.0);
+            assert!(b.design.inst_count() > 0, "{} is empty", b.name);
+        }
+    }
+
+    #[test]
+    fn names_match_table1() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        assert!(names.contains(&"Genome Sequencing"));
+        assert!(names.contains(&"HBM-Based Stencil"));
+        assert!(names.contains(&"Pattern Matching"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Stream buffer (the paper's Fig. 18 / §5.5 example).
+//!
+//! "Consists of two loops, which first write to a very large buffer and
+//! then read from the buffer." Both broadcast categories appear at once:
+//! the source data register fans out to every BRAM unit of the buffer
+//! (data broadcast), and the enable back-pressure fans out to all units
+//! and pipeline registers (control broadcast). The §5.5 sweep (Fig. 19)
+//! varies the buffer size.
+
+use crate::Benchmark;
+use hlsb_fabric::Device;
+use hlsb_ir::builder::DesignBuilder;
+use hlsb_ir::{DataType, Design, Partition};
+
+/// Builds the stream buffer with the given capacity in 32-bit words.
+pub fn design(words: usize) -> Design {
+    let ty = DataType::Int(32);
+    let mut b = DesignBuilder::new("stream_buffer");
+    let arr = b.array("buffer", ty, words, Partition::None);
+    let fin = b.fifo("in_fifo", ty, 2);
+    let fout = b.fifo("out_fifo", ty, 2);
+
+    let mut k = b.kernel("top");
+    {
+        // loop1: data into buffer.
+        let mut l = k.pipelined_loop("fill", words as u64, 1);
+        let i = l.indvar("i");
+        let v = l.fifo_read(fin, ty);
+        l.store(arr, i, v);
+        l.finish();
+    }
+    {
+        // loop2: data out of buffer.
+        let mut l = k.pipelined_loop("drain", words as u64, 1);
+        let i = l.indvar("i");
+        let v = l.load(arr, i, ty);
+        l.fifo_write(fout, v);
+        l.finish();
+    }
+    k.finish();
+    b.finish().expect("stream buffer design is valid IR")
+}
+
+/// The Table-1 configuration: 95% of the VU9P's BRAM (≈ 2M words).
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "Stream Buffer",
+        broadcast_type: "Pipe. Ctrl. & Data",
+        // 2052 * 36Kb units ≈ 95% of 2160.
+        design: design(2_306_048),
+        device: Device::ultrascale_plus_vu9p(),
+        clock_mhz: 333.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_spans_many_bram_units() {
+        let d = design(737_280);
+        assert_eq!(d.arrays[0].bram_units(), 640);
+    }
+
+    #[test]
+    fn two_loops_fill_then_drain() {
+        let d = design(4096);
+        assert_eq!(d.kernels[0].loops.len(), 2);
+        assert_eq!(d.kernels[0].loops[0].name, "fill");
+        assert_eq!(d.kernels[0].loops[1].name, "drain");
+    }
+
+    #[test]
+    fn table1_config_fits_95_percent_bram() {
+        let b = benchmark();
+        let units = b.design.arrays[0].bram_units() as f64;
+        let pct = 100.0 * units / b.device.resources.brams as f64;
+        assert!((90.0..=99.0).contains(&pct), "BRAM {pct:.0}%");
+    }
+}

@@ -1,0 +1,79 @@
+//! Flow errors.
+
+use hlsb_ir::IrError;
+use hlsb_netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by [`Flow::run`](crate::flow::Flow::run).
+#[derive(Debug)]
+pub enum FlowError {
+    /// The input design violates IR invariants.
+    InvalidIr(IrError),
+    /// RTL generation produced an inconsistent netlist (internal error).
+    InvalidNetlist(NetlistError),
+    /// The design does not fit on the selected device.
+    DoesNotFit {
+        /// Explanation (which resource overflowed).
+        what: String,
+    },
+    /// A nonsensical parameter (e.g. non-positive clock).
+    BadParameter {
+        /// Explanation.
+        what: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidIr(e) => write!(f, "invalid design IR: {e}"),
+            FlowError::InvalidNetlist(e) => write!(f, "internal netlist error: {e}"),
+            FlowError::DoesNotFit { what } => write!(f, "design does not fit: {what}"),
+            FlowError::BadParameter { what } => write!(f, "bad parameter: {what}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::InvalidIr(e) => Some(e),
+            FlowError::InvalidNetlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for FlowError {
+    fn from(e: IrError) -> Self {
+        FlowError::InvalidIr(e)
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::InvalidNetlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FlowError::DoesNotFit {
+            what: "BRAM 120%".into(),
+        };
+        assert!(e.to_string().contains("BRAM"));
+        assert!(e.source().is_none());
+
+        let ir = FlowError::from(IrError::ZeroUnroll {
+            kernel: "k".into(),
+            looop: "l".into(),
+        });
+        assert!(ir.source().is_some());
+        assert!(ir.to_string().contains("invalid design IR"));
+    }
+}

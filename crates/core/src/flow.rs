@@ -1,0 +1,366 @@
+//! The end-to-end implementation flow.
+
+use crate::error::FlowError;
+use crate::options::{OptimizationOptions, PlaceEffort};
+use crate::result::{ImplementationResult, Utilization};
+use hlsb_delay::{CalibratedModel, HlsPredictedModel};
+use hlsb_fabric::{Device, WireModel};
+use hlsb_ir::unroll::unroll_loop;
+use hlsb_ir::{Design, verify::verify_design};
+use hlsb_place::{place_with, AnnealConfig};
+use hlsb_rtlgen::{lower_design, ControlStyle, RtlOptions, ScheduledDesign, ScheduledLoop};
+use hlsb_sched::{broadcast_aware, schedule_loop, MemAccessPlan};
+use hlsb_sync::split_dataflow_design;
+use hlsb_timing::{optimize_fanout, refine_critical, retime, FanoutOptions, RefineOptions, RetimeOptions};
+
+/// Builder for one implementation run: design → schedule → RTL → place →
+/// timing, with the paper's optimizations toggled by
+/// [`OptimizationOptions`].
+#[derive(Debug, Clone)]
+pub struct Flow {
+    design: Design,
+    device: Device,
+    clock_mhz: f64,
+    options: OptimizationOptions,
+    seed: u64,
+    effort: PlaceEffort,
+    place_seeds: u32,
+}
+
+impl Flow {
+    /// Starts a flow for a design with default settings (VU9P, 300 MHz
+    /// target, no optimizations, seed 1).
+    pub fn new(design: Design) -> Self {
+        Flow {
+            design,
+            device: Device::ultrascale_plus_vu9p(),
+            clock_mhz: 300.0,
+            options: OptimizationOptions::none(),
+            seed: 1,
+            effort: PlaceEffort::Normal,
+            place_seeds: 3,
+        }
+    }
+
+    /// Sets the target device.
+    pub fn device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the clock target in MHz.
+    pub fn clock_mhz(mut self, mhz: f64) -> Self {
+        self.clock_mhz = mhz;
+        self
+    }
+
+    /// Selects the optimizations to apply.
+    pub fn options(mut self, options: OptimizationOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the random seed (placement and characterization noise).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the placement effort.
+    pub fn place_effort(mut self, effort: PlaceEffort) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    /// Number of placement seeds tried (the best timing wins), as
+    /// multi-seed implementation runs do in production flows. Minimum 1.
+    pub fn place_seeds(mut self, n: u32) -> Self {
+        self.place_seeds = n.max(1);
+        self
+    }
+
+    /// Runs the flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] for invalid IR, nonsensical parameters, or
+    /// designs that do not fit the device.
+    pub fn run(&self) -> Result<ImplementationResult, FlowError> {
+        self.run_detailed().map(|(r, _, _)| r)
+    }
+
+    /// Runs the flow and also returns the final netlist and placement —
+    /// for Verilog export, timing-path reports and custom analyses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow::run`].
+    pub fn run_detailed(
+        &self,
+    ) -> Result<(ImplementationResult, hlsb_netlist::Netlist, hlsb_place::Placement), FlowError>
+    {
+        if !(self.clock_mhz.is_finite() && self.clock_mhz > 0.0) {
+            return Err(FlowError::BadParameter {
+                what: format!("clock target {} MHz", self.clock_mhz),
+            });
+        }
+        verify_design(&self.design)?;
+        let clock_ns = 1000.0 / self.clock_mhz;
+
+        // §4.2 case 1: split independent dataflow flows before scheduling.
+        let design = if self.options.sync_pruning {
+            split_dataflow_design(&self.design).0
+        } else {
+            self.design.clone()
+        };
+
+        // Delay models.
+        let predicted = HlsPredictedModel::new();
+        let calibrated = if self.options.broadcast_aware {
+            Some(CalibratedModel::characterize_analytic(&self.device, self.seed))
+        } else {
+            None
+        };
+
+        // Schedule every loop (applying unroll pragmas).
+        let mut inserted_regs = 0usize;
+        let mut depths = Vec::new();
+        let mut loops = Vec::with_capacity(design.kernels.len());
+        for kernel in &design.kernels {
+            let mut ks = Vec::with_capacity(kernel.loops.len());
+            for lp in &kernel.loops {
+                let mut unrolled = unroll_loop(lp).looop;
+                // Dead code elimination, as any HLS front-end performs.
+                let (body, _) = unrolled.body.eliminate_dead();
+                unrolled.body = body;
+                let sl = if let Some(cal) = &calibrated {
+                    let out = broadcast_aware(&unrolled, &design, &predicted, cal, clock_ns);
+                    inserted_regs += out.inserted_regs;
+                    ScheduledLoop {
+                        looop: out.looop,
+                        schedule: out.schedule,
+                        mem_plan: out.mem_plan,
+                    }
+                } else {
+                    let schedule = schedule_loop(&unrolled, &design, &predicted, clock_ns);
+                    ScheduledLoop {
+                        looop: unrolled,
+                        schedule,
+                        mem_plan: MemAccessPlan::default(),
+                    }
+                };
+                depths.push(sl.schedule.depth);
+                ks.push(sl);
+            }
+            loops.push(ks);
+        }
+
+        // RTL generation.
+        let rtl_options = RtlOptions {
+            control: if self.options.skid_buffer {
+                ControlStyle::Skid {
+                    min_area: self.options.min_area_skid,
+                }
+            } else {
+                ControlStyle::Stall
+            },
+            sync_pruning: self.options.sync_pruning,
+        };
+        let sd = ScheduledDesign { design, loops };
+        let lowered = lower_design(&sd, &rtl_options, &predicted);
+        let netlist = lowered.netlist;
+        netlist.validate()?;
+
+        // Capacity check.
+        let stats = netlist.stats();
+        let res = self.device.resources;
+        for (used, cap, name) in [
+            (stats.luts, res.luts, "LUT"),
+            (stats.ffs, res.ffs, "FF"),
+            (stats.brams, res.brams, "BRAM"),
+            (stats.dsps, res.dsps, "DSP"),
+        ] {
+            if used > cap {
+                return Err(FlowError::DoesNotFit {
+                    what: format!("{name}: {used} needed, {cap} available"),
+                });
+            }
+        }
+        let site_budget =
+            u64::from(self.device.grid_w) * u64::from(self.device.grid_h) / 2;
+        if netlist.cell_count() as u64 >= site_budget {
+            return Err(FlowError::DoesNotFit {
+                what: format!(
+                    "{} cells exceed the placement budget of {site_budget} sites",
+                    netlist.cell_count()
+                ),
+            });
+        }
+
+        // Physical flow: place, fanout-optimize, retime, analyze.
+        let anneal = match self.effort {
+            PlaceEffort::Fast => AnnealConfig {
+                moves_per_cell: 12,
+                min_moves: 3_000,
+                max_moves: 60_000,
+                cooling: 0.8,
+                batches: 25,
+            },
+            PlaceEffort::Normal => AnnealConfig::default(),
+        };
+        let wire = WireModel::for_device(&self.device);
+        // Multi-seed implementation: place/optimize with several seeds and
+        // keep the best-timing result (as production flows do).
+        #[allow(clippy::type_complexity)]
+        let mut best: Option<(
+            f64,
+            hlsb_netlist::Netlist,
+            hlsb_place::Placement,
+            hlsb_timing::TimingReport,
+            hlsb_timing::fanout_opt::FanoutOptReport,
+            hlsb_timing::retime::RetimeReport,
+        )> = None;
+        for trial in 0..self.place_seeds {
+            let mut nl = netlist.clone();
+            let seed = self.seed.wrapping_add(u64::from(trial) * 0x9E37);
+            let mut placement = place_with(&nl, &self.device, seed, anneal);
+            let fo = optimize_fanout(&mut nl, &mut placement, FanoutOptions::default());
+            let (rt, _) = retime(&mut nl, &mut placement, &wire, RetimeOptions::default());
+            // Timing-driven refinement, as physical synthesis would run.
+            let (_refine, timing) =
+                refine_critical(&nl, &mut placement, &wire, RefineOptions::default());
+            if best.as_ref().is_none_or(|b| timing.period_ns < b.0) {
+                best = Some((timing.period_ns, nl, placement, timing, fo, rt));
+            }
+        }
+        let (_, netlist, placement, timing, fo, rt) =
+            best.expect("at least one placement trial");
+        let critical_cells: Vec<String> = timing
+            .critical_path
+            .iter()
+            .map(|&c| {
+                let cell = netlist.cell(c);
+                format!("{}:{}", cell.kind, cell.name)
+            })
+            .collect();
+
+        let stats = netlist.stats();
+        let (lut_pct, ff_pct, bram_pct, dsp_pct) =
+            stats.utilization(res.luts, res.ffs, res.brams, res.dsps);
+
+        Ok((ImplementationResult {
+            fmax_mhz: timing.fmax_mhz,
+            period_ns: timing.period_ns,
+            utilization: Utilization {
+                lut_pct,
+                ff_pct,
+                bram_pct,
+                dsp_pct,
+            },
+            stats,
+            timing,
+            lower_info: lowered.info,
+            schedule_depths: depths,
+            inserted_regs,
+            duplicated_regs: fo.duplicated_registers,
+            retime_moves: rt.moves,
+            critical_cells,
+        }, netlist, placement))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::DataType;
+
+    fn unrolled_broadcast(unroll: u32) -> Design {
+        let mut b = DesignBuilder::new("bc");
+        let fin = b.fifo("in", DataType::Int(32), 2);
+        let fout = b.fifo("out", DataType::Int(32), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("body", 1024, 1);
+        l.set_unroll(unroll);
+        let src = l.invariant_input("source", DataType::Int(32));
+        let x = l.fifo_read(fin, DataType::Int(32));
+        let s = l.sub(x, src);
+        let t = l.abs(s);
+        let m = l.min(t, x);
+        l.fifo_write(fout, m);
+        l.finish();
+        k.finish();
+        b.finish().expect("valid")
+    }
+
+    fn run(d: &Design, opts: OptimizationOptions) -> ImplementationResult {
+        Flow::new(d.clone())
+            .options(opts)
+            .place_effort(PlaceEffort::Fast)
+            .seed(7)
+            .run()
+            .expect("flow succeeds")
+    }
+
+    #[test]
+    fn flow_runs_end_to_end() {
+        let d = unrolled_broadcast(8);
+        let r = run(&d, OptimizationOptions::none());
+        assert!(r.fmax_mhz > 50.0 && r.fmax_mhz < 1000.0, "{}", r.fmax_mhz);
+        assert!(r.stats.luts > 0);
+        assert!(r.utilization.lut_pct > 0.0);
+    }
+
+    #[test]
+    fn optimizations_help_broadcast_design() {
+        let d = unrolled_broadcast(64);
+        let base = run(&d, OptimizationOptions::none());
+        let opt = run(&d, OptimizationOptions::all());
+        assert!(
+            opt.fmax_mhz > base.fmax_mhz,
+            "opt {} <= base {}",
+            opt.fmax_mhz,
+            base.fmax_mhz
+        );
+        assert!(opt.inserted_regs > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = unrolled_broadcast(16);
+        let a = run(&d, OptimizationOptions::all());
+        let b = run(&d, OptimizationOptions::all());
+        assert_eq!(a.fmax_mhz, b.fmax_mhz);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn bad_clock_is_rejected() {
+        let d = unrolled_broadcast(2);
+        let err = Flow::new(d).clock_mhz(0.0).run().unwrap_err();
+        assert!(matches!(err, FlowError::BadParameter { .. }));
+    }
+
+    #[test]
+    fn oversized_design_reports_does_not_fit() {
+        // A buffer far beyond the device's BRAM capacity.
+        let mut b = DesignBuilder::new("huge");
+        let arr = b.array(
+            "huge",
+            DataType::Int(64),
+            16_000_000,
+            hlsb_ir::Partition::None,
+        );
+        let fin = b.fifo("in", DataType::Int(64), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("fill", 1 << 24, 1);
+        let i = l.indvar("i");
+        let v = l.fifo_read(fin, DataType::Int(64));
+        l.store(arr, i, v);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid");
+        let err = Flow::new(d).run().unwrap_err();
+        assert!(matches!(err, FlowError::DoesNotFit { .. }), "{err}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Flow options.
+
+/// Which of the paper's optimizations the flow applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizationOptions {
+    /// Broadcast-aware scheduling (§4.1): calibrated delays + register
+    /// insertion + memory-access pipelining.
+    pub broadcast_aware: bool,
+    /// Synchronization pruning (§4.2): dataflow loop splitting and
+    /// longest-latency-only waits.
+    pub sync_pruning: bool,
+    /// Skid-buffer-based pipeline control (§4.3).
+    pub skid_buffer: bool,
+    /// Min-area multi-level skid buffers (DP split). Only meaningful with
+    /// `skid_buffer`.
+    pub min_area_skid: bool,
+}
+
+impl OptimizationOptions {
+    /// The paper's baseline: everything off (stock HLS behaviour).
+    pub fn none() -> Self {
+        OptimizationOptions::default()
+    }
+
+    /// All optimizations on (the paper's "Opt" columns).
+    pub fn all() -> Self {
+        OptimizationOptions {
+            broadcast_aware: true,
+            sync_pruning: true,
+            skid_buffer: true,
+            min_area_skid: true,
+        }
+    }
+
+    /// Only the data-broadcast optimization (Table 3's "Opt. Data" row).
+    pub fn data_only() -> Self {
+        OptimizationOptions {
+            broadcast_aware: true,
+            ..OptimizationOptions::default()
+        }
+    }
+
+    /// Skid control without the min-area split (Table 2's "Skid Buffer").
+    pub fn skid_plain() -> Self {
+        OptimizationOptions {
+            skid_buffer: true,
+            ..OptimizationOptions::default()
+        }
+    }
+}
+
+/// Placement effort (trade runtime for quality; results stay
+/// deterministic for a fixed seed and effort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaceEffort {
+    /// Reduced annealing for tests and quick iterations.
+    Fast,
+    /// Default annealing.
+    #[default]
+    Normal,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(!OptimizationOptions::none().broadcast_aware);
+        let all = OptimizationOptions::all();
+        assert!(all.broadcast_aware && all.sync_pruning && all.skid_buffer && all.min_area_skid);
+        assert!(OptimizationOptions::data_only().broadcast_aware);
+        assert!(!OptimizationOptions::data_only().skid_buffer);
+        assert!(OptimizationOptions::skid_plain().skid_buffer);
+        assert!(!OptimizationOptions::skid_plain().min_area_skid);
+    }
+}

@@ -1,0 +1,117 @@
+//! Implementation results.
+
+use hlsb_netlist::Stats;
+use hlsb_rtlgen::LowerInfo;
+use hlsb_timing::TimingReport;
+use std::fmt;
+
+/// Post-implementation resource utilization, as percentages of the target
+/// device (the format of the paper's Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Utilization {
+    /// LUT utilization, percent.
+    pub lut_pct: f64,
+    /// Flip-flop utilization, percent.
+    pub ff_pct: f64,
+    /// BRAM utilization, percent.
+    pub bram_pct: f64,
+    /// DSP utilization, percent.
+    pub dsp_pct: f64,
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {:.0}% FF {:.0}% BRAM {:.0}% DSP {:.0}%",
+            self.lut_pct, self.ff_pct, self.bram_pct, self.dsp_pct
+        )
+    }
+}
+
+/// The outcome of running the flow on one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplementationResult {
+    /// Achieved maximum frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Achieved minimum clock period, ns.
+    pub period_ns: f64,
+    /// Resource utilization against the device.
+    pub utilization: Utilization,
+    /// Absolute resource counts.
+    pub stats: Stats,
+    /// Full timing report (critical path etc.).
+    pub timing: TimingReport,
+    /// Structural metadata from RTL generation.
+    pub lower_info: LowerInfo,
+    /// Pipeline depth of each lowered loop, in cycles.
+    pub schedule_depths: Vec<u32>,
+    /// Registers inserted by broadcast-aware scheduling.
+    pub inserted_regs: usize,
+    /// Registers duplicated by physical fanout optimization.
+    pub duplicated_regs: usize,
+    /// Backward retiming moves applied.
+    pub retime_moves: usize,
+    /// Names and kinds of the cells on the critical path (launch first).
+    pub critical_cells: Vec<String>,
+}
+
+impl ImplementationResult {
+    /// Frequency gain of `self` over a baseline, as the paper reports it
+    /// (percentage difference of Fmax).
+    pub fn gain_over(&self, baseline: &ImplementationResult) -> f64 {
+        100.0 * (self.fmax_mhz - baseline.fmax_mhz) / baseline.fmax_mhz
+    }
+}
+
+impl fmt::Display for ImplementationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Fmax {:.0} MHz (period {:.2} ns), {}",
+            self.fmax_mhz, self.period_ns, self.utilization
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(fmax: f64) -> ImplementationResult {
+        ImplementationResult {
+            fmax_mhz: fmax,
+            period_ns: 1000.0 / fmax,
+            utilization: Utilization::default(),
+            stats: Stats::default(),
+            timing: TimingReport {
+                period_ns: 1000.0 / fmax,
+                fmax_mhz: fmax,
+                critical_path: vec![],
+                arrival_ns: vec![],
+            },
+            lower_info: LowerInfo::default(),
+            schedule_depths: vec![],
+            inserted_regs: 0,
+            duplicated_regs: 0,
+            retime_moves: 0,
+            critical_cells: vec![],
+        }
+    }
+
+    #[test]
+    fn gain_matches_paper_convention() {
+        // Genome sequencing: 264 -> 341 MHz is reported as 29%.
+        let orig = dummy(264.0);
+        let opt = dummy(341.0);
+        let gain = opt.gain_over(&orig);
+        assert!((gain - 29.2).abs() < 0.5, "{gain}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = dummy(300.0);
+        let s = r.to_string();
+        assert!(s.contains("300 MHz"), "{s}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # hlsb-ctrl — pipeline flow control: stall vs skid buffer
+//!
+//! The paper's §4.3 replaces the HLS-standard *stall broadcast* (empty/full
+//! back-pressure fanned out to every pipeline stage) with *skid-buffer-based
+//! control*: the pipeline always flows, each datum carries a valid bit, and
+//! a bounded bypass FIFO at the end absorbs in-flight data when the
+//! downstream blocks. This crate provides:
+//!
+//! * [`skid`] — sizing rules (depth ≥ N+1) and area formulas;
+//! * [`distribute`] — the dynamic-programming **min-area multi-level split**
+//!   that places buffers at narrow "waist" stages (Fig. 12/17, Table 2);
+//! * [`sim`] — a cycle-accurate simulator of both control styles used to
+//!   verify the paper's claims: identical output streams, identical
+//!   long-run throughput, and no overflow at depth N+1.
+//!
+//! # Example
+//!
+//! ```
+//! use hlsb_ctrl::{distribute, skid};
+//!
+//! // The paper's Fig. 17 example: stages 1..=56 pass 32 bits, the last
+//! // 5 stages pass 1024 bits.
+//! let mut widths = vec![32u64; 56];
+//! widths.extend([1024; 5]);
+//! let plan = distribute::min_area_split(&widths);
+//! assert_eq!(plan.total_bits, (56 + 1) * 32 + (5 + 1) * 1024); // 7968
+//! assert_eq!(skid::naive_area_bits(61, 1024), 63_488);
+//! ```
+
+pub mod distribute;
+pub mod sim;
+pub mod skid;
+
+pub use distribute::{brute_force_split, min_area_split, SplitPlan};
+pub use sim::{simulate_skid, simulate_stall, SimResult};
+pub use skid::{naive_area_bits, required_depth};

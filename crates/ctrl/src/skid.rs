@@ -1,0 +1,39 @@
+//! Skid-buffer sizing.
+
+/// Minimum safe depth of a skid buffer appended after a pipeline of
+/// `n_stages` stages.
+///
+/// "Assuming the length of the pipeline is N, as long as the depth of the
+/// buffer is no smaller than N+1 (+1 since the empty signal will be
+/// deasserted one cycle after the first element is in), no overflow will
+/// happen." (§4.3). [`crate::sim`] verifies both that this bound is safe
+/// and that it is tight (depth N overflows under adversarial
+/// back-pressure).
+pub fn required_depth(n_stages: usize) -> usize {
+    n_stages + 1
+}
+
+/// Area in bits of the naive single end-of-pipeline skid buffer:
+/// `(N + 1) * w` for a pipeline of `N` stages with output width `w`
+/// (the paper's `BufferArea` formula).
+pub fn naive_area_bits(n_stages: usize, out_width_bits: u64) -> u64 {
+    required_depth(n_stages) as u64 * out_width_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_n_plus_one() {
+        assert_eq!(required_depth(0), 1);
+        assert_eq!(required_depth(370), 371);
+    }
+
+    #[test]
+    fn paper_fig17_naive_area() {
+        // "Directly adding a buffer at the end results in
+        //  (61+1) x 1024 = 63488 bits".
+        assert_eq!(naive_area_bits(61, 1024), 63_488);
+    }
+}

@@ -1,0 +1,48 @@
+//! # hlsb-delay — operator delay models and broadcast calibration
+//!
+//! HLS schedulers rely on *pre-characterized* operator delays. The paper's
+//! §4.1 observation is that those tables are flat in the broadcast factor,
+//! while the real post-route delay of an operator grows with the fanout of
+//! its operands. This crate provides:
+//!
+//! * [`HlsPredictedModel`] — a Vivado-HLS-like table: fixed delay per
+//!   (operation, type), *invariant to broadcast factor*, deliberately
+//!   conservative for floating-point multiplication (as the paper
+//!   observes in Fig. 9);
+//! * [`characterize()`] — the skeleton-design measurement methodology:
+//!   instantiate one source register fanning out to `k` operators on an
+//!   otherwise empty device, place it, run STA, perturb with deterministic
+//!   noise, and smooth by neighbour averaging;
+//! * [`CalibratedModel`] — `max(predicted, smoothed measurement)`, the
+//!   paper's calibrated delay used by broadcast-aware scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use hlsb_delay::{CalibratedModel, DelayModel, HlsPredictedModel};
+//! use hlsb_fabric::Device;
+//! use hlsb_ir::{DataType, OpKind};
+//!
+//! let predicted = HlsPredictedModel::new();
+//! let calibrated = CalibratedModel::characterize_analytic(
+//!     &Device::ultrascale_plus_vu9p(), 42);
+//!
+//! let ty = DataType::Int(32);
+//! // Flat vs growing in broadcast factor:
+//! assert_eq!(predicted.delay_ns(OpKind::Add, ty, 1),
+//!            predicted.delay_ns(OpKind::Add, ty, 64));
+//! assert!(calibrated.delay_ns(OpKind::Add, ty, 64) >
+//!         calibrated.delay_ns(OpKind::Add, ty, 1) + 0.5);
+//! ```
+
+pub mod calibrated;
+pub mod characterize;
+pub mod classes;
+pub mod model;
+pub mod predicted;
+
+pub use calibrated::CalibratedModel;
+pub use characterize::{characterize, CharacterizeConfig, Characterization, CurvePoint};
+pub use classes::{classify, OpClass};
+pub use model::DelayModel;
+pub use predicted::HlsPredictedModel;

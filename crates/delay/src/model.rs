@@ -1,0 +1,53 @@
+//! The delay-model abstraction shared by schedulers.
+
+use hlsb_ir::{DataType, OpKind};
+
+/// A delay model as used by the HLS scheduler: per-operation combinational
+/// delay (possibly broadcast-dependent) and pipeline latency.
+///
+/// `bf` is the *broadcast factor* relevant to the operation:
+///
+/// * for arithmetic/logic, the number of same-cycle readers of its most
+///   widely read operand (how far the operand's net fans out);
+/// * for memory operations, the number of physical BRAM banks the access
+///   touches (a large buffer scatters over many units — paper §3.1 #2).
+pub trait DelayModel {
+    /// Combinational delay in nanoseconds of `op` on operands of type `ty`
+    /// under broadcast factor `bf`.
+    fn delay_ns(&self, op: OpKind, ty: DataType, bf: usize) -> f64;
+
+    /// Pipeline latency in cycles. Zero-latency operations chain within a
+    /// cycle; operations with latency ≥ 1 register their output.
+    fn latency(&self, op: OpKind, ty: DataType) -> u32;
+
+    /// The *wire-only* broadcast excess at factor `bf`, ns — the extra
+    /// interconnect delay an operand net carries into this operator's
+    /// inputs, independent of the operator's own logic. The default
+    /// derives it from the delay curve; models whose curve saturates a
+    /// conservative prediction (e.g. float multiply, Fig. 9c) should
+    /// override it so the wire component is not masked by the `max`.
+    fn wire_excess_ns(&self, op: OpKind, ty: DataType, bf: usize) -> f64 {
+        (self.delay_ns(op, ty, bf) - self.delay_ns(op, ty, 1)).max(0.0)
+    }
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> &str;
+}
+
+impl<T: DelayModel + ?Sized> DelayModel for &T {
+    fn delay_ns(&self, op: OpKind, ty: DataType, bf: usize) -> f64 {
+        (**self).delay_ns(op, ty, bf)
+    }
+
+    fn latency(&self, op: OpKind, ty: DataType) -> u32 {
+        (**self).latency(op, ty)
+    }
+
+    fn wire_excess_ns(&self, op: OpKind, ty: DataType, bf: usize) -> f64 {
+        (**self).wire_excess_ns(op, ty, bf)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}

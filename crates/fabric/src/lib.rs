@@ -1,0 +1,31 @@
+//! # hlsb-fabric — simulated FPGA fabric
+//!
+//! Device models and the interconnect-delay model used in place of a real
+//! FPGA + Vivado implementation flow. The paper's central physical fact is
+//! that *net delay grows with fanout and with the placed spread of the
+//! sinks*; [`wire::WireModel`] captures exactly that with a
+//! `distance + fanout` model calibrated against the anchor points the paper
+//! publishes (a 0.78 ns subtract rising to 2.08 ns under a 64-way broadcast,
+//! and a ~1 ns penalty on a 1024-way add).
+//!
+//! Four device presets cover the paper's targets (Table 1): UltraScale+
+//! VU9P (AWS F1), Zynq ZC706, Alveo U50 and Virtex-7 (Alpha-Data).
+//!
+//! # Example
+//!
+//! ```
+//! use hlsb_fabric::{Device, WireModel};
+//!
+//! let dev = Device::ultrascale_plus_vu9p();
+//! let wire = WireModel::for_device(&dev);
+//! let near = wire.net_delay_ns(1.0, 1);
+//! let far_broadcast = wire.net_delay_ns(8.0, 64);
+//! assert!(far_broadcast > near);
+//! ```
+
+pub mod device;
+pub mod noise;
+pub mod wire;
+
+pub use device::{Device, DeviceFamily, Resources};
+pub use wire::WireModel;

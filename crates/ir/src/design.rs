@@ -1,0 +1,368 @@
+//! Top-level design structure: kernels, loops, arrays and FIFO channels.
+
+use crate::dfg::Dfg;
+use crate::pragma::{Partition, PipelinePragma};
+use crate::types::DataType;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an [`Array`] within a [`Design`].
+    ArrayId
+);
+id_type!(
+    /// Identifier of a [`Fifo`] within a [`Design`].
+    FifoId
+);
+id_type!(
+    /// Identifier of a [`Kernel`] within a [`Design`].
+    KernelId
+);
+id_type!(
+    /// Identifier of a [`Loop`] within a [`Kernel`].
+    LoopId
+);
+
+/// An on-chip buffer, mapped to one or more BRAM units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array {
+    /// Name for reports.
+    pub name: String,
+    /// Element type.
+    pub elem: DataType,
+    /// Number of elements.
+    pub len: usize,
+    /// Partitioning directive.
+    pub partition: Partition,
+}
+
+impl Array {
+    /// Total capacity in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.len as u64 * u64::from(self.elem.bits())
+    }
+
+    /// Number of 36 Kb BRAM units required (UltraScale-style block RAM).
+    ///
+    /// A wide array spreads over many physically scattered units — the root
+    /// cause of the paper's large-buffer data broadcast (§3.1, example #2).
+    pub fn bram_units(&self) -> usize {
+        const BRAM_BITS: u64 = 36 * 1024;
+        if matches!(self.partition, Partition::Complete) {
+            return 0; // complete partitioning uses registers, not BRAM
+        }
+        let banks = self.partition.banks(self.len) as u64;
+        let bits_per_bank = self.total_bits().div_ceil(banks);
+        // Each bank rounds up to whole BRAM units; a bank narrower than one
+        // unit still consumes one.
+        (banks * bits_per_bank.div_ceil(BRAM_BITS).max(1)) as usize
+    }
+}
+
+/// A streaming FIFO channel connecting kernels (or loops).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fifo {
+    /// Name for reports.
+    pub name: String,
+    /// Element type.
+    pub elem: DataType,
+    /// Depth in elements.
+    pub depth: usize,
+}
+
+/// One loop nest level with its pragmas and body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Name for reports.
+    pub name: String,
+    /// Trip count (static; the paper's pruning handles static latencies).
+    pub trip_count: u64,
+    /// Unroll factor (1 = no unrolling). Applied by [`crate::unroll`].
+    pub unroll: u32,
+    /// Pipeline directive, if the loop is pipelined.
+    pub pipeline: Option<PipelinePragma>,
+    /// The loop body.
+    pub body: Dfg,
+}
+
+impl Loop {
+    /// Whether the loop is pipelined.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipeline.is_some()
+    }
+}
+
+/// A kernel: a function containing a sequence of loops executed in order.
+///
+/// Loops in one kernel run sequentially under an FSM; kernels inside a
+/// dataflow region run concurrently, synchronized by the HLS-generated
+/// done/start logic the paper analyses in §3.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Name for reports.
+    pub name: String,
+    /// Loops executed in order.
+    pub loops: Vec<Loop>,
+    /// Statically known latency in cycles, if the kernel is a leaf PE with
+    /// fixed latency (used by synchronization pruning, §4.2). `None` means
+    /// dynamic latency.
+    pub static_latency: Option<u64>,
+}
+
+impl Kernel {
+    /// Total number of instructions across all loop bodies.
+    pub fn inst_count(&self) -> usize {
+        self.loops.iter().map(|l| l.body.len()).sum()
+    }
+}
+
+/// How the kernels of a design execute relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Concurrency {
+    /// Kernels run one after another under a single FSM.
+    #[default]
+    Sequential,
+    /// `#pragma HLS dataflow`: kernels run concurrently, connected by FIFOs,
+    /// with HLS-inferred synchronization (the paper's Figure 5a pattern).
+    Dataflow,
+}
+
+/// A complete HLS design: kernels plus shared arrays and FIFO channels.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Design {
+    /// Name for reports.
+    pub name: String,
+    /// On-chip arrays.
+    pub arrays: Vec<Array>,
+    /// FIFO channels.
+    pub fifos: Vec<Fifo>,
+    /// Kernels.
+    pub kernels: Vec<Kernel>,
+    /// Execution model of the top level.
+    pub concurrency: Concurrency,
+}
+
+impl Design {
+    /// Creates an empty design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Design {
+            name: name.into(),
+            ..Design::default()
+        }
+    }
+
+    /// Access an array by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn array(&self, id: ArrayId) -> &Array {
+        &self.arrays[id.index()]
+    }
+
+    /// Access a FIFO by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn fifo(&self, id: FifoId) -> &Fifo {
+        &self.fifos[id.index()]
+    }
+
+    /// Access a kernel by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn kernel(&self, id: KernelId) -> &Kernel {
+        &self.kernels[id.index()]
+    }
+
+    /// Total instruction count across all kernels.
+    pub fn inst_count(&self) -> usize {
+        self.kernels.iter().map(Kernel::inst_count).sum()
+    }
+}
+
+impl fmt::Display for Loop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop {} (trip {}", self.name, self.trip_count)?;
+        if self.unroll > 1 {
+            write!(f, ", unroll {}", self.unroll)?;
+        }
+        if let Some(p) = self.pipeline {
+            write!(f, ", {p}")?;
+        }
+        writeln!(f, "):")?;
+        write!(f, "{}", self.body)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel {}", self.name)?;
+        if let Some(l) = self.static_latency {
+            write!(f, " (latency {l})")?;
+        }
+        writeln!(f)?;
+        for lp in &self.loops {
+            write!(f, "{lp}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {} ({:?})", self.name, self.concurrency)?;
+        for (i, a) in self.arrays.iter().enumerate() {
+            writeln!(
+                f,
+                "  array[{i}] {}: {} x {} ({} BRAM units, {})",
+                a.name,
+                a.len,
+                a.elem,
+                a.bram_units(),
+                a.partition
+            )?;
+        }
+        for (i, fi) in self.fifos.iter().enumerate() {
+            writeln!(f, "  fifo[{i}] {}: {} depth {}", fi.name, fi.elem, fi.depth)?;
+        }
+        for k in &self.kernels {
+            write!(f, "{k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_bram_units_scale_with_size() {
+        let small = Array {
+            name: "s".into(),
+            elem: DataType::Int(32),
+            len: 1024,
+            partition: Partition::None,
+        };
+        // 32 Kbit fits in one 36 Kb unit.
+        assert_eq!(small.bram_units(), 1);
+
+        let big = Array {
+            name: "b".into(),
+            elem: DataType::Int(32),
+            len: 737_280, // the paper's Figure 3 example
+            partition: Partition::None,
+        };
+        // 23.6 Mbit / 36 Kb = 640 units.
+        assert_eq!(big.bram_units(), 640);
+    }
+
+    #[test]
+    fn partitioned_array_rounds_per_bank() {
+        let a = Array {
+            name: "p".into(),
+            elem: DataType::Int(64),
+            len: 64,
+            partition: Partition::Cyclic { factor: 8 },
+        };
+        // Tiny banks still cost one unit each.
+        assert_eq!(a.bram_units(), 8);
+    }
+
+    #[test]
+    fn complete_partition_uses_no_bram() {
+        let a = Array {
+            name: "c".into(),
+            elem: DataType::Int(32),
+            len: 64,
+            partition: Partition::Complete,
+        };
+        assert_eq!(a.bram_units(), 0);
+    }
+
+    #[test]
+    fn display_renders_hierarchy() {
+        let mut d = Design::new("demo");
+        d.arrays.push(Array {
+            name: "buf".into(),
+            elem: DataType::Int(32),
+            len: 2048,
+            partition: Partition::Cyclic { factor: 4 },
+        });
+        d.fifos.push(Fifo {
+            name: "s".into(),
+            elem: DataType::Bits(64),
+            depth: 8,
+        });
+        let mut body = crate::dfg::Dfg::new();
+        let a = body.push(crate::op::OpKind::IndVar, DataType::Int(32), vec![]);
+        body.push(crate::op::OpKind::Output, DataType::Int(32), vec![a]);
+        d.kernels.push(Kernel {
+            name: "k".into(),
+            loops: vec![Loop {
+                name: "l".into(),
+                trip_count: 16,
+                unroll: 4,
+                pipeline: Some(PipelinePragma::ii1()),
+                body,
+            }],
+            static_latency: Some(3),
+        });
+        let text = d.to_string();
+        assert!(text.contains("design demo"), "{text}");
+        assert!(text.contains("array[0] buf: 2048 x i32"), "{text}");
+        assert!(text.contains("cyclic factor=4"), "{text}");
+        assert!(text.contains("kernel k (latency 3)"), "{text}");
+        assert!(text.contains("loop l (trip 16, unroll 4, pipeline II=1)"), "{text}");
+        assert!(text.contains("%0 = indvar"), "{text}");
+    }
+
+    #[test]
+    fn design_accessors() {
+        let mut d = Design::new("t");
+        d.arrays.push(Array {
+            name: "a".into(),
+            elem: DataType::Int(8),
+            len: 4,
+            partition: Partition::None,
+        });
+        d.fifos.push(Fifo {
+            name: "f".into(),
+            elem: DataType::Bits(64),
+            depth: 2,
+        });
+        d.kernels.push(Kernel {
+            name: "k".into(),
+            loops: vec![],
+            static_latency: Some(10),
+        });
+        assert_eq!(d.array(ArrayId(0)).name, "a");
+        assert_eq!(d.fifo(FifoId(0)).depth, 2);
+        assert_eq!(d.kernel(KernelId(0)).static_latency, Some(10));
+        assert_eq!(d.inst_count(), 0);
+    }
+}

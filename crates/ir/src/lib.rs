@@ -1,0 +1,57 @@
+//! # hlsb-ir — HLS intermediate representation
+//!
+//! This crate models the untimed intermediate representation an HLS compiler
+//! works on, at the level of detail needed to study *implicit broadcasts*
+//! (DAC'20, "Analysis and Optimization of the Implicit Broadcasts in FPGA HLS
+//! to Improve Maximum Frequency"):
+//!
+//! * scalar [`DataType`]s and word-level operations ([`OpKind`]),
+//! * SSA dataflow graphs ([`Dfg`]) with use-def chains and RAW dependencies,
+//! * loops with pragmas (`unroll`, `pipeline II`, `dataflow`),
+//! * on-chip arrays (mapped to BRAM banks) and FIFO channels,
+//! * a [`builder`] API replacing the C++ front-end, and
+//! * the [`unroll`] transform that *creates* the data broadcasts studied by
+//!   the paper (loop-invariant values fan out to every unrolled body copy).
+//!
+//! # Example
+//!
+//! ```
+//! use hlsb_ir::builder::DesignBuilder;
+//! use hlsb_ir::types::DataType;
+//!
+//! # fn main() -> Result<(), hlsb_ir::IrError> {
+//! let mut b = DesignBuilder::new("axpy");
+//! let mut k = b.kernel("axpy_kernel");
+//! let mut l = k.pipelined_loop("main", 1024, 1);
+//! let a = l.invariant_input("alpha", DataType::Int(32));
+//! let x = l.varying_input("x", DataType::Int(32));
+//! let m = l.mul(a, x);
+//! l.output("y", m);
+//! l.finish();
+//! k.finish();
+//! let design = b.finish()?;
+//! assert_eq!(design.kernels.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod design;
+pub mod interp;
+pub mod dfg;
+pub mod op;
+pub mod pragma;
+pub mod tree;
+pub mod types;
+pub mod unroll;
+pub mod verify;
+
+pub use builder::DesignBuilder;
+pub use design::{
+    Array, ArrayId, Concurrency, Design, Fifo, FifoId, Kernel, KernelId, Loop, LoopId,
+};
+pub use dfg::{Dfg, InstId, Instruction};
+pub use op::{CmpPred, OpKind};
+pub use pragma::{Partition, PipelinePragma};
+pub use types::DataType;
+pub use verify::IrError;

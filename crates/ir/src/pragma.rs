@@ -1,0 +1,97 @@
+//! HLS directives (pragmas) attached to loops and arrays.
+
+use std::fmt;
+
+/// `#pragma HLS pipeline II=<ii>` — the loop is fully pipelined with the
+/// given initiation-interval target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelinePragma {
+    /// Target initiation interval in cycles (usually 1).
+    pub ii: u32,
+}
+
+impl PipelinePragma {
+    /// A pipeline pragma with II = 1 (the common fully-pipelined case).
+    pub fn ii1() -> Self {
+        PipelinePragma { ii: 1 }
+    }
+}
+
+impl Default for PipelinePragma {
+    fn default() -> Self {
+        PipelinePragma::ii1()
+    }
+}
+
+impl fmt::Display for PipelinePragma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline II={}", self.ii)
+    }
+}
+
+/// `#pragma HLS array_partition` — how an on-chip array is split into banks.
+///
+/// Partitioning multiplies the number of physical memories the data source
+/// fans out to (the paper's Figure 3/4 data broadcast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Partition {
+    /// Single logical memory (still possibly many BRAM units if large).
+    #[default]
+    None,
+    /// Cyclic partitioning into `factor` banks.
+    Cyclic {
+        /// Number of banks.
+        factor: u32,
+    },
+    /// Block partitioning into `factor` banks.
+    Block {
+        /// Number of banks.
+        factor: u32,
+    },
+    /// Complete partitioning into registers (one per element).
+    Complete,
+}
+
+impl Partition {
+    /// Number of independently addressed banks for an array of `len`
+    /// elements.
+    pub fn banks(self, len: usize) -> usize {
+        match self {
+            Partition::None => 1,
+            Partition::Cyclic { factor } | Partition::Block { factor } => {
+                (factor as usize).max(1).min(len.max(1))
+            }
+            Partition::Complete => len.max(1),
+        }
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partition::None => write!(f, "none"),
+            Partition::Cyclic { factor } => write!(f, "cyclic factor={factor}"),
+            Partition::Block { factor } => write!(f, "block factor={factor}"),
+            Partition::Complete => write!(f, "complete"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_counts() {
+        assert_eq!(Partition::None.banks(1024), 1);
+        assert_eq!(Partition::Cyclic { factor: 8 }.banks(1024), 8);
+        assert_eq!(Partition::Block { factor: 16 }.banks(4), 4); // clamped
+        assert_eq!(Partition::Complete.banks(64), 64);
+    }
+
+    #[test]
+    fn pipeline_default_ii_is_one() {
+        assert_eq!(PipelinePragma::default().ii, 1);
+        assert_eq!(PipelinePragma::ii1().to_string(), "pipeline II=1");
+    }
+}

@@ -1,0 +1,185 @@
+//! Explicit broadcast trees — the paper's *rejected* alternative (§4.1).
+//!
+//! "Another potential option is to explicitly construct a broadcast tree
+//! in the source code to deal with huge broadcasts. However, it is
+//! difficult to model the influence of different tree topologies on the
+//! black-box physical design process. Our extensive experimental
+//! experiences also show that it is better to let the physical design
+//! tools handle the register duplication during placement."
+//!
+//! This transform is implemented so the claim can be tested: the
+//! `ablation_tree` bench compares broadcast-aware scheduling against
+//! source-level register trees of several arities.
+
+use crate::dfg::{Dfg, InstId, Instruction};
+use crate::op::OpKind;
+
+/// Rebuilds the graph with a balanced register tree between `def` and its
+/// users: the root register reads `def`, each tree level fans out by at
+/// most `arity`, and each leaf serves at most `arity` original users.
+/// Every level adds one cycle of latency (the tree nodes are registers).
+///
+/// Returns the graph unchanged (trivially rebuilt) if `def` has at most
+/// `arity` users.
+///
+/// # Panics
+///
+/// Panics if `def` is out of bounds or `arity < 2`.
+pub fn insert_broadcast_tree(dfg: &Dfg, def: InstId, arity: usize) -> (Dfg, Vec<InstId>) {
+    assert!(arity >= 2, "tree arity must be at least 2");
+    assert!(def.index() < dfg.len(), "def out of bounds");
+    let n_users = dfg.users(def).len();
+
+    let mut out = Dfg::new();
+    let mut map: Vec<InstId> = Vec::with_capacity(dfg.len());
+
+    if n_users <= arity {
+        // Nothing to do: rebuild unchanged.
+        for (_, inst) in dfg.iter() {
+            let mut cl = inst.clone();
+            cl.operands = inst.operands.iter().map(|op| map[op.index()]).collect();
+            map.push(out.push_inst(cl));
+        }
+        return (out, map);
+    }
+
+    // Level sizes from the leaves up: leaves serve `arity` users each.
+    let mut level_sizes = vec![n_users.div_ceil(arity)];
+    while *level_sizes.last().unwrap() > 1 {
+        level_sizes.push(level_sizes.last().unwrap().div_ceil(arity));
+    }
+    level_sizes.reverse(); // root (size 1) first
+
+    // For each original user (in user-list order), which leaf serves it.
+    let leaf_of_user: Vec<usize> = (0..n_users).map(|u| u / arity).collect();
+
+    let mut leaves: Vec<InstId> = Vec::new();
+    for (id, inst) in dfg.iter() {
+        let mut cl = inst.clone();
+        cl.operands = inst
+            .operands
+            .iter()
+            .map(|op| {
+                if *op == def {
+                    // Which occurrence of `def` in the users list is this?
+                    // The use list is in insertion order, the same order we
+                    // walk here; find this user's position(s).
+                    let pos = dfg
+                        .users(def)
+                        .iter()
+                        .position(|&u| u == id)
+                        .expect("user recorded");
+                    leaves[leaf_of_user[pos]]
+                } else {
+                    map[op.index()]
+                }
+            })
+            .collect();
+        let new_id = out.push_inst(cl);
+        map.push(new_id);
+        if id == def {
+            // Emit the tree right after the definition, root first.
+            let mut prev_level = vec![new_id];
+            for (li, &size) in level_sizes.iter().enumerate() {
+                let mut level = Vec::with_capacity(size);
+                for i in 0..size {
+                    let parent = prev_level[i * prev_level.len() / size];
+                    let mut reg =
+                        Instruction::new(OpKind::Reg, inst.ty, vec![parent]);
+                    reg.name = format!("{}_bt{li}_{i}", inst.name);
+                    level.push(out.push_inst(reg));
+                }
+                prev_level = level;
+            }
+            leaves = prev_level;
+        }
+    }
+    (out, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn broadcast(n: usize) -> (Dfg, InstId) {
+        let mut d = Dfg::new();
+        let src = d.push_named(
+            OpKind::Input { invariant: true },
+            DataType::Int(32),
+            vec![],
+            "src",
+        );
+        let x = d.push(OpKind::Input { invariant: false }, DataType::Int(32), vec![]);
+        for _ in 0..n {
+            d.push(OpKind::Sub, DataType::Int(32), vec![x, src]);
+        }
+        (d, src)
+    }
+
+    #[test]
+    fn tree_bounds_every_fanout() {
+        let (d, src) = broadcast(64);
+        let (out, map) = insert_broadcast_tree(&d, src, 4);
+        // 64 users / arity 4 = 16 leaves, 4 mid, 1 root: 21 registers.
+        let regs = out
+            .iter()
+            .filter(|(_, i)| i.kind == OpKind::Reg)
+            .count();
+        assert_eq!(regs, 21);
+        // Every node of the treed cone (source + registers) fans out by at
+        // most the arity. (The untreed varying input keeps its fanout.)
+        for (id, inst) in out.iter() {
+            if inst.kind == OpKind::Reg {
+                assert!(out.fanout(id) <= 4, "fanout {} at {id}", out.fanout(id));
+            }
+        }
+        // The source now feeds only the root.
+        assert_eq!(out.fanout(map[src.index()]), 1);
+    }
+
+    #[test]
+    fn small_fanout_is_untouched() {
+        let (d, src) = broadcast(3);
+        let (out, map) = insert_broadcast_tree(&d, src, 4);
+        assert_eq!(out.len(), d.len());
+        assert_eq!(out.fanout(map[src.index()]), 3);
+    }
+
+    #[test]
+    fn tree_output_verifies_and_preserves_semantics() {
+        use crate::builder::DesignBuilder;
+        use crate::interp::{Interpreter, LoopIo};
+
+        let mut b = DesignBuilder::new("t");
+        let fin = b.fifo("in", DataType::Int(32), 2);
+        let fout = b.fifo("out", DataType::Int(32), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("main", 8, 1);
+        let src = l.invariant_input("src", DataType::Int(32));
+        let x = l.fifo_read(fin, DataType::Int(32));
+        let mut acc = x;
+        for _ in 0..9 {
+            let s = l.sub(acc, src);
+            acc = l.xor(s, x);
+        }
+        l.fifo_write(fout, acc);
+        l.finish();
+        k.finish();
+        let d = b.finish().unwrap();
+        let lp = &d.kernels[0].loops[0];
+
+        let (body, _) = insert_broadcast_tree(&lp.body, crate::InstId(0), 3);
+        crate::verify::verify_dfg(&body, &d).expect("tree output is valid IR");
+        let treed = crate::Loop { body, ..lp.clone() };
+
+        let run = |lp: &crate::Loop| {
+            let mut io = LoopIo::default();
+            io.fifo_inputs.insert(fin, (0..8).map(|i| i * 5 - 9).collect());
+            io.invariants.insert("src".into(), 17);
+            Interpreter::new(&d).run_loop(lp, 8, &mut io);
+            io.fifo_outputs[&fout].clone()
+        };
+        assert_eq!(run(lp), run(&treed));
+    }
+}

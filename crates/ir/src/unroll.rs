@@ -1,0 +1,193 @@
+//! Loop unrolling — the transform that *creates* data broadcasts.
+//!
+//! Unrolling by `u` replicates the loop body `u` times. Loop-invariant
+//! inputs and constants are **shared** between the copies, so a value read
+//! once per iteration in the source becomes a `u`-way fanout in hardware —
+//! the paper's Figure 1/2 data broadcast. Everything else (induction
+//! variable, varying inputs, computation) is replicated per copy.
+
+use crate::design::Loop;
+use crate::dfg::{Dfg, InstId};
+use crate::op::OpKind;
+
+/// Result of unrolling: the rewritten loop plus bookkeeping for analyses.
+#[derive(Debug, Clone)]
+pub struct UnrolledLoop {
+    /// The rewritten loop (`unroll == 1`, trip count divided).
+    pub looop: Loop,
+    /// For every original instruction, its clone in each body copy.
+    /// `copies[k][orig.index()]` is the id in copy `k`. Shared instructions
+    /// map to the same id in every copy.
+    pub copies: Vec<Vec<InstId>>,
+}
+
+/// Whether an instruction is shared (not replicated) across unrolled copies.
+fn is_shared(kind: OpKind) -> bool {
+    matches!(kind, OpKind::Const | OpKind::Input { invariant: true })
+}
+
+/// Applies the loop's unroll pragma, returning the unrolled loop.
+///
+/// If the unroll factor is 1 the loop is returned unchanged (with a trivial
+/// one-copy map). The trip count is divided by the factor, rounding up, so
+/// partial final iterations are conservatively counted as full.
+///
+/// # Example
+///
+/// ```
+/// use hlsb_ir::builder::DesignBuilder;
+/// use hlsb_ir::types::DataType;
+/// use hlsb_ir::unroll::unroll_loop;
+///
+/// # fn main() -> Result<(), hlsb_ir::IrError> {
+/// let mut b = DesignBuilder::new("u");
+/// let mut k = b.kernel("top");
+/// let mut l = k.pipelined_loop("body", 64, 1);
+/// l.set_unroll(64);
+/// let src = l.invariant_input("source", DataType::Int(32));
+/// let x = l.varying_input("x", DataType::Int(32));
+/// let s = l.add(src, x);
+/// l.output("o", s);
+/// l.finish();
+/// k.finish();
+/// let d = b.finish()?;
+///
+/// let u = unroll_loop(&d.kernels[0].loops[0]);
+/// // The invariant source is now read by 64 adders.
+/// let src_unrolled = u.copies[0][src.index()];
+/// assert_eq!(u.looop.body.fanout(src_unrolled), 64);
+/// assert_eq!(u.looop.trip_count, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn unroll_loop(lp: &Loop) -> UnrolledLoop {
+    let u = lp.unroll.max(1) as usize;
+    if u == 1 {
+        return UnrolledLoop {
+            looop: Loop {
+                unroll: 1,
+                ..lp.clone()
+            },
+            copies: vec![lp.body.ids().collect()],
+        };
+    }
+
+    let mut body = Dfg::new();
+    let mut shared: Vec<Option<InstId>> = vec![None; lp.body.len()];
+    let mut copies: Vec<Vec<InstId>> = Vec::with_capacity(u);
+
+    for k in 0..u {
+        let mut map: Vec<InstId> = Vec::with_capacity(lp.body.len());
+        for (id, inst) in lp.body.iter() {
+            if is_shared(inst.kind) {
+                let new_id = *shared[id.index()].get_or_insert_with(|| {
+                    let mut cl = inst.clone();
+                    cl.operands = Vec::new();
+                    body.push_inst(cl)
+                });
+                map.push(new_id);
+                continue;
+            }
+            let mut cl = inst.clone();
+            cl.operands = inst.operands.iter().map(|op| map[op.index()]).collect();
+            if !cl.name.is_empty() {
+                cl.name = format!("{}#{k}", cl.name);
+            }
+            map.push(body.push_inst(cl));
+        }
+        copies.push(map);
+    }
+
+    UnrolledLoop {
+        looop: Loop {
+            name: lp.name.clone(),
+            trip_count: lp.trip_count.div_ceil(u as u64).max(1),
+            unroll: 1,
+            pipeline: lp.pipeline,
+            body,
+        },
+        copies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::types::DataType;
+    use crate::verify::verify_dfg;
+
+    fn fig1_loop(unroll: u32) -> crate::design::Design {
+        let mut b = DesignBuilder::new("fig1");
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("compute", 1024, 1);
+        l.set_unroll(unroll);
+        let source = l.invariant_input("source", DataType::Int(32));
+        let foo = l.varying_input("foo", DataType::Int(32));
+        let bar = l.varying_input("bar", DataType::Int(32));
+        let t = l.add(source, foo);
+        let r = l.sub(t, bar);
+        l.output("result", r);
+        l.finish();
+        k.finish();
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn unroll_replicates_body_and_shares_invariants() {
+        let d = fig1_loop(16);
+        let u = unroll_loop(&d.kernels[0].loops[0]);
+        // 1 shared invariant + 16 * 5 replicated instructions.
+        assert_eq!(u.looop.body.len(), 1 + 16 * 5);
+        assert_eq!(u.looop.trip_count, 64);
+        assert_eq!(u.looop.unroll, 1);
+        // Invariant source has fanout 16.
+        let src = u.copies[0][0];
+        assert_eq!(u.looop.body.fanout(src), 16);
+        // Varying inputs are per-copy, fanout 1 each.
+        let foo0 = u.copies[0][1];
+        let foo1 = u.copies[1][1];
+        assert_ne!(foo0, foo1);
+        assert_eq!(u.looop.body.fanout(foo0), 1);
+    }
+
+    #[test]
+    fn unrolled_body_is_valid_ir() {
+        let d = fig1_loop(64);
+        let u = unroll_loop(&d.kernels[0].loops[0]);
+        verify_dfg(&u.looop.body, &d).expect("unrolled body verifies");
+    }
+
+    #[test]
+    fn unroll_factor_one_is_identity() {
+        let d = fig1_loop(1);
+        let orig = &d.kernels[0].loops[0];
+        let u = unroll_loop(orig);
+        assert_eq!(u.looop.body, orig.body);
+        assert_eq!(u.looop.trip_count, orig.trip_count);
+        assert_eq!(u.copies.len(), 1);
+    }
+
+    #[test]
+    fn partial_trip_count_rounds_up() {
+        let mut b = DesignBuilder::new("p");
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("body", 100, 1);
+        l.set_unroll(64);
+        let x = l.varying_input("x", DataType::Int(32));
+        l.output("o", x);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid");
+        let u = unroll_loop(&d.kernels[0].loops[0]);
+        assert_eq!(u.looop.trip_count, 2);
+    }
+
+    #[test]
+    fn copy_names_are_suffixed() {
+        let d = fig1_loop(2);
+        let u = unroll_loop(&d.kernels[0].loops[0]);
+        let foo1 = u.copies[1][1];
+        assert_eq!(u.looop.body.inst(foo1).name, "foo#1");
+    }
+}

@@ -1,0 +1,227 @@
+//! Netlist cells.
+
+use std::fmt;
+
+/// Identifier of a [`Cell`] within a [`Netlist`](crate::graph::Netlist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// What a cell is, for timing and resource purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Word-wide register. Sequential: breaks timing paths.
+    Ff,
+    /// Word-wide combinational logic (LUT fabric).
+    Comb,
+    /// DSP-slice operation (multiplier). Combinational unless the
+    /// surrounding pipeline registers it.
+    Dsp,
+    /// Block RAM. Sequential: address is captured at the clock edge and the
+    /// read data appears after the clock-to-out delay.
+    Bram,
+    /// Top-level input port (timing start point).
+    Input,
+    /// Top-level output port (timing end point).
+    Output,
+    /// Constant driver (no timing contribution).
+    Const,
+}
+
+impl CellKind {
+    /// Whether the cell starts/ends timing paths at a clock edge.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Ff | CellKind::Bram)
+    }
+
+    /// Whether the cell propagates combinationally from inputs to output.
+    pub fn is_combinational(self) -> bool {
+        matches!(self, CellKind::Comb | CellKind::Dsp)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Ff => "FF",
+            CellKind::Comb => "COMB",
+            CellKind::Dsp => "DSP",
+            CellKind::Bram => "BRAM",
+            CellKind::Input => "IN",
+            CellKind::Output => "OUT",
+            CellKind::Const => "CONST",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One word-level cell with its intrinsic delay and resource cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Name for reports.
+    pub name: String,
+    /// Cell kind.
+    pub kind: CellKind,
+    /// Word width in bits.
+    pub width: u32,
+    /// Intrinsic delay in ns: input-to-output for combinational cells,
+    /// clock-to-out for sequential cells.
+    pub delay_ns: f64,
+    /// LUTs consumed.
+    pub luts: u32,
+    /// Flip-flops consumed.
+    pub ffs: u32,
+    /// 36 Kb BRAM units consumed.
+    pub brams: u32,
+    /// DSP slices consumed.
+    pub dsps: u32,
+}
+
+impl Cell {
+    /// A word-wide register (one FF per bit; clock-to-out ≈ 0.1 ns).
+    pub fn ff(name: impl Into<String>, width: u32) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Ff,
+            width,
+            delay_ns: 0.10,
+            luts: 0,
+            ffs: width,
+            brams: 0,
+            dsps: 0,
+        }
+    }
+
+    /// Combinational logic with explicit delay and LUT cost.
+    pub fn comb(name: impl Into<String>, width: u32, delay_ns: f64, luts: u32) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Comb,
+            width,
+            delay_ns,
+            luts,
+            ffs: 0,
+            brams: 0,
+            dsps: 0,
+        }
+    }
+
+    /// A DSP-slice operation (e.g. a multiplier) costing `dsps` slices.
+    pub fn dsp(name: impl Into<String>, width: u32, delay_ns: f64, dsps: u32) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Dsp,
+            width,
+            delay_ns,
+            luts: 0,
+            ffs: 0,
+            brams: 0,
+            dsps,
+        }
+    }
+
+    /// A block RAM bank of `units` 36 Kb units (clock-to-out ≈ 0.9 ns for
+    /// the read data path).
+    pub fn bram(name: impl Into<String>, width: u32, units: u32) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Bram,
+            width,
+            delay_ns: 0.90,
+            luts: 0,
+            ffs: 0,
+            brams: units,
+            dsps: 0,
+        }
+    }
+
+    /// A top-level input port.
+    pub fn input(name: impl Into<String>, width: u32) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Input,
+            width,
+            delay_ns: 0.0,
+            luts: 0,
+            ffs: 0,
+            brams: 0,
+            dsps: 0,
+        }
+    }
+
+    /// A top-level output port.
+    pub fn output(name: impl Into<String>, width: u32) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Output,
+            width,
+            delay_ns: 0.0,
+            luts: 0,
+            ffs: 0,
+            brams: 0,
+            dsps: 0,
+        }
+    }
+
+    /// A constant driver.
+    pub fn constant(name: impl Into<String>, width: u32) -> Self {
+        Cell {
+            name: name.into(),
+            kind: CellKind::Const,
+            width,
+            delay_ns: 0.0,
+            luts: 0,
+            ffs: 0,
+            brams: 0,
+            dsps: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_costs() {
+        let r = Cell::ff("r", 32);
+        assert_eq!(r.ffs, 32);
+        assert!(r.kind.is_sequential());
+
+        let a = Cell::comb("a", 16, 0.6, 16);
+        assert_eq!(a.luts, 16);
+        assert!(a.kind.is_combinational());
+
+        let m = Cell::dsp("m", 32, 2.5, 3);
+        assert_eq!(m.dsps, 3);
+
+        let b = Cell::bram("b", 64, 10);
+        assert_eq!(b.brams, 10);
+        assert!(b.kind.is_sequential());
+    }
+
+    #[test]
+    fn ports_cost_nothing() {
+        for c in [Cell::input("i", 8), Cell::output("o", 8), Cell::constant("c", 8)] {
+            assert_eq!(c.luts + c.ffs + c.brams + c.dsps, 0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(CellKind::Ff.to_string(), "FF");
+        assert_eq!(CellKind::Bram.to_string(), "BRAM");
+    }
+}

@@ -1,0 +1,36 @@
+//! # hlsb-netlist — word-level RTL netlists
+//!
+//! A netlist of word-level cells connected by single-driver nets. This is
+//! the representation shared by RTL generation (`hlsb-rtlgen`), placement
+//! (`hlsb-place`) and static timing analysis (`hlsb-timing`).
+//!
+//! Cells are *word-level*: one [`Cell`] of width 32 stands for a 32-bit
+//! adder, register, etc., and records its own resource cost (LUT/FF/BRAM/
+//! DSP). This keeps netlists small enough to place with simulated annealing
+//! while preserving the fanout *structure* — which is what determines the
+//! broadcast timing behaviour the paper studies.
+//!
+//! # Example
+//!
+//! ```
+//! use hlsb_netlist::{Cell, Netlist};
+//!
+//! let mut nl = Netlist::new("demo");
+//! let src = nl.add_cell(Cell::ff("src", 32));
+//! let a = nl.add_cell(Cell::comb("add_a", 32, 0.6, 32));
+//! let b = nl.add_cell(Cell::comb("add_b", 32, 0.6, 32));
+//! let net = nl.connect(src, &[a, b]);
+//! assert_eq!(nl.net(net).fanout(), 2);
+//! assert_eq!(nl.stats().ffs, 32);
+//! nl.validate().unwrap();
+//! ```
+
+pub mod cell;
+pub mod graph;
+pub mod stats;
+pub mod verilog;
+
+pub use cell::{Cell, CellId, CellKind};
+pub use graph::{Net, NetId, Netlist, NetlistError};
+pub use stats::Stats;
+pub use verilog::to_verilog;

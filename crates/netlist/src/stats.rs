@@ -1,0 +1,118 @@
+//! Resource statistics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Resource totals for a netlist (absolute counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Stats {
+    /// LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 Kb BRAM units.
+    pub brams: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+impl Stats {
+    /// Utilization percentages against device capacities. Order:
+    /// `(lut %, ff %, bram %, dsp %)`.
+    pub fn utilization(
+        &self,
+        luts_cap: u64,
+        ffs_cap: u64,
+        brams_cap: u64,
+        dsps_cap: u64,
+    ) -> (f64, f64, f64, f64) {
+        let pct = |v: u64, cap: u64| {
+            if cap == 0 {
+                0.0
+            } else {
+                100.0 * v as f64 / cap as f64
+            }
+        };
+        (
+            pct(self.luts, luts_cap),
+            pct(self.ffs, ffs_cap),
+            pct(self.brams, brams_cap),
+            pct(self.dsps, dsps_cap),
+        )
+    }
+}
+
+impl Add for Stats {
+    type Output = Stats;
+
+    fn add(self, rhs: Stats) -> Stats {
+        Stats {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, rhs: Stats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT={} FF={} BRAM={} DSP={}",
+            self.luts, self.ffs, self.brams, self.dsps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_accumulates() {
+        let a = Stats {
+            luts: 1,
+            ffs: 2,
+            brams: 3,
+            dsps: 4,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a + a);
+        assert_eq!(b.luts, 2);
+        assert_eq!(b.dsps, 8);
+    }
+
+    #[test]
+    fn utilization_percentages() {
+        let s = Stats {
+            luts: 50,
+            ffs: 25,
+            brams: 10,
+            dsps: 0,
+        };
+        let (l, f, b, d) = s.utilization(100, 100, 100, 100);
+        assert_eq!((l, f, b, d), (50.0, 25.0, 10.0, 0.0));
+        // Zero capacity does not divide by zero.
+        let (_, _, _, d0) = s.utilization(100, 100, 100, 0);
+        assert_eq!(d0, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Stats {
+            luts: 5,
+            ffs: 6,
+            brams: 7,
+            dsps: 8,
+        };
+        assert_eq!(s.to_string(), "LUT=5 FF=6 BRAM=7 DSP=8");
+    }
+}

@@ -1,0 +1,474 @@
+//! Levelized seed placement + simulated-annealing refinement.
+
+use crate::placement::Placement;
+use crate::sites::{site_legal, snap_column};
+use hlsb_fabric::Device;
+use hlsb_netlist::{CellId, CellKind, Netlist};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Moves per cell (total moves = `moves_per_cell * cell_count`,
+    /// clamped to `[min_moves, max_moves]`).
+    pub moves_per_cell: u32,
+    /// Lower bound on total moves.
+    pub min_moves: u32,
+    /// Upper bound on total moves.
+    pub max_moves: u32,
+    /// Geometric cooling factor applied every batch.
+    pub cooling: f64,
+    /// Number of cooling batches.
+    pub batches: u32,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            moves_per_cell: 130,
+            min_moves: 8_000,
+            max_moves: 2_500_000,
+            cooling: 0.90,
+            batches: 70,
+        }
+    }
+}
+
+/// Places a netlist on a device with the default annealing configuration.
+///
+/// # Panics
+///
+/// Panics if the netlist has more cells than the device has sites of the
+/// required kinds.
+pub fn place(netlist: &Netlist, device: &Device, seed: u64) -> Placement {
+    place_with(netlist, device, seed, AnnealConfig::default())
+}
+
+/// Places a netlist with an explicit configuration.
+///
+/// # Panics
+///
+/// Panics if the netlist does not fit on the device grid.
+pub fn place_with(
+    netlist: &Netlist,
+    device: &Device,
+    seed: u64,
+    config: AnnealConfig,
+) -> Placement {
+    let gw = device.grid_w as u16;
+    let gh = device.grid_h as u16;
+    let n = netlist.cell_count();
+    if n == 0 {
+        return Placement::from_locs(Vec::new(), device.grid_w, device.grid_h);
+    }
+    assert!(
+        (n as u64) < u64::from(device.grid_w) * u64::from(device.grid_h) / 2,
+        "netlist ({n} cells) does not fit on {}",
+        device.name
+    );
+
+    // Confine small designs to a proportionate region: spreading a tiny
+    // netlist across the whole die would fabricate wire delay out of thin
+    // air. Real placers pack designs into a fraction of the fabric too.
+    let side = ((3 * n) as f64).sqrt().ceil() as u16 + 4;
+    let rw = side.max(8).min(gw);
+    let rh = side.max(8).min(gh);
+
+    let mut occupied: HashMap<(u16, u16), CellId> = HashMap::with_capacity(n * 2);
+    let mut placement = seed_placement(netlist, gw, gh, rw, rh, &mut occupied);
+    anneal(
+        netlist,
+        &mut placement,
+        &mut occupied,
+        gw,
+        gh,
+        rw.max(rh),
+        seed,
+        config,
+    );
+    placement
+}
+
+/// Dataflow levels by construction order: `level(c) = max(level(d) + 1)`
+/// over drivers `d` with a smaller id (RTL generation emits cells in
+/// pipeline order, so this approximates the logical left-to-right flow and
+/// is well-defined even with sequential feedback).
+fn levels(netlist: &Netlist) -> Vec<u32> {
+    let mut level = vec![0u32; netlist.cell_count()];
+    for (id, _) in netlist.cells() {
+        let mut best = 0;
+        for &net in netlist.input_nets(id) {
+            let d = netlist.net(net).driver;
+            if d.index() < id.index() {
+                best = best.max(level[d.index()] + 1);
+            }
+        }
+        level[id.index()] = best;
+    }
+    level
+}
+
+fn seed_placement(
+    netlist: &Netlist,
+    gw: u16,
+    gh: u16,
+    rw: u16,
+    rh: u16,
+    occupied: &mut HashMap<(u16, u16), CellId>,
+) -> Placement {
+    let level = levels(netlist);
+    let max_level = level.iter().copied().max().unwrap_or(0).max(1);
+    let n = netlist.cell_count();
+
+    // Bucket cells by target column within the [0, rw) x [0, rh) region.
+    let mut by_col: HashMap<u16, Vec<CellId>> = HashMap::new();
+    for (id, cell) in netlist.cells() {
+        let frac = level[id.index()] as f64 / max_level as f64;
+        let x = (frac * f64::from(rw - 1)).round() as u16;
+        let x = snap_column(cell.kind, x, gw);
+        by_col.entry(x).or_default().push(id);
+    }
+
+    let mut locs = vec![(0u16, 0u16); n];
+    let mut cols: Vec<u16> = by_col.keys().copied().collect();
+    cols.sort_unstable();
+    for x in cols {
+        let cells = &by_col[&x];
+        let count = cells.len() as f64;
+        for (i, &c) in cells.iter().enumerate() {
+            let y = (((i as f64 + 0.5) / count) * f64::from(rh)) as u16;
+            let loc = free_site_near(netlist.cell(c).kind, (x, y.min(gh - 1)), gw, gh, occupied);
+            occupied.insert(loc, c);
+            locs[c.index()] = loc;
+        }
+    }
+    Placement::from_locs(locs, u32::from(gw), u32::from(gh))
+}
+
+/// Finds the nearest free legal site to `want` (spiral probe).
+fn free_site_near(
+    kind: CellKind,
+    want: (u16, u16),
+    gw: u16,
+    gh: u16,
+    occupied: &HashMap<(u16, u16), CellId>,
+) -> (u16, u16) {
+    let (wx, wy) = want;
+    for radius in 0..gw.max(gh) {
+        let r = i32::from(radius);
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dx.abs().max(dy.abs()) != r {
+                    continue; // ring only
+                }
+                let x = i32::from(wx) + dx;
+                let y = i32::from(wy) + dy;
+                if x < 0 || y < 0 || x >= i32::from(gw) || y >= i32::from(gh) {
+                    continue;
+                }
+                let loc = (x as u16, y as u16);
+                if site_legal(kind, loc.0) && !occupied.contains_key(&loc) {
+                    return loc;
+                }
+            }
+        }
+    }
+    panic!("no free site for cell kind {kind:?}");
+}
+
+/// Cost of the wiring adjacent to a cell, as *star* wirelength: the sum of
+/// driver-to-sink distances of every arc touching the cell. Unlike HPWL,
+/// this gives every sink of a high-fanout net a gradient toward its driver,
+/// so broadcast clouds compact into the dense `sqrt(fanout)` disc that site
+/// exclusivity permits — the physical effect under study.
+fn adjacent_cost(netlist: &Netlist, placement: &Placement, cell: CellId) -> f64 {
+    let mut cost = 0.0;
+    if let Some(net) = netlist.output_net(cell) {
+        for &s in &netlist.net(net).sinks {
+            cost += placement.dist(cell, s);
+        }
+    }
+    for &net in netlist.input_nets(cell) {
+        cost += placement.dist(netlist.net(net).driver, cell);
+    }
+    cost
+}
+
+#[allow(clippy::too_many_arguments)]
+fn anneal(
+    netlist: &Netlist,
+    placement: &mut Placement,
+    occupied: &mut HashMap<(u16, u16), CellId>,
+    gw: u16,
+    gh: u16,
+    region: u16,
+    seed: u64,
+    config: AnnealConfig,
+) {
+    let n = netlist.cell_count();
+    if n < 2 {
+        return;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let total_moves = (config.moves_per_cell as usize * n)
+        .clamp(config.min_moves as usize, config.max_moves as usize);
+    let moves_per_batch = (total_moves / config.batches.max(1) as usize).max(1);
+
+    // Initial temperature: on the scale of a typical per-move cost delta
+    // (a few grid units), NOT of the region: the levelized seed is already
+    // structured and a hot start would randomize it.
+    let mut temp = 2.0;
+    let mut window = (f64::from(region) * 0.3).max(6.0);
+
+    for _ in 0..config.batches {
+        for _ in 0..moves_per_batch {
+            let a = CellId(rng.gen_range(0..n as u32));
+            let kind_a = netlist.cell(a).kind;
+            let (ax, ay) = placement.loc(a);
+            let w = window.max(2.0) as i32;
+            let tx = (i32::from(ax) + rng.gen_range(-w..=w)).clamp(0, i32::from(gw) - 1) as u16;
+            let ty = (i32::from(ay) + rng.gen_range(-w..=w)).clamp(0, i32::from(gh) - 1) as u16;
+            let target = (snap_column(kind_a, tx, gw), ty);
+            if target == (ax, ay) || !site_legal(kind_a, target.0) {
+                continue;
+            }
+
+            let other = occupied.get(&target).copied();
+            if let Some(b) = other {
+                // Swap legality: b must be allowed at a's site.
+                if !site_legal(netlist.cell(b).kind, ax) {
+                    continue;
+                }
+                let before = adjacent_cost(netlist, placement, a)
+                    + adjacent_cost(netlist, placement, b);
+                placement.set_loc(a, target);
+                placement.set_loc(b, (ax, ay));
+                let after = adjacent_cost(netlist, placement, a)
+                    + adjacent_cost(netlist, placement, b);
+                let delta = after - before;
+                if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+                    occupied.insert(target, a);
+                    occupied.insert((ax, ay), b);
+                } else {
+                    placement.set_loc(a, (ax, ay));
+                    placement.set_loc(b, target);
+                }
+            } else {
+                let before = adjacent_cost(netlist, placement, a);
+                placement.set_loc(a, target);
+                let after = adjacent_cost(netlist, placement, a);
+                let delta = after - before;
+                if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+                    occupied.remove(&(ax, ay));
+                    occupied.insert(target, a);
+                } else {
+                    placement.set_loc(a, (ax, ay));
+                }
+            }
+        }
+        temp *= config.cooling;
+        window = (window * 0.93).max(2.0);
+    }
+
+    polish(netlist, placement, occupied, gw, gh);
+}
+
+/// Zero-temperature polish: every cell is offered its neighbourhood-median
+/// site (the star-wirelength optimum); the move — or a swap with the
+/// occupant — is taken when total adjacent wirelength drops. This kills
+/// the distance *outliers* annealing leaves behind, which otherwise set
+/// the critical path of deep pipelines.
+fn polish(
+    netlist: &Netlist,
+    placement: &mut Placement,
+    occupied: &mut HashMap<(u16, u16), CellId>,
+    gw: u16,
+    gh: u16,
+) {
+    for _sweep in 0..3 {
+        let mut improved = false;
+        for (a, cell) in netlist.cells() {
+            let Some(target) = median_site(netlist, placement, a, cell.kind, gw, gh) else {
+                continue;
+            };
+            let old = placement.loc(a);
+            if target == old {
+                continue;
+            }
+            match occupied.get(&target).copied() {
+                None => {
+                    let before = adjacent_cost(netlist, placement, a);
+                    placement.set_loc(a, target);
+                    let after = adjacent_cost(netlist, placement, a);
+                    if after < before {
+                        occupied.remove(&old);
+                        occupied.insert(target, a);
+                        improved = true;
+                    } else {
+                        placement.set_loc(a, old);
+                    }
+                }
+                Some(b) => {
+                    if b == a || !site_legal(netlist.cell(b).kind, old.0) {
+                        continue;
+                    }
+                    let before = adjacent_cost(netlist, placement, a)
+                        + adjacent_cost(netlist, placement, b);
+                    placement.set_loc(a, target);
+                    placement.set_loc(b, old);
+                    let after = adjacent_cost(netlist, placement, a)
+                        + adjacent_cost(netlist, placement, b);
+                    if after < before {
+                        occupied.insert(target, a);
+                        occupied.insert(old, b);
+                        improved = true;
+                    } else {
+                        placement.set_loc(a, old);
+                        placement.set_loc(b, target);
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// The legal site closest to the median of a cell's connected neighbours.
+fn median_site(
+    netlist: &Netlist,
+    placement: &Placement,
+    cell: CellId,
+    kind: CellKind,
+    gw: u16,
+    gh: u16,
+) -> Option<(u16, u16)> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &net in netlist.input_nets(cell) {
+        let d = netlist.net(net).driver;
+        if d != cell {
+            let (x, y) = placement.loc(d);
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    if let Some(net) = netlist.output_net(cell) {
+        for &s in &netlist.net(net).sinks {
+            if s != cell {
+                let (x, y) = placement.loc(s);
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_unstable();
+    ys.sort_unstable();
+    let x = snap_column(kind, xs[xs.len() / 2], gw);
+    Some((x, ys[ys.len() / 2].min(gh - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_netlist::Cell;
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_cell(Cell::ff("c0", 8));
+        for i in 1..n {
+            let c = nl.add_cell(Cell::comb(format!("c{i}"), 8, 0.4, 8));
+            nl.connect(prev, &[c]);
+            prev = c;
+        }
+        nl
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let nl = chain(50);
+        let d = Device::ultrascale_plus_vu9p();
+        let p1 = place(&nl, &d, 7);
+        let p2 = place(&nl, &d, 7);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let nl = chain(50);
+        let d = Device::ultrascale_plus_vu9p();
+        let p1 = place(&nl, &d, 1);
+        let p2 = place(&nl, &d, 2);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn all_cells_in_bounds_and_exclusive() {
+        let nl = chain(200);
+        let d = Device::zynq_zc706();
+        let p = place(&nl, &d, 3);
+        assert!(p.in_bounds());
+        let mut seen = std::collections::HashSet::new();
+        for (id, _) in nl.cells() {
+            assert!(seen.insert(p.loc(id)), "site collision at {:?}", p.loc(id));
+        }
+    }
+
+    #[test]
+    fn bram_cells_sit_in_bram_columns() {
+        let mut nl = Netlist::new("mem");
+        let src = nl.add_cell(Cell::ff("src", 32));
+        let brams: Vec<_> = (0..20)
+            .map(|i| nl.add_cell(Cell::bram(format!("b{i}"), 32, 4)))
+            .collect();
+        nl.connect(src, &brams);
+        let d = Device::ultrascale_plus_vu9p();
+        let p = place(&nl, &d, 11);
+        for &b in &brams {
+            assert!(site_legal(CellKind::Bram, p.loc(b).0));
+        }
+    }
+
+    #[test]
+    fn annealing_does_not_blow_up_wirelength() {
+        // The annealer should leave a short chain reasonably compact.
+        let nl = chain(30);
+        let d = Device::ultrascale_plus_vu9p();
+        let p = place(&nl, &d, 5);
+        let total = p.total_hpwl(&nl);
+        assert!(total < 30.0 * 40.0, "chain HPWL {total} looks unoptimized");
+    }
+
+    #[test]
+    fn broadcast_sinks_must_spread() {
+        // 64 sinks of one net cannot all sit adjacent to the driver:
+        // exclusivity forces a spread that grows with fanout.
+        let mut nl = Netlist::new("bcast");
+        let src = nl.add_cell(Cell::ff("src", 32));
+        let sinks: Vec<_> = (0..64)
+            .map(|i| nl.add_cell(Cell::comb(format!("s{i}"), 32, 0.4, 32)))
+            .collect();
+        nl.connect(src, &sinks);
+        let d = Device::ultrascale_plus_vu9p();
+        let p = place(&nl, &d, 9);
+        let max_dist = sinks
+            .iter()
+            .map(|&s| p.dist(src, s))
+            .fold(0.0f64, f64::max);
+        assert!(max_dist >= 4.0, "64 exclusive sites imply spread, got {max_dist}");
+    }
+
+    #[test]
+    fn empty_netlist_is_ok() {
+        let nl = Netlist::new("empty");
+        let p = place(&nl, &Device::virtex7(), 0);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Site legality rules.
+//!
+//! Real FPGAs dedicate whole columns to BRAM and DSP resources; logic can
+//! go anywhere else. Forcing memories and multipliers into columns is part
+//! of why large buffers scatter physically (paper §3.1, example #2).
+
+use hlsb_netlist::CellKind;
+
+/// Column period of BRAM columns (one in every `BRAM_COL_PERIOD` columns).
+pub const BRAM_COL_PERIOD: u16 = 10;
+/// Column offset of BRAM columns within the period.
+pub const BRAM_COL_OFFSET: u16 = 4;
+/// Column period of DSP columns.
+pub const DSP_COL_PERIOD: u16 = 10;
+/// Column offset of DSP columns within the period.
+pub const DSP_COL_OFFSET: u16 = 8;
+
+/// Whether a cell of the given kind may be placed at column `x`.
+pub fn site_legal(kind: CellKind, x: u16) -> bool {
+    match kind {
+        CellKind::Bram => x % BRAM_COL_PERIOD == BRAM_COL_OFFSET,
+        CellKind::Dsp => x % DSP_COL_PERIOD == DSP_COL_OFFSET,
+        // Logic, registers, ports and constants can go anywhere outside
+        // the dedicated columns.
+        _ => x % BRAM_COL_PERIOD != BRAM_COL_OFFSET && x % DSP_COL_PERIOD != DSP_COL_OFFSET,
+    }
+}
+
+/// Snaps column `x` to the nearest legal column for `kind` on a grid of
+/// width `grid_w`.
+pub fn snap_column(kind: CellKind, x: u16, grid_w: u16) -> u16 {
+    if site_legal(kind, x) {
+        return x.min(grid_w - 1);
+    }
+    for d in 1..grid_w {
+        let lo = x.saturating_sub(d);
+        if site_legal(kind, lo) {
+            return lo;
+        }
+        let hi = x.saturating_add(d).min(grid_w - 1);
+        if site_legal(kind, hi) {
+            return hi;
+        }
+    }
+    x.min(grid_w - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_and_dsp_columns_disjoint() {
+        for x in 0..100u16 {
+            assert!(
+                !(site_legal(CellKind::Bram, x) && site_legal(CellKind::Dsp, x)),
+                "column {x} legal for both"
+            );
+        }
+    }
+
+    #[test]
+    fn logic_avoids_dedicated_columns() {
+        assert!(!site_legal(CellKind::Comb, BRAM_COL_OFFSET));
+        assert!(!site_legal(CellKind::Ff, DSP_COL_OFFSET));
+        assert!(site_legal(CellKind::Comb, 0));
+    }
+
+    #[test]
+    fn snap_reaches_legal_column() {
+        for x in 0..60u16 {
+            let b = snap_column(CellKind::Bram, x, 60);
+            assert!(site_legal(CellKind::Bram, b), "x={x} snapped to {b}");
+            let d = snap_column(CellKind::Dsp, x, 60);
+            assert!(site_legal(CellKind::Dsp, d), "x={x} snapped to {d}");
+            let l = snap_column(CellKind::Comb, x, 60);
+            assert!(site_legal(CellKind::Comb, l), "x={x} snapped to {l}");
+        }
+    }
+
+    #[test]
+    fn snap_stays_in_bounds() {
+        assert!(snap_column(CellKind::Bram, 59, 60) < 60);
+    }
+}

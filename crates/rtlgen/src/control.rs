@@ -1,0 +1,223 @@
+//! Control-logic generation: stall broadcast, skid-buffer control, and
+//! parallel-module synchronization.
+
+use crate::datapath::LoopArtifacts;
+use crate::lower::{Ctx, ScheduledLoop};
+use crate::options::ControlStyle;
+use hlsb_ctrl::min_area_split;
+use hlsb_netlist::{Cell, CellId};
+use hlsb_sync::prune::{prune_sync, ModuleSync};
+
+/// Fan-in per level of status/done reduce trees.
+const REDUCE_FANIN: usize = 6;
+
+/// Builds a combinational reduce tree over 1-bit drivers, returning the
+/// root cell. Single drivers are returned as-is.
+pub(crate) fn reduce_tree(ctx: &mut Ctx<'_>, drivers: &[CellId], name: &str) -> CellId {
+    assert!(!drivers.is_empty(), "reduce tree needs inputs");
+    let mut level: Vec<CellId> = drivers.to_vec();
+    let mut lvl = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(REDUCE_FANIN));
+        for (gi, grp) in level.chunks(REDUCE_FANIN).enumerate() {
+            let and = ctx
+                .nl
+                .add_cell(Cell::comb(format!("{name}_red{lvl}_{gi}"), 1, 0.25, 1));
+            for &g in grp {
+                ctx.nl.connect(g, &[and]);
+            }
+            next.push(and);
+        }
+        level = next;
+        lvl += 1;
+    }
+    level[0]
+}
+
+/// A 1-bit status register fed by `src` (e.g. a FIFO occupancy flag).
+fn status_ff(ctx: &mut Ctx<'_>, src: CellId, name: String) -> CellId {
+    let ff = ctx.nl.add_cell(Cell::ff(name, 1));
+    ctx.nl.connect(src, &[ff]);
+    ff
+}
+
+/// Attaches pipeline flow control to a lowered loop.
+pub(crate) fn attach_pipeline_control(
+    ctx: &mut Ctx<'_>,
+    sl: &ScheduledLoop,
+    art: &LoopArtifacts,
+) {
+    if !sl.looop.is_pipelined() {
+        return;
+    }
+    match ctx.options.control {
+        ControlStyle::Stall => attach_stall(ctx, art),
+        ControlStyle::Skid { min_area } => attach_skid(ctx, sl, art, min_area),
+    }
+}
+
+/// Conventional control (Fig. 8): the FIFO empty/full statuses reduce into
+/// one stall signal that fans out to **every** register of the loop — and,
+/// for memory loops, to every BRAM bank (Fig. 18's enable broadcast).
+fn attach_stall(ctx: &mut Ctx<'_>, art: &LoopArtifacts) {
+    // Status sources: one register per FIFO endpoint used by the loop.
+    let mut statuses = Vec::new();
+    for (i, &fid) in art.fifos.iter().enumerate() {
+        let cell = ctx.fifo_cell(fid);
+        statuses.push(status_ff(ctx, cell, format!("stall_status{i}")));
+    }
+    if statuses.is_empty() {
+        // Loops without FIFOs still carry an FSM-generated enable.
+        statuses.push(ctx.nl.add_cell(Cell::ff("stall_fsm", 1)));
+    }
+    let root = reduce_tree(ctx, &statuses, "stall");
+
+    // The broadcast: every pipeline register plus the banks of every
+    // accessed array listen to the (combinational!) stall signal.
+    let mut sinks: Vec<CellId> = art.loop_ffs.clone();
+    for &aid in &art.arrays {
+        sinks.extend(ctx.array_banks[aid.index()].iter().copied());
+    }
+    for &fid in &art.fifos {
+        sinks.push(ctx.fifo_cell(fid));
+    }
+    if sinks.is_empty() {
+        return;
+    }
+    ctx.nl.connect(root, &sinks);
+    ctx.info.max_control_fanout = ctx.info.max_control_fanout.max(sinks.len());
+}
+
+/// Skid-buffer control (Fig. 11/12): per-stage valid bits (fanout 1), skid
+/// buffers at the DP-chosen cut points, and a small gate on the first
+/// stage only. The datapath registers are free-running — no enable net.
+fn attach_skid(ctx: &mut Ctx<'_>, sl: &ScheduledLoop, art: &LoopArtifacts, min_area: bool) {
+    let depth = sl.schedule.depth as usize;
+
+    // Valid-bit chain.
+    let mut valid = Vec::with_capacity(depth);
+    let mut prev: Option<CellId> = None;
+    for s in 0..depth {
+        let v = ctx.nl.add_cell(Cell::ff(format!("valid{s}"), 1));
+        if let Some(p) = prev {
+            ctx.nl.connect(p, &[v]);
+        }
+        prev = Some(v);
+        valid.push(v);
+    }
+
+    // Buffer cut points.
+    let widths = &art.stage_widths;
+    let cuts: Vec<usize> = if min_area {
+        min_area_split(widths).cuts
+    } else if depth > 0 {
+        vec![depth]
+    } else {
+        vec![]
+    };
+
+    // The gate feedback is registered (see below), which costs two extra
+    // cycles of in-flight slack per buffer.
+    const GATE_PIPELINE: u64 = 2;
+
+    let mut status_ffs = Vec::new();
+    let mut prev_cut = 0usize;
+    for (ci, &cut) in cuts.iter().enumerate() {
+        let seg_len = cut - prev_cut;
+        let width = widths[cut - 1];
+        let bits = (seg_len as u64 + 1 + GATE_PIPELINE) * width;
+        ctx.info.skid_buffer_bits += bits;
+        let buf = if bits >= 4096 {
+            let mut c = Cell::bram(format!("skid{ci}"), width.min(1 << 16) as u32, 0);
+            c.brams = bits.div_ceil(36_864) as u32;
+            ctx.nl.add_cell(c)
+        } else {
+            let mut c = Cell::ff(format!("skid{ci}"), width.min(1 << 16) as u32);
+            c.ffs = bits.min(u64::from(u32::MAX)) as u32;
+            ctx.nl.add_cell(c)
+        };
+        // The valid bit at the cut feeds the buffer (write side); the
+        // buffer's occupancy flag is registered for the gate.
+        if let Some(&v) = valid.get(cut.saturating_sub(1)) {
+            ctx.nl.connect(v, &[buf]);
+        }
+        status_ffs.push(status_ff(ctx, buf, format!("skid{ci}_status")));
+        prev_cut = cut;
+    }
+
+    // Front gate: tiny fanout — the entry registers and the first valid
+    // bit only. Unlike the stall broadcast, the gate feedback tolerates
+    // latency (the buffers carry GATE_PIPELINE cycles of extra slack), so
+    // it is *registered* twice on its way to the front — a pipelineable,
+    // duplicable net instead of a single-cycle combinational broadcast.
+    if !status_ffs.is_empty() {
+        let gate = reduce_tree(ctx, &status_ffs, "gate");
+        let g1 = ctx.nl.add_cell(Cell::ff("gate_p1", 1));
+        ctx.nl.connect(gate, &[g1]);
+        let g2 = ctx.nl.add_cell(Cell::ff("gate_p2", 1));
+        ctx.nl.connect(g1, &[g2]);
+        let mut sinks: Vec<CellId> = art.entry_ffs.clone();
+        if let Some(&v0) = valid.first() {
+            sinks.push(v0);
+        }
+        if !sinks.is_empty() {
+            ctx.nl.connect(g2, &sinks);
+            ctx.info.max_control_fanout = ctx.info.max_control_fanout.max(sinks.len());
+        }
+    }
+}
+
+/// Synchronization of parallel PE calls (Fig. 6b): each PE raises `done`;
+/// the controller AND-reduces the waited set and broadcasts `start` to
+/// every PE's input registers. With pruning, only the longest static
+/// latency is waited on (§4.2).
+pub(crate) fn attach_call_sync(ctx: &mut Ctx<'_>, art: &LoopArtifacts) {
+    if art.calls.len() < 2 {
+        return;
+    }
+    ctx.info.sync_inputs += art.calls.len();
+
+    let modules: Vec<ModuleSync> = art
+        .calls
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ModuleSync {
+            name: format!("pe{i}"),
+            latency: c.static_latency,
+        })
+        .collect();
+    let plan = if ctx.options.sync_pruning {
+        prune_sync(&modules)
+    } else {
+        hlsb_sync::SyncPlan {
+            wait: (0..modules.len()).collect(),
+            pruned: vec![],
+        }
+    };
+    ctx.info.sync_waited += plan.wait.len();
+
+    // Done registers for the waited PEs.
+    let dones: Vec<CellId> = plan
+        .wait
+        .iter()
+        .map(|&i| {
+            let result = art.calls[i].result;
+            status_ff(ctx, result, format!("pe{i}_done"))
+        })
+        .collect();
+    let all_done = reduce_tree(ctx, &dones, "sync");
+
+    // Start broadcast to every PE's entry registers. The reduce root is
+    // combinational: it cannot be register-duplicated by physical
+    // optimization — the paper's point about why pruning must happen at
+    // the behaviour level.
+    let sinks: Vec<CellId> = art
+        .calls
+        .iter()
+        .flat_map(|c| c.entry_ffs.iter().copied())
+        .collect();
+    if !sinks.is_empty() {
+        ctx.nl.connect(all_done, &sinks);
+        ctx.info.max_control_fanout = ctx.info.max_control_fanout.max(sinks.len());
+    }
+}

@@ -1,0 +1,138 @@
+//! Structural metadata of a lowered design.
+
+use hlsb_ir::{Loop, OpKind};
+use hlsb_sched::Schedule;
+
+/// Metadata collected while lowering, consumed by the bench harness and
+/// the integration tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LowerInfo {
+    /// Total pipeline stages across all lowered loops.
+    pub pipeline_stages: u32,
+    /// Bits of skid-buffer storage instantiated (0 for stall control).
+    pub skid_buffer_bits: u64,
+    /// Largest fanout of any control (stall/start) net.
+    pub max_control_fanout: usize,
+    /// Largest fanout of any memory data/address broadcast net.
+    pub max_memory_fanout: usize,
+    /// Number of done signals entering sync reduce trees (before pruning).
+    pub sync_inputs: usize,
+    /// Number of done signals actually waited on (after pruning).
+    pub sync_waited: usize,
+    /// Per-loop inter-stage widths (bits), as used by the min-area DP.
+    pub stage_width_profiles: Vec<Vec<u64>>,
+}
+
+/// Inter-stage data widths of a scheduled loop: entry `b` is the number of
+/// live bits crossing the boundary at the end of cycle `b` (0-based), for
+/// `b` in `0..depth`. The final entry is the loop's output width.
+///
+/// A value is live across boundary `b` if it is produced in or before
+/// cycle `b` and consumed after `b`; `Output` values stay live to the end
+/// of the pipeline. This is exactly the data the paper's Fig. 17 plots and
+/// the min-area skid-buffer DP consumes.
+pub fn stage_widths(lp: &Loop, schedule: &Schedule) -> Vec<u64> {
+    let depth = schedule.depth as usize;
+    let dfg = &lp.body;
+    let mut widths = vec![0u64; depth];
+
+    for (id, inst) in dfg.iter() {
+        if inst.kind.is_sink() && !matches!(inst.kind, OpKind::Output) {
+            continue; // stores/FIFO writes produce no live value
+        }
+        let op = schedule.op(id);
+        let done = op.done_cycle() as usize;
+        // A latent operation (register, BRAM, multi-cycle operator) holds
+        // the value across the boundaries it spans; combinational values
+        // only occupy storage once transported to a later cycle.
+        let start = if op.latency >= 1 {
+            op.cycle as usize
+        } else {
+            done
+        };
+        // Last cycle in which the value is read.
+        let mut last_use = done;
+        for &u in dfg.users(id) {
+            last_use = last_use.max(schedule.op(u).cycle as usize);
+        }
+        if matches!(inst.kind, OpKind::Output) {
+            // Outputs remain live through the end of the pipeline.
+            last_use = depth;
+        }
+        for w in widths.iter_mut().take(last_use.min(depth)).skip(start) {
+            *w += u64::from(inst.ty.bits());
+        }
+    }
+
+    // The last boundary (pipeline output) must at least carry the outputs.
+    if depth > 0 && widths[depth - 1] == 0 {
+        let out_bits: u64 = dfg
+            .iter()
+            .filter(|(_, i)| matches!(i.kind, OpKind::Output))
+            .map(|(_, i)| u64::from(i.ty.bits()))
+            .sum();
+        widths[depth - 1] = out_bits.max(1);
+    }
+    for w in &mut widths {
+        *w = (*w).max(1);
+    }
+    widths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_delay::HlsPredictedModel;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::DataType;
+    use hlsb_sched::schedule_loop;
+
+    #[test]
+    fn widths_track_live_values() {
+        // in(32) -> add -> reg -> reg -> out: value stays live across all
+        // boundaries; each boundary carries 32 bits (+ the still-live input
+        // where applicable).
+        let mut b = DesignBuilder::new("w");
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("l", 4, 1);
+        let a = l.varying_input("a", DataType::Int(32));
+        let c = l.varying_input("c", DataType::Int(32));
+        let s = l.add(a, c);
+        let r1 = l.reg(s);
+        let r2 = l.reg(r1);
+        l.output("o", r2);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid");
+        let lp = &d.kernels[0].loops[0];
+        let sched = schedule_loop(lp, &d, &HlsPredictedModel::new(), 3.33);
+        let widths = stage_widths(lp, &sched);
+        assert_eq!(widths.len(), sched.depth as usize);
+        // Every boundary carries exactly one 32-bit live value.
+        assert!(widths.iter().all(|&w| w == 32), "{widths:?}");
+    }
+
+    #[test]
+    fn waist_shows_up() {
+        // Wide input collapses to a 1-bit flag mid-pipeline, then the flag
+        // is carried to the end: the waist must appear in the profile.
+        let mut b = DesignBuilder::new("waist");
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("l", 4, 1);
+        let a = l.varying_input("a", DataType::Int(512));
+        let c = l.varying_input("c", DataType::Int(512));
+        let cmpv = l.cmp(hlsb_ir::CmpPred::Lt, a, c); // 1 bit
+        let r1 = l.reg(cmpv);
+        let r2 = l.reg(r1);
+        l.output("o", r2);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid");
+        let lp = &d.kernels[0].loops[0];
+        let sched = schedule_loop(lp, &d, &HlsPredictedModel::new(), 3.33);
+        let widths = stage_widths(lp, &sched);
+        let last = *widths.last().unwrap();
+        assert_eq!(last, 1, "{widths:?}");
+        assert!(widths[0] >= 1);
+    }
+}

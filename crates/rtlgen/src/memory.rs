@@ -1,0 +1,159 @@
+//! Memory subsystem lowering: BRAM banks, broadcast nets, distribution and
+//! collection trees.
+//!
+//! A large array maps to many physically scattered BRAM units (paper §3.1,
+//! example #2). Its write port is a *data/address broadcast* from the
+//! source cell to every bank; its read port is a *collection* multiplexer
+//! tree. When broadcast-aware scheduling planned extra stages
+//! ([`hlsb_sched::MemAccessPlan`]), the broadcast goes through a register
+//! tree (whose register levels physical fanout optimization can further
+//! duplicate) and the mux tree is registered per level.
+
+use crate::datapath::LoopArtifacts;
+use crate::lower::Ctx;
+use hlsb_ir::{Array, ArrayId};
+use hlsb_netlist::{Cell, CellId, Netlist};
+
+/// Max 36 Kb units represented by one bank cell (keeps huge arrays within
+/// a placeable cell count while preserving the broadcast structure).
+const UNITS_PER_CELL_TARGET: usize = 192;
+
+/// Fan-in of one level of the read-collection mux tree.
+const MUX_FANIN: usize = 6;
+
+/// Creates the bank cells of an array.
+pub(crate) fn make_banks(nl: &mut Netlist, array: &Array) -> Vec<CellId> {
+    let units = array.bram_units();
+    if units == 0 {
+        // Completely partitioned array: register file, one FF cell.
+        let ff = nl.add_cell(Cell::ff(
+            format!("arr_{}_regs", array.name),
+            (array.total_bits()).min(u64::from(u32::MAX)) as u32,
+        ));
+        return vec![ff];
+    }
+    let group = units.div_ceil(UNITS_PER_CELL_TARGET).max(1);
+    let cells = units.div_ceil(group);
+    (0..cells)
+        .map(|i| {
+            let u = group.min(units - i * group);
+            nl.add_cell(Cell::bram(
+                format!("arr_{}_bank{i}", array.name),
+                array.elem.bits(),
+                u as u32,
+            ))
+        })
+        .collect()
+}
+
+/// Connects `driver` to all `sinks` through `stages` levels of register
+/// tree (0 stages = direct broadcast). Returns the created registers.
+fn distribution_tree(
+    ctx: &mut Ctx<'_>,
+    driver: CellId,
+    sinks: &[CellId],
+    stages: u32,
+    name: &str,
+    art: &mut LoopArtifacts,
+) {
+    if stages == 0 || sinks.len() <= 2 {
+        ctx.nl.connect(driver, sinks);
+        ctx.info.max_memory_fanout = ctx.info.max_memory_fanout.max(sinks.len());
+        return;
+    }
+    // Branching factor so that `stages` register levels reach every sink.
+    let b = (sinks.len() as f64)
+        .powf(1.0 / f64::from(stages + 1))
+        .ceil()
+        .max(2.0) as usize;
+    let mut level: Vec<CellId> = vec![driver];
+    let width = ctx.nl.cell(driver).width;
+    for s in 0..stages {
+        let next_count = (level.len() * b).min(sinks.len());
+        let mut next = Vec::with_capacity(next_count);
+        for i in 0..next_count {
+            let ff = ctx
+                .nl
+                .add_cell(Cell::ff(format!("{name}_dist{s}_{i}"), width));
+            art.loop_ffs.push(ff);
+            next.push(ff);
+        }
+        // Each parent drives an even share of the next level.
+        for (i, &ff) in next.iter().enumerate() {
+            let parent = level[i * level.len() / next.len().max(1)];
+            ctx.nl.connect(parent, &[ff]);
+        }
+        level = next;
+    }
+    // Final level drives the banks.
+    for (i, &sink) in sinks.iter().enumerate() {
+        let parent = level[i * level.len() / sinks.len()];
+        ctx.nl.connect(parent, &[sink]);
+    }
+    let worst = sinks.len().div_ceil(level.len()).max(b);
+    ctx.info.max_memory_fanout = ctx.info.max_memory_fanout.max(worst);
+}
+
+/// Lowers a store: address and data broadcast to every bank.
+pub(crate) fn lower_store(
+    ctx: &mut Ctx<'_>,
+    aid: ArrayId,
+    addr: CellId,
+    data: CellId,
+    extra_stages: u32,
+    name: &str,
+    art: &mut LoopArtifacts,
+) {
+    let banks = ctx.array_banks[aid.index()].clone();
+    distribution_tree(ctx, data, &banks, extra_stages, &format!("{name}_d"), art);
+    distribution_tree(ctx, addr, &banks, extra_stages, &format!("{name}_a"), art);
+}
+
+/// Lowers a load: address broadcast plus a collection mux tree over the
+/// banks' read data. Returns the cell producing the loaded value.
+pub(crate) fn lower_load(
+    ctx: &mut Ctx<'_>,
+    aid: ArrayId,
+    addr: CellId,
+    extra_stages: u32,
+    name: &str,
+    art: &mut LoopArtifacts,
+) -> CellId {
+    let banks = ctx.array_banks[aid.index()].clone();
+    distribution_tree(ctx, addr, &banks, extra_stages, &format!("{name}_a"), art);
+    ctx.info.max_memory_fanout = ctx.info.max_memory_fanout.max(banks.len());
+
+    // Collection tree: groups of MUX_FANIN banks per mux cell; registered
+    // per level when extra stages were planned.
+    let width = ctx.nl.cell(banks[0]).width;
+    let registered = extra_stages >= 1;
+    let mut level = banks;
+    let mut lvl_idx = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(MUX_FANIN));
+        for (gi, grp) in level.chunks(MUX_FANIN).enumerate() {
+            let mux = ctx.nl.add_cell(Cell::comb(
+                format!("{name}_mux{lvl_idx}_{gi}"),
+                width,
+                0.35,
+                width,
+            ));
+            for &g in grp {
+                ctx.nl.connect(g, &[mux]);
+            }
+            if registered {
+                let ff = ctx
+                    .nl
+                    .add_cell(Cell::ff(format!("{name}_muxq{lvl_idx}_{gi}"), width));
+                ctx.nl.connect(mux, &[ff]);
+                art.loop_ffs.push(ff);
+                next.push(ff);
+            } else {
+                next.push(mux);
+            }
+        }
+        level = next;
+        lvl_idx += 1;
+    }
+    level[0]
+}

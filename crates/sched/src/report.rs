@@ -1,0 +1,324 @@
+//! Schedule reports — the structure the paper's tool parses.
+//!
+//! The paper injects its calibration by parsing "the HLS scheduling
+//! reports, which include the LLVM instructions annotated with scheduled
+//! state/cycle, estimated delay, etc." (§4.1). [`ScheduleReport`] is the
+//! equivalent artifact in this reproduction: a per-instruction table with
+//! cycle, estimated delay, RAW dependencies and the same-cycle broadcast
+//! factor derived from them.
+
+use crate::schedule::Schedule;
+use hlsb_ir::{Dfg, InstId};
+use std::fmt;
+
+/// One row of the schedule report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportEntry {
+    /// Instruction id.
+    pub inst: InstId,
+    /// Operation mnemonic (e.g. `sub`, `fifo.read`).
+    pub op: String,
+    /// Variable name, if the source carried one.
+    pub name: String,
+    /// Scheduled start cycle ("state").
+    pub cycle: u32,
+    /// Latency in cycles.
+    pub latency: u32,
+    /// Estimated combinational delay used by the scheduler, ns.
+    pub est_delay_ns: f64,
+    /// RAW dependencies (operands).
+    pub raw_deps: Vec<InstId>,
+    /// Same-cycle readers of this instruction's result (the broadcast
+    /// factor of §4.1).
+    pub broadcast_factor: usize,
+}
+
+/// A complete schedule report for one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Loop name.
+    pub loop_name: String,
+    /// Rows in instruction order.
+    pub entries: Vec<ReportEntry>,
+    /// Pipeline depth in cycles.
+    pub depth: u32,
+    /// Initiation interval.
+    pub ii: u32,
+}
+
+impl ScheduleReport {
+    /// Builds the report from a schedule and its dataflow graph.
+    pub fn from_schedule(loop_name: &str, dfg: &Dfg, schedule: &Schedule) -> Self {
+        let entries = dfg
+            .iter()
+            .map(|(id, inst)| {
+                let op = schedule.op(id);
+                ReportEntry {
+                    inst: id,
+                    op: inst.kind.to_string(),
+                    name: inst.name.clone(),
+                    cycle: op.cycle,
+                    latency: op.latency,
+                    est_delay_ns: op.est_delay_ns,
+                    raw_deps: inst.operands.clone(),
+                    broadcast_factor: schedule.same_cycle_readers(dfg, id),
+                }
+            })
+            .collect();
+        ScheduleReport {
+            loop_name: loop_name.to_string(),
+            entries,
+            depth: schedule.depth,
+            ii: schedule.ii,
+        }
+    }
+
+    /// Entries whose result is broadcast to at least `threshold` same-cycle
+    /// readers — the candidates broadcast-aware scheduling inspects.
+    pub fn broadcasts(&self, threshold: usize) -> impl Iterator<Item = &ReportEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.broadcast_factor >= threshold)
+    }
+}
+
+impl fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== schedule report: {} (depth {}, II {}) ==",
+            self.loop_name, self.depth, self.ii
+        )?;
+        writeln!(
+            f,
+            "{:>5} {:<10} {:>5} {:>4} {:>9} {:>4}  deps",
+            "inst", "op", "cycle", "lat", "delay(ns)", "bf"
+        )?;
+        for e in &self.entries {
+            let deps: Vec<String> = e.raw_deps.iter().map(ToString::to_string).collect();
+            writeln!(
+                f,
+                "{:>5} {:<10} {:>5} {:>4} {:>9.2} {:>4}  {}",
+                e.inst.to_string(),
+                e.op,
+                e.cycle,
+                e.latency,
+                e.est_delay_ns,
+                e.broadcast_factor,
+                deps.join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// An error from [`ScheduleReport::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseReportError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseReportError {}
+
+impl ScheduleReport {
+    /// Parses the textual form produced by the `Display` implementation —
+    /// the same workflow as the paper's tool, which consumes the HLS
+    /// scheduling report as text (§4.1). Names are not recoverable from
+    /// the text and parse as empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseReportError`] with the offending line on malformed
+    /// input.
+    pub fn parse(text: &str) -> Result<ScheduleReport, ParseReportError> {
+        let err = |line: usize, message: &str| ParseReportError {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = text.lines().enumerate();
+
+        // Header: "== schedule report: <name> (depth D, II I) =="
+        let (hline, header) = lines
+            .next()
+            .ok_or_else(|| err(1, "empty report"))?;
+        let header = header
+            .strip_prefix("== schedule report: ")
+            .and_then(|h| h.strip_suffix(" =="))
+            .ok_or_else(|| err(hline + 1, "missing report header"))?;
+        let open = header
+            .rfind('(')
+            .ok_or_else(|| err(hline + 1, "missing (depth, II)"))?;
+        let loop_name = header[..open].trim().to_string();
+        let meta = header[open + 1..].trim_end_matches(')');
+        let mut depth = 0u32;
+        let mut ii = 0u32;
+        for part in meta.split(',') {
+            let part = part.trim();
+            if let Some(d) = part.strip_prefix("depth ") {
+                depth = d.parse().map_err(|_| err(hline + 1, "bad depth"))?;
+            } else if let Some(i) = part.strip_prefix("II ") {
+                ii = i.parse().map_err(|_| err(hline + 1, "bad II"))?;
+            }
+        }
+
+        // Column header line.
+        lines.next();
+
+        let mut entries = Vec::new();
+        for (lno, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            if cols.len() < 6 {
+                return Err(err(lno + 1, "too few columns"));
+            }
+            let inst_num: u32 = cols[0]
+                .trim_start_matches('%')
+                .parse()
+                .map_err(|_| err(lno + 1, "bad instruction id"))?;
+            let parse_u32 = |s: &str, what: &str| {
+                s.parse::<u32>()
+                    .map_err(|_| err(lno + 1, &format!("bad {what}")))
+            };
+            let raw_deps = if cols.len() > 6 {
+                cols[6]
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim_start_matches('%')
+                            .parse::<u32>()
+                            .map(InstId)
+                            .map_err(|_| err(lno + 1, "bad dependency"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            } else {
+                Vec::new()
+            };
+            entries.push(ReportEntry {
+                inst: InstId(inst_num),
+                op: cols[1].to_string(),
+                name: String::new(),
+                cycle: parse_u32(cols[2], "cycle")?,
+                latency: parse_u32(cols[3], "latency")?,
+                est_delay_ns: cols[4]
+                    .parse()
+                    .map_err(|_| err(lno + 1, "bad delay"))?,
+                raw_deps,
+                broadcast_factor: parse_u32(cols[5], "broadcast factor")? as usize,
+            });
+        }
+        Ok(ScheduleReport {
+            loop_name,
+            entries,
+            depth,
+            ii,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_sched::schedule_loop;
+    use hlsb_delay::HlsPredictedModel;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::unroll::unroll_loop;
+    use hlsb_ir::DataType;
+
+    fn broadcast_design(unroll: u32) -> hlsb_ir::Design {
+        let mut b = DesignBuilder::new("bc");
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("body", 64, 1);
+        l.set_unroll(unroll);
+        let src = l.invariant_input("source", DataType::Int(32));
+        let x = l.varying_input("x", DataType::Int(32));
+        let s = l.sub(src, x);
+        l.output("o", s);
+        l.finish();
+        k.finish();
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn report_carries_broadcast_factor() {
+        let d = broadcast_design(16);
+        let u = unroll_loop(&d.kernels[0].loops[0]);
+        let s = schedule_loop(&u.looop, &d, &HlsPredictedModel::new(), 3.33);
+        let r = ScheduleReport::from_schedule("body", &u.looop.body, &s);
+        // The invariant source is read by 16 same-cycle subs.
+        let src_entry = r
+            .entries
+            .iter()
+            .find(|e| e.name == "source")
+            .expect("source present");
+        assert_eq!(src_entry.broadcast_factor, 16);
+        assert_eq!(r.broadcasts(16).count(), 1);
+        assert_eq!(r.broadcasts(17).count(), 0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let d = broadcast_design(2);
+        let u = unroll_loop(&d.kernels[0].loops[0]);
+        let s = schedule_loop(&u.looop, &d, &HlsPredictedModel::new(), 3.33);
+        let r = ScheduleReport::from_schedule("body", &u.looop.body, &s);
+        let text = r.to_string();
+        assert!(text.contains("schedule report: body"), "{text}");
+        assert!(text.contains("sub"), "{text}");
+        assert!(text.lines().count() > 5);
+    }
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let d = broadcast_design(8);
+        let u = unroll_loop(&d.kernels[0].loops[0]);
+        let s = schedule_loop(&u.looop, &d, &HlsPredictedModel::new(), 3.33);
+        let original = ScheduleReport::from_schedule("body", &u.looop.body, &s);
+        let parsed = ScheduleReport::parse(&original.to_string()).expect("parses");
+        assert_eq!(parsed.loop_name, original.loop_name);
+        assert_eq!(parsed.depth, original.depth);
+        assert_eq!(parsed.ii, original.ii);
+        assert_eq!(parsed.entries.len(), original.entries.len());
+        for (p, o) in parsed.entries.iter().zip(&original.entries) {
+            assert_eq!(p.inst, o.inst);
+            assert_eq!(p.op, o.op);
+            assert_eq!(p.cycle, o.cycle);
+            assert_eq!(p.latency, o.latency);
+            assert_eq!(p.raw_deps, o.raw_deps);
+            assert_eq!(p.broadcast_factor, o.broadcast_factor);
+            assert!((p.est_delay_ns - o.est_delay_ns).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(ScheduleReport::parse("").is_err());
+        assert!(ScheduleReport::parse("not a report\n").is_err());
+        let bad_row = "== schedule report: x (depth 1, II 1) ==\nheader\n%0 add one 0 0.5 1\n";
+        let e = ScheduleReport::parse(bad_row).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn entries_align_with_instructions() {
+        let d = broadcast_design(4);
+        let u = unroll_loop(&d.kernels[0].loops[0]);
+        let s = schedule_loop(&u.looop, &d, &HlsPredictedModel::new(), 3.33);
+        let r = ScheduleReport::from_schedule("body", &u.looop.body, &s);
+        assert_eq!(r.entries.len(), u.looop.body.len());
+        for (i, e) in r.entries.iter().enumerate() {
+            assert_eq!(e.inst.index(), i);
+        }
+    }
+}

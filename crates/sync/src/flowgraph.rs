@@ -1,0 +1,286 @@
+//! Dataflow-graph reconstruction and loop splitting (paper §4.2, case 1).
+//!
+//! When several independent streaming flows share one loop (the paper's
+//! Fig. 5a; SODA's HBM kernel in §5.3), HLS "pedantically synchronizes
+//! them at the granularity of one iteration", gluing the flows into one
+//! reduce-broadcast. We rebuild the flow graph at the level of elementary
+//! flow-control units (the FIFO accesses and the values connecting them),
+//! find its connected components, and emit one loop — and at the design
+//! level, one dataflow kernel — per component.
+
+use hlsb_ir::{Concurrency, Design, Dfg, InstId, Kernel, Loop, OpKind};
+
+/// Outcome of a design-level split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitReport {
+    /// Kernels examined.
+    pub kernels_in: usize,
+    /// Kernels after splitting.
+    pub kernels_out: usize,
+    /// Loops that were split into more than one flow.
+    pub loops_split: usize,
+}
+
+/// Splits one loop into its independent flows.
+///
+/// Components are connected through SSA values and ordinary instructions;
+/// loop-invariant inputs and constants are *duplicable* and do not glue
+/// flows together (a scalar configuration value can be re-registered per
+/// flow). Returns one loop per component, each with the duplicable sources
+/// it needs cloned in.
+pub fn split_loop_flows(lp: &Loop) -> Vec<Loop> {
+    let comps = lp.body.connected_components(true);
+    if comps.len() <= 1 {
+        return vec![lp.clone()];
+    }
+
+    let duplicable = |kind: OpKind| matches!(kind, OpKind::Const | OpKind::Input { invariant: true });
+
+    comps
+        .iter()
+        .enumerate()
+        .map(|(ci, comp)| {
+            let mut body = Dfg::new();
+            // old id -> new id (only for insts present in this flow).
+            let mut map: Vec<Option<InstId>> = vec![None; lp.body.len()];
+            let in_comp: std::collections::HashSet<InstId> = comp.iter().copied().collect();
+            for (id, inst) in lp.body.iter() {
+                let needed = in_comp.contains(&id)
+                    || (duplicable(inst.kind)
+                        && lp.body.users(id).iter().any(|u| in_comp.contains(u)));
+                if !needed {
+                    continue;
+                }
+                let mut cl = inst.clone();
+                cl.operands = inst
+                    .operands
+                    .iter()
+                    .map(|op| map[op.index()].expect("operand present in flow"))
+                    .collect();
+                map[id.index()] = Some(body.push_inst(cl));
+            }
+            Loop {
+                name: format!("{}_flow{ci}", lp.name),
+                trip_count: lp.trip_count,
+                unroll: lp.unroll,
+                pipeline: lp.pipeline,
+                body,
+            }
+        })
+        .collect()
+}
+
+/// Splits every single-loop kernel of a dataflow design into one kernel
+/// per independent flow, so each flow gets its own (trivial) sync domain.
+///
+/// Kernels with multiple loops or designs without `#pragma HLS dataflow`
+/// are left untouched — splitting sequential loops would change execution
+/// order, not synchronization.
+pub fn split_dataflow_design(design: &Design) -> (Design, SplitReport) {
+    let mut report = SplitReport {
+        kernels_in: design.kernels.len(),
+        kernels_out: 0,
+        loops_split: 0,
+    };
+    if design.concurrency != Concurrency::Dataflow {
+        report.kernels_out = design.kernels.len();
+        return (design.clone(), report);
+    }
+
+    let mut out = Design {
+        name: design.name.clone(),
+        arrays: design.arrays.clone(),
+        fifos: design.fifos.clone(),
+        kernels: Vec::new(),
+        concurrency: Concurrency::Dataflow,
+    };
+    for kernel in &design.kernels {
+        if kernel.loops.len() != 1 {
+            out.kernels.push(kernel.clone());
+            continue;
+        }
+        let flows = split_loop_flows(&kernel.loops[0]);
+        if flows.len() == 1 {
+            out.kernels.push(kernel.clone());
+            continue;
+        }
+        report.loops_split += 1;
+        for (i, lp) in flows.into_iter().enumerate() {
+            out.kernels.push(Kernel {
+                name: format!("{}_flow{i}", kernel.name),
+                loops: vec![lp],
+                static_latency: kernel.static_latency,
+            });
+        }
+    }
+    report.kernels_out = out.kernels.len();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::verify::verify_design;
+    use hlsb_ir::DataType;
+
+    /// The paper's Fig. 5a: two independent scatter flows in one loop.
+    fn fig5a() -> Design {
+        let mut b = DesignBuilder::new("fig5a");
+        b.dataflow();
+        let in_a = b.fifo("inFifoA", DataType::Bits(64), 2);
+        let out_a1 = b.fifo("outFifoA1", DataType::Bits(32), 2);
+        let out_a2 = b.fifo("outFifoA2", DataType::Bits(32), 2);
+        let in_b = b.fifo("inFifoB", DataType::Bits(64), 2);
+        let out_b1 = b.fifo("outFifoB1", DataType::Bits(32), 2);
+        let out_b2 = b.fifo("outFifoB2", DataType::Bits(32), 2);
+        let mut k = b.kernel("scatter");
+        let mut l = k.pipelined_loop("while1", 1 << 20, 1);
+        let a = l.fifo_read(in_a, DataType::Bits(64));
+        let a_foo = l.repack(a, DataType::Bits(32));
+        let a_bar = l.repack(a, DataType::Bits(32));
+        l.fifo_write(out_a1, a_foo);
+        l.fifo_write(out_a2, a_bar);
+        let bb = l.fifo_read(in_b, DataType::Bits(64));
+        let b_foo = l.repack(bb, DataType::Bits(32));
+        let b_bar = l.repack(bb, DataType::Bits(32));
+        l.fifo_write(out_b1, b_foo);
+        l.fifo_write(out_b2, b_bar);
+        l.finish();
+        k.finish();
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn fig5a_splits_into_two_flows() {
+        let d = fig5a();
+        let flows = split_loop_flows(&d.kernels[0].loops[0]);
+        assert_eq!(flows.len(), 2);
+        // Each flow keeps its own reads/writes: 1 read + 2 repacks + 2 writes.
+        for f in &flows {
+            assert_eq!(f.body.len(), 5, "{}", f.body);
+            assert!(f.is_pipelined());
+        }
+    }
+
+    #[test]
+    fn design_level_split_creates_kernels() {
+        let d = fig5a();
+        let (out, report) = split_dataflow_design(&d);
+        assert_eq!(report.kernels_in, 1);
+        assert_eq!(report.kernels_out, 2);
+        assert_eq!(report.loops_split, 1);
+        verify_design(&out).expect("split design is valid IR");
+        assert_eq!(out.kernels[0].name, "scatter_flow0");
+    }
+
+    #[test]
+    fn shared_invariant_is_duplicated_per_flow() {
+        let mut b = DesignBuilder::new("shared");
+        b.dataflow();
+        let fa = b.fifo("a", DataType::Int(32), 2);
+        let fb = b.fifo("b", DataType::Int(32), 2);
+        let oa = b.fifo("oa", DataType::Int(32), 2);
+        let ob = b.fifo("ob", DataType::Int(32), 2);
+        let mut k = b.kernel("k");
+        let mut l = k.pipelined_loop("l", 100, 1);
+        let scale = l.invariant_input("scale", DataType::Int(32));
+        let va = l.fifo_read(fa, DataType::Int(32));
+        let vb = l.fifo_read(fb, DataType::Int(32));
+        let ma = l.mul(va, scale);
+        let mb = l.mul(vb, scale);
+        l.fifo_write(oa, ma);
+        l.fifo_write(ob, mb);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid");
+
+        let flows = split_loop_flows(&d.kernels[0].loops[0]);
+        assert_eq!(flows.len(), 2);
+        for f in &flows {
+            // Each flow contains its own copy of the invariant.
+            let invs = f
+                .body
+                .iter()
+                .filter(|(_, i)| matches!(i.kind, OpKind::Input { invariant: true }))
+                .count();
+            assert_eq!(invs, 1, "{}", f.body);
+        }
+    }
+
+    #[test]
+    fn connected_flows_stay_together() {
+        // A value crossing between the flows must prevent splitting.
+        let mut b = DesignBuilder::new("coupled");
+        b.dataflow();
+        let fa = b.fifo("a", DataType::Int(32), 2);
+        let fb = b.fifo("b", DataType::Int(32), 2);
+        let oc = b.fifo("oc", DataType::Int(32), 2);
+        let mut k = b.kernel("k");
+        let mut l = k.pipelined_loop("l", 100, 1);
+        let va = l.fifo_read(fa, DataType::Int(32));
+        let vb = l.fifo_read(fb, DataType::Int(32));
+        let s = l.add(va, vb); // couples the two reads
+        l.fifo_write(oc, s);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid");
+        let flows = split_loop_flows(&d.kernels[0].loops[0]);
+        assert_eq!(flows.len(), 1);
+    }
+
+    #[test]
+    fn sequential_designs_are_untouched() {
+        let mut b = DesignBuilder::new("seq");
+        let fa = b.fifo("a", DataType::Int(32), 2);
+        let oa = b.fifo("oa", DataType::Int(32), 2);
+        let fb = b.fifo("b", DataType::Int(32), 2);
+        let ob = b.fifo("ob", DataType::Int(32), 2);
+        let mut k = b.kernel("k");
+        let mut l = k.pipelined_loop("l", 10, 1);
+        let va = l.fifo_read(fa, DataType::Int(32));
+        l.fifo_write(oa, va);
+        let vb = l.fifo_read(fb, DataType::Int(32));
+        l.fifo_write(ob, vb);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid");
+        let (out, report) = split_dataflow_design(&d);
+        assert_eq!(out, d);
+        assert_eq!(report.loops_split, 0);
+    }
+
+    #[test]
+    fn hbm_style_28_flows() {
+        // §5.3: 28 independent HBM port flows, each scattering 512 bits
+        // into 8 64-bit FIFOs, all expressed in one loop.
+        let mut b = DesignBuilder::new("hbm");
+        b.dataflow();
+        let mut inputs = vec![];
+        let mut outputs = vec![];
+        for p in 0..28 {
+            inputs.push(b.fifo(format!("hbm{p}"), DataType::Bits(512), 2));
+            let outs: Vec<_> = (0..8)
+                .map(|i| b.fifo(format!("out{p}_{i}"), DataType::Bits(64), 2))
+                .collect();
+            outputs.push(outs);
+        }
+        let mut k = b.kernel("scatter");
+        let mut l = k.pipelined_loop("all_ports", 1 << 20, 1);
+        for p in 0..28 {
+            let word = l.fifo_read(inputs[p], DataType::Bits(512));
+            for out in &outputs[p] {
+                let part = l.repack(word, DataType::Bits(64));
+                l.fifo_write(*out, part);
+            }
+        }
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid");
+
+        let (out, report) = split_dataflow_design(&d);
+        assert_eq!(report.kernels_out, 28);
+        verify_design(&out).expect("valid");
+        let _ = out;
+    }
+}

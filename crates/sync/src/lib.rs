@@ -1,0 +1,38 @@
+//! # hlsb-sync — synchronization analysis and pruning
+//!
+//! HLS tools synchronize everything that is scheduled concurrently: all
+//! dataflow kernels in a loop iterate in lock-step, and an FSM waits for
+//! *every* parallel module's `done` before broadcasting the next `start`
+//! (paper §3.2). Both patterns produce reduce-broadcast structures whose
+//! routing complexity "soon explodes with increasing degrees of
+//! parallelism". This crate implements the paper's §4.2 fixes:
+//!
+//! * [`flowgraph`] — reconstruct the dataflow graph "at the granularity of
+//!   the elementary flow control units", identify isolated sub-graphs
+//!   inside a user loop, and split them into separate loops/kernels so the
+//!   HLS compiler never glues them together;
+//! * [`prune`] — for parallel modules with statically known latency, wait
+//!   only for the longest-latency module. A bounded-latency extension
+//!   handles modules whose latency is only known as an interval (the
+//!   paper lists symbolic latencies as future work).
+//!
+//! # Example
+//!
+//! ```
+//! use hlsb_sync::prune::{prune_sync, ModuleSync};
+//!
+//! let plan = prune_sync(&[
+//!     ModuleSync::fixed("pe_a", 12),
+//!     ModuleSync::fixed("pe_b", 30),
+//!     ModuleSync::fixed("pe_c", 7),
+//! ]);
+//! // Only the slowest module is waited on.
+//! assert_eq!(plan.wait, vec![1]);
+//! assert_eq!(plan.pruned, vec![0, 2]);
+//! ```
+
+pub mod flowgraph;
+pub mod prune;
+
+pub use flowgraph::{split_dataflow_design, split_loop_flows, SplitReport};
+pub use prune::{prune_sync, prune_sync_bounded, LatencyRange, ModuleSync, SyncPlan};

@@ -1,0 +1,265 @@
+//! Backward retiming.
+//!
+//! Moves a register from the output of a combinational cell to its inputs
+//! when that shortens the critical path. This is the "retiming enabled"
+//! half of the paper's Vivado configuration (§5). Retiming can only
+//! balance delay *between existing registers* — it cannot create cycles
+//! out of thin air, which is why the paper's broadcast-aware scheduling
+//! (which inserts registers at the behaviour level) unlocks gains that
+//! retiming alone cannot reach (§6, "retiming will not work without
+//! enough registers on the path").
+
+use crate::sta::{sta, TimingReport};
+use hlsb_fabric::WireModel;
+use hlsb_netlist::{Cell, CellId, CellKind, Netlist};
+use hlsb_place::Placement;
+
+/// Options for [`retime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetimeOptions {
+    /// Maximum number of accepted register moves.
+    pub max_moves: usize,
+}
+
+impl Default for RetimeOptions {
+    fn default() -> Self {
+        RetimeOptions { max_moves: 32 }
+    }
+}
+
+/// Report of a retiming run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetimeReport {
+    /// Accepted backward moves.
+    pub moves: usize,
+}
+
+/// Greedy critical-path retiming: while the capture register of the
+/// critical path can legally be pushed backward across its driving
+/// combinational cell and doing so reduces the period, apply the move.
+///
+/// Legality of a backward move across cell `c` with output register `f`:
+///
+/// * `c` is combinational and drives only `f`;
+/// * `f` is a plain [`CellKind::Ff`] with exactly one input (no enable).
+///
+/// The move re-uses `f` as the register on `c`'s first non-constant input
+/// and creates fresh registers on the remaining non-constant inputs, so
+/// cycle-accurate behaviour is preserved.
+pub fn retime(
+    netlist: &mut Netlist,
+    placement: &mut Placement,
+    wire: &WireModel,
+    options: RetimeOptions,
+) -> (RetimeReport, TimingReport) {
+    let mut report = RetimeReport::default();
+    let mut timing = sta(netlist, placement, wire);
+
+    for _ in 0..options.max_moves {
+        let Some(candidate) = backward_candidate(netlist, &timing) else {
+            break;
+        };
+        let snapshot = (netlist.clone(), placement.clone());
+        apply_backward_move(netlist, placement, candidate);
+        let new_timing = sta(netlist, placement, wire);
+        if new_timing.period_ns + 1e-9 < timing.period_ns {
+            timing = new_timing;
+            report.moves += 1;
+        } else {
+            *netlist = snapshot.0;
+            *placement = snapshot.1;
+            break;
+        }
+    }
+    (report, timing)
+}
+
+/// A legal backward move: (comb cell, its output register).
+#[derive(Debug, Clone, Copy)]
+struct BackwardMove {
+    comb: CellId,
+    reg: CellId,
+}
+
+fn backward_candidate(netlist: &Netlist, timing: &TimingReport) -> Option<BackwardMove> {
+    // The critical path ends [.., comb, reg]; check that exact pattern.
+    let path = &timing.critical_path;
+    if path.len() < 2 {
+        return None;
+    }
+    let reg = *path.last().unwrap();
+    let comb = path[path.len() - 2];
+    let reg_cell = netlist.cell(reg);
+    let comb_cell = netlist.cell(comb);
+    if reg_cell.kind != CellKind::Ff || !comb_cell.kind.is_combinational() {
+        return None;
+    }
+    if netlist.input_nets(reg).len() != 1 {
+        return None; // enable/reset present: not a plain pipeline register
+    }
+    let comb_out = netlist.output_net(comb)?;
+    if netlist.net(comb_out).fanout() != 1 || netlist.net(comb_out).sinks[0] != reg {
+        return None; // comb drives more than the register
+    }
+    if netlist.input_nets(comb).is_empty() {
+        return None;
+    }
+    // All of comb's inputs must not already come from `reg` (self loop).
+    for &ni in netlist.input_nets(comb) {
+        if netlist.net(ni).driver == reg {
+            return None;
+        }
+    }
+    Some(BackwardMove { comb, reg })
+}
+
+fn apply_backward_move(netlist: &mut Netlist, placement: &mut Placement, mv: BackwardMove) {
+    let BackwardMove { comb, reg } = mv;
+    let comb_out = netlist.output_net(comb).expect("comb drives reg");
+    let reg_out = netlist.output_net(reg);
+    let comb_loc = placement.loc(comb);
+
+    let input_nets: Vec<_> = netlist.input_nets(comb).to_vec();
+    // Non-constant inputs get registers; constant inputs stay direct.
+    let mut reg_reused = false;
+    for &ni in &input_nets {
+        let driver = netlist.net(ni).driver;
+        if netlist.cell(driver).kind == CellKind::Const {
+            continue;
+        }
+        let driver_width = netlist.cell(driver).width;
+        if !reg_reused {
+            // Re-use `reg`: its input becomes `ni`, its output feeds `comb`.
+            netlist.detach_sink(ni, comb);
+            // reg's old input was comb_out; detach it.
+            netlist.detach_sink(comb_out, reg);
+            netlist.attach_sink(ni, reg);
+            netlist.cell_mut(reg).width = driver_width;
+            netlist.cell_mut(reg).ffs = driver_width;
+            if let Some(ro) = reg_out {
+                // reg used to drive reg_out; those sinks must now be fed by
+                // comb's output. Move them onto comb_out.
+                let sinks = netlist.net(ro).sinks.clone();
+                for &s in &sinks {
+                    netlist.detach_sink(ro, s);
+                    netlist.attach_sink(comb_out, s);
+                }
+            }
+            // reg now (or still) drives some net feeding comb.
+            netlist.connect(reg, &[comb]);
+            placement.set_loc(reg, comb_loc);
+            reg_reused = true;
+        } else {
+            let w = driver_width;
+            let r = netlist.add_cell(Cell::ff(format!("rt_{}", netlist.cell(comb).name), w));
+            placement.push_loc(comb_loc);
+            netlist.detach_sink(ni, comb);
+            netlist.attach_sink(ni, r);
+            netlist.connect(r, &[comb]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::SETUP_NS;
+    use hlsb_netlist::Netlist;
+    use hlsb_place::Placement;
+
+    /// in(FF) -> heavy(1.8ns) -> light(0.2ns) -> f(FF) -> out(FF)
+    ///
+    /// Period is dominated by heavy+light in one stage. Backward-retiming
+    /// `f` across `light` splits the chain: heavy | light.
+    fn unbalanced_chain() -> (Netlist, Placement) {
+        let mut nl = Netlist::new("rt");
+        let a = nl.add_cell(Cell::ff("a", 8));
+        let heavy = nl.add_cell(Cell::comb("heavy", 8, 1.8, 8));
+        let light = nl.add_cell(Cell::comb("light", 8, 0.2, 8));
+        let f = nl.add_cell(Cell::ff("f", 8));
+        let out = nl.add_cell(Cell::ff("out", 8));
+        nl.connect(a, &[heavy]);
+        nl.connect(heavy, &[light]);
+        nl.connect(light, &[f]);
+        nl.connect(f, &[out]);
+        let p = Placement::from_locs(vec![(0, 0), (1, 0), (2, 0), (3, 0), (5, 0)], 140, 120);
+        (nl, p)
+    }
+
+    #[test]
+    fn backward_move_reduces_period() {
+        let (mut nl, mut p) = unbalanced_chain();
+        let w = WireModel::ultrascale_plus();
+        let before = sta(&nl, &p, &w);
+        let (rep, after) = retime(&mut nl, &mut p, &w, RetimeOptions::default());
+        assert!(rep.moves >= 1, "expected at least one move");
+        assert!(
+            after.period_ns < before.period_ns - 0.1,
+            "retiming should shave the light stage: {} -> {}",
+            before.period_ns,
+            after.period_ns
+        );
+        nl.validate().expect("netlist still valid after retime");
+    }
+
+    #[test]
+    fn no_move_on_balanced_chain() {
+        // Both stages equal: moving the register can only hurt; the pass
+        // must revert and report zero moves.
+        let mut nl = Netlist::new("bal");
+        let a = nl.add_cell(Cell::ff("a", 8));
+        let s1 = nl.add_cell(Cell::comb("s1", 8, 1.0, 8));
+        let f = nl.add_cell(Cell::ff("f", 8));
+        let s2 = nl.add_cell(Cell::comb("s2", 8, 1.0, 8));
+        let out = nl.add_cell(Cell::ff("out", 8));
+        nl.connect(a, &[s1]);
+        nl.connect(s1, &[f]);
+        nl.connect(f, &[s2]);
+        nl.connect(s2, &[out]);
+        let mut p = Placement::from_locs(vec![(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)], 140, 120);
+        let w = WireModel::ultrascale_plus();
+        let before = sta(&nl, &p, &w);
+        let (rep, after) = retime(&mut nl, &mut p, &w, RetimeOptions::default());
+        assert!(after.period_ns <= before.period_ns + 1e-9);
+        // Either no move found or reverted.
+        assert_eq!(rep.moves, 0);
+    }
+
+    #[test]
+    fn multi_input_cell_gets_registers_on_all_inputs() {
+        // a,b -> add(1.5) -> f -> out ; retiming must register both inputs.
+        let mut nl = Netlist::new("multi");
+        let a = nl.add_cell(Cell::ff("a", 8));
+        let b = nl.add_cell(Cell::ff("b", 8));
+        let pre = nl.add_cell(Cell::comb("pre", 8, 1.4, 8));
+        let add = nl.add_cell(Cell::comb("add", 8, 0.3, 8));
+        let f = nl.add_cell(Cell::ff("f", 8));
+        let out = nl.add_cell(Cell::ff("out", 8));
+        nl.connect(a, &[pre]);
+        nl.connect(pre, &[add]);
+        nl.connect(b, &[add]);
+        nl.connect(add, &[f]);
+        nl.connect(f, &[out]);
+        let mut p =
+            Placement::from_locs(vec![(0, 0), (0, 1), (1, 0), (2, 0), (3, 0), (4, 0)], 140, 120);
+        let w = WireModel::ultrascale_plus();
+        let ffs_before = nl.stats().ffs;
+        let (rep, timing) = retime(&mut nl, &mut p, &w, RetimeOptions::default());
+        if rep.moves > 0 {
+            assert!(nl.stats().ffs > ffs_before, "new registers created");
+            nl.validate().expect("valid");
+            assert!(timing.period_ns < 1.4 + 0.3 + 0.5, "split happened");
+        }
+    }
+
+    #[test]
+    fn retime_never_worsens_timing() {
+        let (mut nl, mut p) = unbalanced_chain();
+        let w = WireModel::ultrascale_plus();
+        let before = sta(&nl, &p, &w);
+        let (_, after) = retime(&mut nl, &mut p, &w, RetimeOptions { max_moves: 100 });
+        assert!(after.period_ns <= before.period_ns + 1e-9);
+        // Sanity: the result is in a sane absolute range.
+        assert!(after.period_ns > SETUP_NS);
+    }
+}

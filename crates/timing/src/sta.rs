@@ -1,0 +1,337 @@
+//! Static timing analysis.
+
+use hlsb_fabric::WireModel;
+use hlsb_netlist::{CellId, CellKind, Netlist};
+use hlsb_place::Placement;
+
+/// Register setup time in nanoseconds.
+pub const SETUP_NS: f64 = 0.04;
+
+/// Result of a timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Achieved minimum clock period, ns.
+    pub period_ns: f64,
+    /// Achieved maximum frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Cells on the critical path, launch point first, capture point last.
+    pub critical_path: Vec<CellId>,
+    /// Worst per-capture-point slack would need a target period; instead we
+    /// expose the arrival time at every cell output for diagnostics.
+    pub arrival_ns: Vec<f64>,
+}
+
+impl TimingReport {
+    /// Length of the critical path in cells.
+    pub fn depth(&self) -> usize {
+        self.critical_path.len()
+    }
+
+    /// Renders the critical path as a per-arc breakdown, in the style of a
+    /// `report_timing` text report: one line per hop with the cell, its
+    /// placed location, the net's fanout, and the incremental delay.
+    pub fn path_text(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        wire: &WireModel,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path: {:.3} ns ({:.0} MHz), {} cells",
+            self.period_ns,
+            self.fmax_mhz,
+            self.critical_path.len()
+        );
+        let mut total = 0.0f64;
+        for (i, &c) in self.critical_path.iter().enumerate() {
+            let cell = netlist.cell(c);
+            let (x, y) = placement.loc(c);
+            let logic = if i == 0 || cell.kind.is_combinational() || i + 1 == self.critical_path.len()
+            {
+                cell.delay_ns
+            } else {
+                0.0
+            };
+            let net = if i > 0 {
+                let prev = self.critical_path[i - 1];
+                let fo = netlist
+                    .output_net(prev)
+                    .map(|n| netlist.net(n).fanout())
+                    .unwrap_or(1);
+                wire.net_delay_ns(placement.dist(prev, c), fo)
+            } else {
+                0.0
+            };
+            let fo_here = netlist
+                .output_net(c)
+                .map(|n| netlist.net(n).fanout())
+                .unwrap_or(0);
+            total += logic + net;
+            let _ = writeln!(
+                out,
+                "  {:>2}. {:<10} {:<32} @({x:>3},{y:>3})  net {net:>6.3}  logic {logic:>6.3}  \
+                 total {total:>7.3}  fanout {fo_here}",
+                i,
+                cell.kind.to_string(),
+                cell.name,
+            );
+        }
+        let _ = writeln!(out, "  (+ setup {SETUP_NS:.3} ns)");
+        out
+    }
+}
+
+/// Whether the timing graph treats the cell's output as launched at a clock
+/// edge (fixed arrival) rather than combinationally propagated.
+fn is_launch(kind: CellKind) -> bool {
+    matches!(
+        kind,
+        CellKind::Ff | CellKind::Bram | CellKind::Input | CellKind::Const
+    )
+}
+
+/// Runs STA over a placed netlist.
+///
+/// Path delay from a driver output to a sink input is
+/// `arrival(driver) + wire(dist(driver, sink), fanout(net))`; sequential and
+/// output cells capture with [`SETUP_NS`] of setup. Constants contribute no
+/// delay.
+///
+/// # Panics
+///
+/// Panics if the netlist contains a combinational cycle (validate first).
+pub fn sta(netlist: &Netlist, placement: &Placement, wire: &WireModel) -> TimingReport {
+    let n = netlist.cell_count();
+    let order = netlist
+        .comb_topo_order()
+        .expect("netlist must be free of combinational cycles");
+
+    // Arrival time at each cell's *output*.
+    let mut arrival = vec![0.0f64; n];
+    // For path reconstruction: the input driver that determined the arrival.
+    let mut best_pred: Vec<Option<CellId>> = vec![None; n];
+
+    // Contribution of `driver` to a sink's input arrival.
+    let contribution = |arrival: &[f64], driver: CellId, sink: CellId, fanout: usize| -> f64 {
+        if netlist.cell(driver).kind == CellKind::Const {
+            return 0.0;
+        }
+        arrival[driver.index()] + wire.net_delay_ns(placement.dist(driver, sink), fanout)
+    };
+
+    // Launch arrivals are fixed and must be set before any combinational
+    // cell is evaluated (the topo order only constrains comb-to-comb arcs).
+    for (c, cell) in netlist.cells() {
+        if is_launch(cell.kind) {
+            arrival[c.index()] = cell.delay_ns;
+        }
+    }
+
+    for &c in &order {
+        let cell = netlist.cell(c);
+        if is_launch(cell.kind) {
+            continue;
+        }
+        // Combinational (Comb/Dsp) or Output. Output cells have no output
+        // arrival of interest but we compute it anyway (0-delay pass).
+        let mut worst = 0.0f64;
+        let mut pred = None;
+        for &net_id in netlist.input_nets(c) {
+            let net = netlist.net(net_id);
+            let a = contribution(&arrival, net.driver, c, net.fanout());
+            if a > worst {
+                worst = a;
+                pred = Some(net.driver);
+            }
+        }
+        arrival[c.index()] = worst + cell.delay_ns;
+        best_pred[c.index()] = pred;
+    }
+
+    // Capture points: sequential or output sinks.
+    let mut period = 0.0f64;
+    let mut crit_sink = None;
+    let mut crit_driver = None;
+    for (_, net) in netlist.nets() {
+        let fo = net.fanout();
+        for &s in &net.sinks {
+            let k = netlist.cell(s).kind;
+            if k.is_sequential() || k == CellKind::Output {
+                let total = contribution(&arrival, net.driver, s, fo) + SETUP_NS;
+                if total > period {
+                    period = total;
+                    crit_sink = Some(s);
+                    crit_driver = Some(net.driver);
+                }
+            }
+        }
+    }
+
+    // A design with no capture points (e.g. a lone register) still needs a
+    // positive period.
+    if period <= 0.0 {
+        period = SETUP_NS + 0.1;
+    }
+
+    // Reconstruct the critical path.
+    let mut path = Vec::new();
+    if let (Some(sink), Some(mut cur)) = (crit_sink, crit_driver) {
+        path.push(sink);
+        loop {
+            path.push(cur);
+            match best_pred[cur.index()] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        path.reverse();
+    }
+
+    TimingReport {
+        period_ns: period,
+        fmax_mhz: 1000.0 / period,
+        critical_path: path,
+        arrival_ns: arrival,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_fabric::Device;
+    use hlsb_netlist::Cell;
+    use hlsb_place::Placement;
+
+    /// Places cells at explicit coordinates for hand-computable delays.
+    fn fixed_placement(locs: Vec<(u16, u16)>) -> Placement {
+        Placement::from_locs(locs, 140, 120)
+    }
+
+    fn wire() -> WireModel {
+        WireModel::ultrascale_plus()
+    }
+
+    #[test]
+    fn single_stage_path_delay_is_exact() {
+        // a(FF) --net--> x(comb 0.7) --net--> b(FF)
+        let mut nl = Netlist::new("t");
+        let a = nl.add_cell(Cell::ff("a", 8));
+        let x = nl.add_cell(Cell::comb("x", 8, 0.7, 8));
+        let b = nl.add_cell(Cell::ff("b", 8));
+        nl.connect(a, &[x]);
+        nl.connect(x, &[b]);
+        let p = fixed_placement(vec![(0, 0), (1, 0), (2, 0)]);
+        let w = wire();
+        let r = sta(&nl, &p, &w);
+        let expected = 0.10 // clk-to-q
+            + w.net_delay_ns(1.0, 1)
+            + 0.7
+            + w.net_delay_ns(1.0, 1)
+            + SETUP_NS;
+        assert!((r.period_ns - expected).abs() < 1e-9, "{} vs {expected}", r.period_ns);
+        assert_eq!(r.critical_path, vec![a, x, b]);
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let dev = Device::ultrascale_plus_vu9p();
+        let w = WireModel::for_device(&dev);
+        // Driver with 1 sink vs driver with 32 sinks at same max distance.
+        let mut nl1 = Netlist::new("fo1");
+        let a1 = nl1.add_cell(Cell::ff("a", 8));
+        let b1 = nl1.add_cell(Cell::ff("b", 8));
+        nl1.connect(a1, &[b1]);
+        let p1 = fixed_placement(vec![(0, 0), (5, 0)]);
+        let r1 = sta(&nl1, &p1, &w);
+
+        let mut nl2 = Netlist::new("fo32");
+        let a2 = nl2.add_cell(Cell::ff("a", 8));
+        let sinks: Vec<_> = (0..32).map(|i| nl2.add_cell(Cell::ff(format!("s{i}"), 8))).collect();
+        nl2.connect(a2, &sinks);
+        let mut locs = vec![(0u16, 0u16)];
+        locs.extend((0..32).map(|i| (5u16, i as u16)));
+        let p2 = fixed_placement(locs);
+        let r2 = sta(&nl2, &p2, &w);
+
+        assert!(r2.period_ns > r1.period_ns);
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let mut nl = Netlist::new("c");
+        let k = nl.add_cell(Cell::constant("k", 8));
+        let x = nl.add_cell(Cell::comb("x", 8, 0.5, 8));
+        let b = nl.add_cell(Cell::ff("b", 8));
+        nl.connect(k, &[x]);
+        nl.connect(x, &[b]);
+        let p = fixed_placement(vec![(0, 0), (50, 50), (51, 50)]);
+        let w = wire();
+        let r = sta(&nl, &p, &w);
+        // Path is only x -> b; the 100-unit const net contributes nothing.
+        let expected = 0.5 + w.net_delay_ns(1.0, 1) + SETUP_NS;
+        assert!((r.period_ns - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longest_of_parallel_paths_wins() {
+        let mut nl = Netlist::new("par");
+        let a = nl.add_cell(Cell::ff("a", 8));
+        let fast = nl.add_cell(Cell::comb("fast", 8, 0.2, 8));
+        let slow = nl.add_cell(Cell::comb("slow", 8, 1.5, 8));
+        let b = nl.add_cell(Cell::ff("b", 8));
+        let c = nl.add_cell(Cell::ff("c", 8));
+        nl.connect(a, &[fast, slow]);
+        nl.connect(fast, &[b]);
+        nl.connect(slow, &[c]);
+        let p = fixed_placement(vec![(0, 0), (1, 0), (1, 1), (2, 0), (2, 1)]);
+        let r = sta(&nl, &p, &wire());
+        assert!(r.critical_path.contains(&slow));
+        assert!(!r.critical_path.contains(&fast));
+    }
+
+    #[test]
+    fn bram_clock_to_out_counts() {
+        let mut nl = Netlist::new("mem");
+        let m = nl.add_cell(Cell::bram("m", 32, 4));
+        let x = nl.add_cell(Cell::comb("x", 32, 0.3, 32));
+        let b = nl.add_cell(Cell::ff("b", 32));
+        nl.connect(m, &[x]);
+        nl.connect(x, &[b]);
+        let p = fixed_placement(vec![(4, 0), (5, 0), (6, 0)]);
+        let w = wire();
+        let r = sta(&nl, &p, &w);
+        let expected = 0.90 + w.net_delay_ns(1.0, 1) + 0.3 + w.net_delay_ns(1.0, 1) + SETUP_NS;
+        assert!((r.period_ns - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_text_breaks_down_arcs() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_cell(Cell::ff("a", 8));
+        let x = nl.add_cell(Cell::comb("x", 8, 0.7, 8));
+        let b = nl.add_cell(Cell::ff("b", 8));
+        nl.connect(a, &[x]);
+        nl.connect(x, &[b]);
+        let p = fixed_placement(vec![(0, 0), (1, 0), (2, 0)]);
+        let w = wire();
+        let r = sta(&nl, &p, &w);
+        let text = r.path_text(&nl, &p, &w);
+        assert!(text.contains("critical path"), "{text}");
+        assert!(text.contains("x"), "{text}");
+        assert!(text.lines().count() >= 5, "{text}");
+        // The per-arc totals accumulate to about the period (minus setup).
+        assert!(text.contains("setup"), "{text}");
+    }
+
+    #[test]
+    fn empty_netlist_has_finite_fmax() {
+        let nl = Netlist::new("empty");
+        let p = fixed_placement(vec![]);
+        let r = sta(&nl, &p, &wire());
+        assert!(r.fmax_mhz.is_finite());
+        assert!(r.period_ns > 0.0);
+    }
+}

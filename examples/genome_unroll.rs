@@ -1,0 +1,76 @@
+//! The paper's §5.2 case study: the genome-sequencing chaining kernel.
+//!
+//! Shows the full broadcast-aware scheduling story on Fig. 13's code: the
+//! schedule report with RAW-derived broadcast factors, the registers the
+//! §4.1 pass inserts, and the Fmax effect across unroll factors.
+//!
+//! ```text
+//! cargo run --release --example genome_unroll
+//! ```
+
+use hlsb::delay::{CalibratedModel, HlsPredictedModel};
+use hlsb::ir::unroll::unroll_loop;
+use hlsb::sched::{broadcast_aware, schedule_loop, ScheduleReport};
+use hlsb::{Flow, OptimizationOptions};
+use hlsb_benchmarks::genome;
+use hlsb_fabric::Device;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::ultrascale_plus_vu9p();
+    let clock_mhz = 333.0;
+    let clock_ns = 1000.0 / clock_mhz;
+
+    // 1. The schedule report the paper's tool parses, at unroll 8
+    //    (small enough to print).
+    let small = genome::design(8);
+    let unrolled = unroll_loop(&small.kernels[0].loops[0]).looop;
+    let predicted = HlsPredictedModel::new();
+    let schedule = schedule_loop(&unrolled, &small, &predicted, clock_ns);
+    let report = ScheduleReport::from_schedule("back_search", &unrolled.body, &schedule);
+    println!("broadcast entries in the schedule report (bf >= 8):");
+    for e in report.broadcasts(8) {
+        println!(
+            "  {} {} ({}): cycle {}, bf {}",
+            e.inst, e.op, e.name, e.cycle, e.broadcast_factor
+        );
+    }
+
+    // 2. The §4.1 pass at the paper's BACK_SEARCH_COUNT = 64.
+    let full = genome::design(64);
+    let unrolled64 = unroll_loop(&full.kernels[0].loops[0]).looop;
+    let calibrated = CalibratedModel::characterize_analytic(&device, 1);
+    let outcome = broadcast_aware(&unrolled64, &full, &predicted, &calibrated, clock_ns);
+    println!(
+        "\nbroadcast-aware pass at unroll 64: {} register(s) inserted in {} round(s); \
+         pipeline depth {} (II {})",
+        outcome.inserted_regs, outcome.rounds, outcome.schedule.depth, outcome.schedule.ii
+    );
+
+    // 3. End-to-end Fmax across unroll factors (the paper's Fig. 15b).
+    println!("\n{:>8} {:>12} {:>12} {:>7}", "unroll", "orig (MHz)", "opt (MHz)", "gain");
+    for unroll in [8u32, 16, 32] {
+        let design = genome::design(unroll);
+        let run = |opts| {
+            Flow::new(design.clone())
+                .device(device.clone())
+                .clock_mhz(clock_mhz)
+                .options(opts)
+                .seed(7)
+                .run()
+        };
+        let orig = run(OptimizationOptions::none())?;
+        let opt = run(OptimizationOptions::data_only())?;
+        println!(
+            "{unroll:>8} {:>12.0} {:>12.0} {:>+6.0}%",
+            orig.fmax_mhz,
+            opt.fmax_mhz,
+            opt.gain_over(&orig)
+        );
+    }
+    println!(
+        "\n(paper anchor at unroll 64: 264 -> 341 MHz, +29%; beyond unroll 32 the\n\
+         fabric model's placement quality, not the schedule, binds — see\n\
+         EXPERIMENTS.md, deviation 1)"
+    );
+    Ok(())
+}

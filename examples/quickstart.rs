@@ -1,0 +1,57 @@
+//! Quickstart: build a small streaming design with the IR builder, run the
+//! implementation flow with and without the paper's optimizations, and
+//! compare the achieved Fmax.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hlsb::{Flow, OptimizationOptions};
+use hlsb_fabric::Device;
+use hlsb_ir::builder::DesignBuilder;
+use hlsb_ir::types::DataType;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A distance-scoring kernel: one anchor value broadcast into 64
+    // unrolled compare-and-score chains, streaming through FIFOs — both
+    // broadcast categories in ~20 lines.
+    let mut b = DesignBuilder::new("quickstart");
+    let x_in = b.fifo("x_in", DataType::Int(32), 2);
+    let y_out = b.fifo("y_out", DataType::Int(32), 2);
+
+    let mut kernel = b.kernel("score");
+    let mut body = kernel.pipelined_loop("main", 4096, 1);
+    body.set_unroll(64);
+    let anchor = body.invariant_input("anchor", DataType::Int(32)); // broadcast!
+    let x = body.fifo_read(x_in, DataType::Int(32));
+    let dist = body.sub(x, anchor);
+    let mag = body.abs(dist);
+    let clipped = body.min(mag, x);
+    body.fifo_write(y_out, clipped);
+    body.finish();
+    kernel.finish();
+    let design = b.finish()?;
+
+    let device = Device::ultrascale_plus_vu9p();
+    println!("design: {} ({} instructions before unrolling)", design.name, design.inst_count());
+    println!("target: {} @ 300 MHz\n", device);
+
+    let baseline = Flow::new(design.clone())
+        .device(device.clone())
+        .clock_mhz(300.0)
+        .options(OptimizationOptions::none())
+        .run()?;
+    println!("baseline (stock HLS):    {baseline}");
+    println!("  stall-broadcast fanout: {}", baseline.lower_info.max_control_fanout);
+
+    let optimized = Flow::new(design)
+        .device(device)
+        .clock_mhz(300.0)
+        .options(OptimizationOptions::all())
+        .run()?;
+    println!("optimized (paper's fixes): {optimized}");
+    println!("  registers inserted by broadcast-aware scheduling: {}", optimized.inserted_regs);
+    println!("  skid buffer bits: {}", optimized.lower_info.skid_buffer_bits);
+    println!("\nfrequency gain: {:+.0}%", optimized.gain_over(&baseline));
+    Ok(())
+}

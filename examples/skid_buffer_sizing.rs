@@ -1,0 +1,58 @@
+//! Skid-buffer theory in isolation (paper §4.3): the N+1 depth bound, the
+//! throughput equivalence with stall-based control, and the min-area
+//! multi-level split (Fig. 12/17).
+//!
+//! ```text
+//! cargo run --release --example skid_buffer_sizing
+//! ```
+
+use hlsb_ctrl::sim::{simulate_skid_with, simulate_stall, GatePolicy};
+use hlsb_ctrl::{min_area_split, naive_area_bits, required_depth, simulate_skid};
+
+fn main() {
+    // 1. The N+1 bound, demonstrated cycle-accurately.
+    let n = 12;
+    let inputs: Vec<u64> = (0..60).collect();
+    let blocked = |c: u64| c < 5; // downstream accepts 5, then blocks
+
+    let ok = simulate_skid_with(
+        n,
+        required_depth(n),
+        GatePolicy::RegisteredEmpty,
+        &inputs,
+        blocked,
+        10_000,
+    );
+    let bad = simulate_skid_with(n, n, GatePolicy::RegisteredEmpty, &inputs, blocked, 10_000);
+    println!("pipeline of N = {n} stages under a hard downstream block:");
+    println!(
+        "  depth N+1 = {}: peak occupancy {}, overflow: {}",
+        required_depth(n),
+        ok.peak_occupancy,
+        ok.overflow
+    );
+    println!("  depth N   = {n}: overflow: {} (the +1 matters)", bad.overflow);
+
+    // 2. Throughput equivalence vs the stall broadcast.
+    let inputs: Vec<u64> = (0..5_000).collect();
+    let ready = |c: u64| (c * 2654435761) % 100 < 60; // ~60% duty downstream
+    let stall = simulate_stall(n, 2, &inputs, ready, 1_000_000);
+    let skid = simulate_skid(n, required_depth(n), &inputs, ready, 1_000_000);
+    println!("\n5000 items through 60%-duty back-pressure:");
+    println!("  stall control: {} cycles", stall.cycles);
+    println!("  skid control:  {} cycles (same output stream: {})",
+        skid.cycles, stall.outputs == skid.outputs);
+
+    // 3. Min-area split on the paper's Fig. 17 profile.
+    let mut widths = vec![32u64; 56];
+    widths.extend([1024u64; 5]);
+    let plan = min_area_split(&widths);
+    println!("\nFig. 17 profile (56 narrow + 5 wide stages):");
+    println!("  naive end buffer: {} bits", naive_area_bits(61, 1024));
+    println!(
+        "  min-area split at stages {:?}: {} bits ({:.0}% saved)",
+        plan.cuts,
+        plan.total_bits,
+        100.0 * plan.saving()
+    );
+}

@@ -1,0 +1,49 @@
+//! The paper's §5.5 combined-effect study (Fig. 18/19): a simple stream
+//! buffer suffers from *both* broadcast categories at once — the write
+//! data fans out to every BRAM unit, and the stall enable fans out to all
+//! units and pipeline registers. Only fixing both scales.
+//!
+//! ```text
+//! cargo run --release --example stream_buffer
+//! ```
+
+use hlsb::{Flow, OptimizationOptions};
+use hlsb_benchmarks::stream_buffer;
+use hlsb_fabric::Device;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::ultrascale_plus_vu9p();
+    println!("stream buffer: Fmax vs size, per optimization level\n");
+    println!(
+        "{:>10} {:>7} {:>12} {:>14} {:>16}",
+        "words", "BRAMs", "orig (MHz)", "data-only (MHz)", "data+ctrl (MHz)"
+    );
+
+    for words in [1 << 14, 1 << 17, 1 << 20] {
+        let design = stream_buffer::design(words);
+        let brams = design.arrays[0].bram_units();
+        let run = |opts| {
+            Flow::new(design.clone())
+                .device(device.clone())
+                .clock_mhz(333.0)
+                .options(opts)
+                .seed(11)
+                .run()
+        };
+        let orig = run(OptimizationOptions::none())?;
+        let data = run(OptimizationOptions::data_only())?;
+        let both = run(OptimizationOptions::all())?;
+        println!(
+            "{words:>10} {brams:>7} {:>12.0} {:>14.0} {:>16.0}",
+            orig.fmax_mhz, data.fmax_mhz, both.fmax_mhz
+        );
+    }
+
+    println!(
+        "\nThe original collapses as the buffer grows; the data-broadcast fix\n\
+         (distribution registers + duplicable source) helps but the enable\n\
+         broadcast remains; with skid-buffer control the design stays fast.\n\
+         (Paper Table 1: 154 -> 281 MHz at 95% BRAM, +82%.)"
+    );
+    Ok(())
+}

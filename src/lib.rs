@@ -1,0 +1,2 @@
+//! Reproduction harness root crate: re-exports for examples and integration tests.
+pub use hlsb;

@@ -1,0 +1,173 @@
+//! Table-1-shape integration tests: reduced-size variants of the paper's
+//! benchmarks must reproduce the qualitative results (optimizations help;
+//! the control-bound designs gain most; area overhead is marginal).
+//!
+//! The full-size sweep is in `hlsb-bench`'s `table1` binary; these tests
+//! use smaller parameters so they stay fast in debug builds.
+
+use hlsb::{Flow, ImplementationResult, OptimizationOptions, PlaceEffort};
+use hlsb_benchmarks::{
+    face_detect, genome, hbm_stencil, lstm, matmul, pattern_match, stencil, stream_buffer,
+    vector_arith,
+};
+use hlsb_fabric::Device;
+use hlsb_ir::Design;
+
+fn run(design: &Design, device: &Device, opts: OptimizationOptions) -> ImplementationResult {
+    Flow::new(design.clone())
+        .device(device.clone())
+        .clock_mhz(300.0)
+        .options(opts)
+        .place_effort(PlaceEffort::Fast)
+        .place_seeds(2)
+        .seed(0xDAC2)
+        .run()
+        .expect("flow succeeds")
+}
+
+/// Runs orig vs all-opt and returns (orig, opt).
+fn orig_vs_opt(design: &Design, device: &Device) -> (ImplementationResult, ImplementationResult) {
+    (
+        run(design, device, OptimizationOptions::none()),
+        run(design, device, OptimizationOptions::all()),
+    )
+}
+
+#[test]
+fn genome_gains_from_data_optimization() {
+    let d = genome::design(32);
+    let (orig, opt) = orig_vs_opt(&d, &Device::ultrascale_plus_vu9p());
+    assert!(opt.fmax_mhz > orig.fmax_mhz, "{} vs {}", opt.fmax_mhz, orig.fmax_mhz);
+    assert!(opt.inserted_regs > 0);
+}
+
+#[test]
+fn lstm_flow_completes_with_conservative_fmul() {
+    let d = lstm::design(16);
+    let (orig, opt) = orig_vs_opt(&d, &Device::ultrascale_plus_vu9p());
+    // fmul's conservative prediction means little reg insertion; the flow
+    // must still never regress badly.
+    assert!(opt.fmax_mhz >= orig.fmax_mhz * 0.85);
+}
+
+#[test]
+fn face_detection_on_zynq() {
+    let d = face_detect::design(5, 24);
+    let (orig, opt) = orig_vs_opt(&d, &Device::zynq_zc706());
+    assert!(opt.fmax_mhz >= orig.fmax_mhz * 0.9);
+    // The slower family caps absolute frequency.
+    assert!(orig.fmax_mhz < 400.0);
+}
+
+#[test]
+fn matmul_and_stream_buffer_need_both_fixes() {
+    let dev = Device::ultrascale_plus_vu9p();
+    for d in [matmul::design(16, 4), stream_buffer::design(1 << 17)] {
+        let (orig, opt) = orig_vs_opt(&d, &dev);
+        assert!(
+            opt.fmax_mhz > orig.fmax_mhz * 0.95,
+            "{}: {} vs {}",
+            d.name,
+            opt.fmax_mhz,
+            orig.fmax_mhz
+        );
+    }
+}
+
+#[test]
+fn stream_buffer_gain_grows_with_size() {
+    let dev = Device::ultrascale_plus_vu9p();
+    let small = stream_buffer::design(1 << 12);
+    let large = stream_buffer::design(1 << 18);
+    let (so, sp) = orig_vs_opt(&small, &dev);
+    let (lo, lp) = orig_vs_opt(&large, &dev);
+    let small_gain = sp.gain_over(&so);
+    let large_gain = lp.gain_over(&lo);
+    assert!(
+        large_gain > small_gain - 5.0,
+        "gain should grow with buffer size: {small_gain:.0}% -> {large_gain:.0}%"
+    );
+}
+
+#[test]
+fn stencil_stall_decays_with_pipeline_length() {
+    let dev = Device::ultrascale_plus_vu9p();
+    let short = run(&stencil::design(1), &dev, OptimizationOptions::none());
+    let long = run(&stencil::design(4), &dev, OptimizationOptions::none());
+    assert!(
+        long.fmax_mhz < short.fmax_mhz,
+        "stall control must decay: {} -> {}",
+        short.fmax_mhz,
+        long.fmax_mhz
+    );
+}
+
+#[test]
+fn vector_product_sync_is_pruned() {
+    let d = vector_arith::design(64, 4);
+    let dev = Device::ultrascale_plus_vu9p();
+    let orig = run(&d, &dev, OptimizationOptions::none());
+    let opt = run(&d, &dev, OptimizationOptions::all());
+    assert_eq!(orig.lower_info.sync_waited, 4);
+    assert_eq!(opt.lower_info.sync_waited, 1, "only the slowest PE is waited");
+}
+
+#[test]
+fn hbm_scatter_splits_into_free_running_flows() {
+    let d = hbm_stencil::design(8, 4);
+    let dev = Device::alveo_u50();
+    let orig = run(&d, &dev, OptimizationOptions::none());
+    let opt = run(&d, &dev, OptimizationOptions::all());
+    assert!(
+        opt.fmax_mhz > orig.fmax_mhz * 1.1,
+        "splitting should clearly help: {} vs {}",
+        opt.fmax_mhz,
+        orig.fmax_mhz
+    );
+}
+
+#[test]
+fn pattern_matching_needs_control_fix_for_full_gain() {
+    // Table 3's ladder: data-only <= data+ctrl.
+    let d = pattern_match::design(16, 16);
+    let dev = Device::virtex7();
+    let orig = run(&d, &dev, OptimizationOptions::none());
+    let data = run(&d, &dev, OptimizationOptions::data_only());
+    let all = run(&d, &dev, OptimizationOptions::all());
+    assert!(data.fmax_mhz >= orig.fmax_mhz * 0.9);
+    assert!(
+        all.fmax_mhz > data.fmax_mhz,
+        "ctrl fix must add gain: {} vs {}",
+        all.fmax_mhz,
+        data.fmax_mhz
+    );
+}
+
+#[test]
+#[ignore = "full-size Table 1 sweep; run with --ignored in release builds"]
+fn full_table1_average_gain_matches_paper_band() {
+    let mut gains = Vec::new();
+    for b in hlsb_benchmarks::all_benchmarks() {
+        let orig = Flow::new(b.design.clone())
+            .device(b.device.clone())
+            .clock_mhz(b.clock_mhz)
+            .options(OptimizationOptions::none())
+            .seed(0xDAC2_2020)
+            .run()
+            .expect("orig");
+        let opt = Flow::new(b.design.clone())
+            .device(b.device.clone())
+            .clock_mhz(b.clock_mhz)
+            .options(OptimizationOptions::all())
+            .seed(0xDAC2_2020)
+            .run()
+            .expect("opt");
+        gains.push(opt.gain_over(&orig));
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    assert!(
+        (25.0..=100.0).contains(&avg),
+        "average gain {avg:.0}% out of the paper's band (paper: 53%)"
+    );
+    assert!(gains.iter().all(|&g| g > -10.0), "{gains:?}");
+}

@@ -1,0 +1,80 @@
+//! Cross-crate properties of the delay calibration and control machinery,
+//! checked against the paper's published anchor points.
+
+use hlsb_ctrl::{brute_force_split, min_area_split};
+use hlsb_delay::{characterize, CalibratedModel, CharacterizeConfig, DelayModel, HlsPredictedModel, OpClass};
+use hlsb_fabric::Device;
+use hlsb_ir::{ArrayId, DataType, OpKind};
+use hlsb_rtlgen::stage_widths;
+use hlsb_sched::schedule_loop;
+use proptest::prelude::*;
+
+#[test]
+fn paper_anchor_sub_64_broadcast() {
+    // §5.2: "we adjust the predicted delay of the sub from 0.78ns to
+    // 2.08ns according to our measurement of the skeleton designs".
+    let cal = CalibratedModel::characterize_analytic(&Device::ultrascale_plus_vu9p(), 0);
+    let d = cal.delay_ns(OpKind::Sub, DataType::Int(32), 64);
+    assert!((1.7..=2.5).contains(&d), "sub@64 = {d:.2} ns (paper: 2.08)");
+}
+
+#[test]
+fn fig9_relationships_hold() {
+    let dev = Device::ultrascale_plus_vu9p();
+    let ch = characterize(&dev, &CharacterizeConfig::default());
+    let cal = CalibratedModel::from_characterization(&ch);
+    let pred = HlsPredictedModel::new();
+    let i32t = DataType::Int(32);
+    let f32t = DataType::Float32;
+
+    // (a) predicted flat, calibrated grows: add & buffer access.
+    for (op, ty) in [(OpKind::Add, i32t), (OpKind::Store(ArrayId(0)), i32t)] {
+        assert_eq!(pred.delay_ns(op, ty, 1), pred.delay_ns(op, ty, 1024));
+        assert!(cal.delay_ns(op, ty, 1024) > cal.delay_ns(op, ty, 1) + 1.0);
+        // consistency at small factors (§4.1)
+        assert!((cal.delay_ns(op, ty, 1) - pred.delay_ns(op, ty, 1)).abs() < 0.4);
+    }
+    // (b) fmul: prediction deliberately conservative; calibrated = max.
+    let fmul_raw = ch.curve(OpClass::FloatMul).unwrap();
+    assert!(pred.delay_ns(OpKind::Mul, f32t, 1) > fmul_raw[0].raw_ns);
+    assert_eq!(cal.delay_ns(OpKind::Mul, f32t, 1), pred.delay_ns(OpKind::Mul, f32t, 1));
+    assert!(cal.delay_ns(OpKind::Mul, f32t, 1024) >= pred.delay_ns(OpKind::Mul, f32t, 1024));
+}
+
+#[test]
+fn fig17_dp_on_real_schedule_widths() {
+    // The DP on the real (a.b)c pipeline must cut at the scalar waist and
+    // beat the naive end buffer by a wide margin.
+    let design = hlsb_benchmarks::vector_arith::dot_scale_pipeline(32);
+    let lp = &design.kernels[0].loops[0];
+    let sched = schedule_loop(lp, &design, &HlsPredictedModel::new(), 3.0);
+    let widths = stage_widths(lp, &sched);
+    assert!(widths.iter().min().copied().unwrap() <= 40, "waist missing: {widths:?}");
+    let plan = min_area_split(&widths);
+    assert!(plan.saving() > 0.5, "saving {:.2}", plan.saving());
+    assert!(plan.cuts.len() >= 2, "expected a waist cut: {:?}", plan.cuts);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn calibrated_dominates_predicted(bf in 1usize..2000) {
+        let cal = CalibratedModel::characterize_analytic(&Device::ultrascale_plus_vu9p(), 1);
+        let pred = HlsPredictedModel::new();
+        for (op, ty) in [
+            (OpKind::Add, DataType::Int(32)),
+            (OpKind::Mul, DataType::Float32),
+            (OpKind::Load(ArrayId(0)), DataType::Int(32)),
+        ] {
+            prop_assert!(cal.delay_ns(op, ty, bf) + 1e-9 >= pred.delay_ns(op, ty, bf));
+        }
+    }
+
+    #[test]
+    fn dp_split_is_optimal_on_random_profiles(
+        widths in proptest::collection::vec(1u64..4096, 1..11)
+    ) {
+        prop_assert_eq!(min_area_split(&widths).total_bits, brute_force_split(&widths));
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration: the full flow (IR → schedule → RTL → place →
+//! timing) on small designs, checking end-to-end invariants.
+
+use hlsb::{Flow, FlowError, OptimizationOptions, PlaceEffort};
+use hlsb_fabric::Device;
+use hlsb_ir::builder::DesignBuilder;
+use hlsb_ir::{DataType, Design};
+
+fn broadcast_design(unroll: u32) -> Design {
+    let mut b = DesignBuilder::new("it_bcast");
+    let fin = b.fifo("in", DataType::Int(32), 2);
+    let fout = b.fifo("out", DataType::Int(32), 2);
+    let mut k = b.kernel("top");
+    let mut l = k.pipelined_loop("body", 256, 1);
+    l.set_unroll(unroll);
+    let src = l.invariant_input("src", DataType::Int(32));
+    let x = l.fifo_read(fin, DataType::Int(32));
+    let d = l.sub(x, src);
+    let m = l.abs(d);
+    let r = l.min(m, x);
+    l.fifo_write(fout, r);
+    l.finish();
+    k.finish();
+    b.finish().expect("valid")
+}
+
+fn run(design: &Design, opts: OptimizationOptions, seed: u64) -> hlsb::ImplementationResult {
+    Flow::new(design.clone())
+        .device(Device::ultrascale_plus_vu9p())
+        .clock_mhz(300.0)
+        .options(opts)
+        .place_effort(PlaceEffort::Fast)
+        .place_seeds(1)
+        .seed(seed)
+        .run()
+        .expect("flow succeeds")
+}
+
+#[test]
+fn optimizations_never_break_the_flow_and_usually_help() {
+    let design = broadcast_design(32);
+    let orig = run(&design, OptimizationOptions::none(), 5);
+    let opt = run(&design, OptimizationOptions::all(), 5);
+    assert!(orig.fmax_mhz > 30.0);
+    assert!(
+        opt.fmax_mhz >= orig.fmax_mhz * 0.9,
+        "opt {} vs orig {}",
+        opt.fmax_mhz,
+        orig.fmax_mhz
+    );
+    assert!(opt.inserted_regs > 0, "the 32-way broadcast should get registers");
+}
+
+#[test]
+fn results_are_deterministic() {
+    let design = broadcast_design(16);
+    let a = run(&design, OptimizationOptions::all(), 9);
+    let b = run(&design, OptimizationOptions::all(), 9);
+    assert_eq!(a.fmax_mhz, b.fmax_mhz);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.critical_cells, b.critical_cells);
+}
+
+#[test]
+fn area_overhead_of_optimizations_is_marginal() {
+    // Paper: "with a marginal area overhead". Allow < 35% FF growth and
+    // < 15% LUT growth on this small design.
+    let design = broadcast_design(64);
+    let orig = run(&design, OptimizationOptions::none(), 2);
+    let opt = run(&design, OptimizationOptions::all(), 2);
+    let ff_growth = opt.stats.ffs as f64 / orig.stats.ffs.max(1) as f64;
+    let lut_growth = opt.stats.luts as f64 / orig.stats.luts.max(1) as f64;
+    assert!(ff_growth < 1.35, "FF growth {ff_growth:.2}x");
+    assert!(lut_growth < 1.15, "LUT growth {lut_growth:.2}x");
+}
+
+#[test]
+fn skid_control_removes_the_stall_broadcast() {
+    let design = broadcast_design(32);
+    let stall = run(&design, OptimizationOptions::none(), 3);
+    let skid = run(&design, OptimizationOptions::skid_plain(), 3);
+    assert!(
+        skid.lower_info.max_control_fanout * 4 < stall.lower_info.max_control_fanout,
+        "skid ctrl fanout {} vs stall {}",
+        skid.lower_info.max_control_fanout,
+        stall.lower_info.max_control_fanout
+    );
+    assert!(skid.lower_info.skid_buffer_bits > 0);
+    assert_eq!(stall.lower_info.skid_buffer_bits, 0);
+}
+
+#[test]
+fn depth_grows_but_ii_is_preserved_by_broadcast_fix() {
+    // Paper §5.2: "the length of the pipeline is 9 originally and 10 after
+    // optimization. Both have the same initiation interval of 1."
+    let design = broadcast_design(64);
+    let orig = run(&design, OptimizationOptions::none(), 4);
+    let opt = run(&design, OptimizationOptions::data_only(), 4);
+    let d0 = orig.schedule_depths[0];
+    let d1 = opt.schedule_depths[0];
+    assert!(d1 >= d0, "depth must not shrink: {d0} -> {d1}");
+    assert!(d1 <= d0 + 4, "depth overhead should be small: {d0} -> {d1}");
+}
+
+#[test]
+fn impossible_designs_error_cleanly() {
+    // Unverifiable IR is rejected before any heavy work. The builder
+    // sanitizes pragmas, so corrupt the design directly.
+    let mut b = DesignBuilder::new("bad");
+    let mut k = b.kernel("top");
+    let mut l = k.pipelined_loop("body", 4, 1);
+    let x = l.varying_input("x", DataType::Int(32));
+    l.output("o", x);
+    l.finish();
+    k.finish();
+    let mut d = b.finish_unverified();
+    d.kernels[0].loops[0].unroll = 0; // invalid pragma
+    let err = Flow::new(d).run().unwrap_err();
+    assert!(matches!(err, FlowError::InvalidIr(_)), "{err}");
+}

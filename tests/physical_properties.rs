@@ -1,0 +1,121 @@
+//! Physical-flow properties spanning netlist, placement and timing.
+
+use hlsb_fabric::{Device, WireModel};
+use hlsb_netlist::{Cell, Netlist, to_verilog};
+use hlsb_place::{place, Placement};
+use hlsb_timing::sta;
+use proptest::prelude::*;
+
+/// A random feed-forward netlist: FF sources, comb middle layers, FF sinks.
+fn random_netlist(shape: &[u8]) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mut prev: Vec<_> = (0..3)
+        .map(|i| nl.add_cell(Cell::ff(format!("src{i}"), 8)))
+        .collect();
+    for (li, &n) in shape.iter().enumerate() {
+        let layer: Vec<_> = (0..(n % 5) + 1)
+            .map(|i| nl.add_cell(Cell::comb(format!("l{li}_{i}"), 8, 0.3 + f64::from(n % 3) * 0.2, 8)))
+            .collect();
+        for (i, &c) in layer.iter().enumerate() {
+            let d = prev[i % prev.len()];
+            nl.connect(d, &[c]);
+        }
+        prev = layer;
+    }
+    let sink = nl.add_cell(Cell::ff("sink", 8));
+    let last = prev[0];
+    nl.connect(last, &[sink]);
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn placement_is_legal_and_sta_is_finite(
+        shape in proptest::collection::vec(0u8..250, 1..8),
+        seed in 0u64..1000,
+    ) {
+        let nl = random_netlist(&shape);
+        let dev = Device::ultrascale_plus_vu9p();
+        let p = place(&nl, &dev, seed);
+        prop_assert!(p.in_bounds());
+        // Site exclusivity holds.
+        let mut seen = std::collections::HashSet::new();
+        for (id, _) in nl.cells() {
+            prop_assert!(seen.insert(p.loc(id)), "collision at {:?}", p.loc(id));
+        }
+        let r = sta(&nl, &p, &WireModel::for_device(&dev));
+        prop_assert!(r.period_ns.is_finite() && r.period_ns > 0.0);
+        prop_assert!(!r.critical_path.is_empty());
+    }
+
+    #[test]
+    fn sta_is_monotone_in_distance(
+        shape in proptest::collection::vec(0u8..250, 1..6),
+        dx in 1u16..40,
+    ) {
+        // Stretching the placement (moving one critical cell away) never
+        // decreases the period.
+        let nl = random_netlist(&shape);
+        let dev = Device::ultrascale_plus_vu9p();
+        let mut p = place(&nl, &dev, 1);
+        let w = WireModel::for_device(&dev);
+        let before = sta(&nl, &p, &w);
+        let victim = *before.critical_path.last().unwrap();
+        let (x, y) = p.loc(victim);
+        p.set_loc(victim, ((x + dx).min(dev.grid_w as u16 - 1), y));
+        let after = sta(&nl, &p, &w);
+        prop_assert!(after.period_ns + 1e-9 >= before.period_ns);
+    }
+
+    #[test]
+    fn verilog_export_is_structurally_consistent(
+        shape in proptest::collection::vec(0u8..250, 1..6),
+    ) {
+        let nl = random_netlist(&shape);
+        let v = to_verilog(&nl);
+        // Balanced modules, one wire per net, one instance line per
+        // non-port cell.
+        prop_assert_eq!(v.matches("module ").count(), v.matches("endmodule").count());
+        // One wire declaration per net in the top module (the primitive
+        // library after the first `endmodule` has its own wires).
+        let top = v.split("endmodule").next().expect("top module");
+        prop_assert_eq!(top.matches("    wire ").count(), nl.net_count());
+        let instances = v.matches("hlsb_ff").count() + v.matches("hlsb_comb").count()
+            + v.matches("hlsb_bram").count() + v.matches("hlsb_const").count();
+        // Primitive names appear once in the library and once per instance.
+        prop_assert!(instances >= nl.cell_count());
+    }
+}
+
+#[test]
+fn verilog_export_of_an_implemented_benchmark() {
+    use hlsb::{Flow, OptimizationOptions, PlaceEffort};
+    let bench = hlsb_benchmarks::genome::design(8);
+    let (result, netlist, placement) = Flow::new(bench)
+        .options(OptimizationOptions::all())
+        .place_effort(PlaceEffort::Fast)
+        .place_seeds(1)
+        .run_detailed()
+        .expect("flow");
+    let v = to_verilog(&netlist);
+    assert!(v.contains("module genome_chaining"));
+    assert!(v.matches("hlsb_ff").count() > 10);
+    // The timing path report renders against the same artifacts.
+    let wire = WireModel::for_device(&hlsb_fabric::Device::ultrascale_plus_vu9p());
+    let text = result.timing.path_text(&netlist, &placement, &wire);
+    assert!(text.contains("critical path"), "{text}");
+}
+
+#[test]
+fn placement_type_is_reusable_for_manual_analyses() {
+    // The Placement API supports hand-built analyses (docs example check).
+    let mut nl = Netlist::new("m");
+    let a = nl.add_cell(Cell::ff("a", 4));
+    let b = nl.add_cell(Cell::ff("b", 4));
+    nl.connect(a, &[b]);
+    let p = Placement::from_locs(vec![(0, 0), (3, 4)], 10, 10);
+    assert_eq!(p.dist(a, b), 7.0);
+    assert_eq!(p.total_hpwl(&nl), 7.0);
+}

@@ -1,0 +1,145 @@
+//! The optimizations must never change what a design computes. These
+//! tests run the reference interpreter over original and transformed
+//! loops and require identical observable outputs.
+
+use hlsb_delay::{CalibratedModel, HlsPredictedModel};
+use hlsb_fabric::Device;
+use hlsb_ir::interp::{Interpreter, LoopIo};
+use hlsb_ir::unroll::unroll_loop;
+use hlsb_ir::{CmpPred, DataType, Design, InstId, Loop, OpKind};
+use hlsb_sched::broadcast_aware;
+use hlsb_sync::split_loop_flows;
+use proptest::prelude::*;
+
+#[test]
+fn broadcast_aware_rewrite_preserves_genome_outputs() {
+    let design = hlsb_benchmarks::genome::design(16);
+    let lp = unroll_loop(&design.kernels[0].loops[0]).looop;
+
+    let calibrated = CalibratedModel::characterize_analytic(&Device::ultrascale_plus_vu9p(), 3);
+    let out = broadcast_aware(&lp, &design, &HlsPredictedModel::new(), &calibrated, 3.0);
+    assert!(out.inserted_regs > 0, "transform must actually fire");
+
+    let run = |lp: &Loop| {
+        let mut io = LoopIo::default();
+        let fin = design
+            .fifos
+            .iter()
+            .position(|f| f.name == "anchors_in")
+            .map(|i| hlsb_ir::FifoId(i as u32))
+            .unwrap();
+        io.fifo_inputs
+            .insert(fin, (0..256).map(|i| i * 7 - 300).collect());
+        for name in ["curr_x", "curr_y", "curr_tag", "avg_qspan", "max_dist_x", "max_dist_y", "bw"]
+        {
+            io.invariants.insert(name.into(), 13);
+        }
+        Interpreter::new(&design).run_loop(lp, 8, &mut io);
+        io.fifo_outputs
+    };
+    assert_eq!(run(&lp), run(&out.looop));
+}
+
+#[test]
+fn dataflow_split_preserves_scatter_outputs() {
+    let design = hlsb_benchmarks::hbm_stencil::design(6, 4);
+    let lp = &design.kernels[0].loops[0];
+    let flows = split_loop_flows(lp);
+    assert_eq!(flows.len(), 6);
+
+    let feed = |io: &mut LoopIo| {
+        for (i, _) in design.fifos.iter().enumerate() {
+            io.fifo_inputs.insert(
+                hlsb_ir::FifoId(i as u32),
+                (0..64).map(|k| (k as i64) * 31 + i as i64).collect(),
+            );
+        }
+    };
+    let mut io_orig = LoopIo::default();
+    feed(&mut io_orig);
+    Interpreter::new(&design).run_loop(lp, 16, &mut io_orig);
+
+    let mut io_split = LoopIo::default();
+    feed(&mut io_split);
+    for f in &flows {
+        // Each flow reads disjoint FIFOs, so running them sequentially over
+        // the same IO is equivalent to the fused loop.
+        Interpreter::new(&design).run_loop(f, 16, &mut io_split);
+    }
+    assert_eq!(io_orig.fifo_outputs, io_split.fifo_outputs);
+}
+
+/// A tiny random straight-line program over two FIFO inputs.
+fn random_program(ops: &[u8]) -> (Design, hlsb_ir::FifoId, hlsb_ir::FifoId) {
+    let mut b = hlsb_ir::DesignBuilder::new("rand");
+    let fin = b.fifo("in", DataType::Int(32), 2);
+    let fout = b.fifo("out", DataType::Int(32), 2);
+    let mut k = b.kernel("top");
+    let mut l = k.pipelined_loop("main", 64, 1);
+    let inv = l.invariant_input("inv", DataType::Int(32));
+    let x = l.fifo_read(fin, DataType::Int(32));
+    let mut vals = vec![inv, x];
+    for (i, &op) in ops.iter().enumerate() {
+        let a = vals[(op as usize / 7) % vals.len()];
+        let c = vals[(op as usize / 3) % vals.len()];
+        let v = match op % 7 {
+            0 => l.add(a, c),
+            1 => l.sub(a, c),
+            2 => l.xor(a, c),
+            3 => l.min(a, c),
+            4 => l.max(a, c),
+            5 => {
+                let cond = l.cmp(CmpPred::Lt, a, c);
+                l.select(cond, a, c)
+            }
+            _ => l.abs(a),
+        };
+        let _ = i;
+        vals.push(v);
+    }
+    let last = *vals.last().expect("nonempty");
+    l.fifo_write(fout, last);
+    l.finish();
+    k.finish();
+    (b.finish().expect("valid"), fin, fout)
+}
+
+fn observe(design: &Design, lp: &Loop, fin: hlsb_ir::FifoId, fout: hlsb_ir::FifoId) -> Vec<i64> {
+    let mut io = LoopIo::default();
+    io.fifo_inputs
+        .insert(fin, (0..64).map(|k| k * 13 - 111).collect());
+    io.invariants.insert("inv".into(), 42);
+    Interpreter::new(design).run_loop(lp, 32, &mut io);
+    io.fifo_outputs.remove(&fout).unwrap_or_default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dce_and_reg_insertion_preserve_random_programs(
+        ops in proptest::collection::vec(0u8..252, 1..24),
+        reg_at in 0usize..20,
+    ) {
+        let (design, fin, fout) = random_program(&ops);
+        let lp = &design.kernels[0].loops[0];
+        let base = observe(&design, lp, fin, fout);
+
+        // DCE.
+        let (dce_body, _) = lp.body.eliminate_dead();
+        let dce = Loop { body: dce_body, ..lp.clone() };
+        prop_assert_eq!(&observe(&design, &dce, fin, fout), &base);
+
+        // Register insertion after an arbitrary (live, value-producing) def.
+        let candidates: Vec<InstId> = lp
+            .body
+            .iter()
+            .filter(|(_, i)| !i.kind.is_sink() && !matches!(i.kind, OpKind::FifoWrite(_)))
+            .map(|(id, _)| id)
+            .collect();
+        let def = candidates[reg_at % candidates.len()];
+        let (reg_body, _, _) = lp.body.insert_reg_after(def);
+        let reg = Loop { body: reg_body, ..lp.clone() };
+        prop_assert_eq!(&observe(&design, &reg, fin, fout), &base);
+    }
+}

@@ -1,36 +1,38 @@
 //! Core algorithm micro-benchmarks: the min-area DP, the flow-control
 //! simulators and the delay characterization.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hlsb_bench::time_it;
 use hlsb_ctrl::{min_area_split, required_depth, simulate_skid, simulate_stall};
 use hlsb_delay::{characterize, CharacterizeConfig};
 use hlsb_fabric::Device;
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithms");
+fn main() {
+    println!("algorithms");
 
     // Min-area DP on a 500-stage spindle profile.
     let widths: Vec<u64> = (0..500)
-        .map(|i| if i % 61 == 56 { 32 } else { 512 + (i % 7) as u64 * 64 })
+        .map(|i| {
+            if i % 61 == 56 {
+                32
+            } else {
+                512 + (i % 7) as u64 * 64
+            }
+        })
         .collect();
-    group.bench_function("min_area_split_500", |b| b.iter(|| min_area_split(&widths)));
+    time_it("min_area_split_500", 50, || min_area_split(&widths));
 
     // Cycle-accurate control simulation, 10k items through 30 stages.
     let inputs: Vec<u64> = (0..10_000).collect();
-    group.bench_function("simulate_stall_10k", |b| {
-        b.iter(|| simulate_stall(30, 2, &inputs, |c| c % 3 != 0, u64::MAX))
+    time_it("simulate_stall_10k", 50, || {
+        simulate_stall(30, 2, &inputs, |c| c % 3 != 0, u64::MAX)
     });
-    group.bench_function("simulate_skid_10k", |b| {
-        b.iter(|| simulate_skid(30, required_depth(30), &inputs, |c| c % 3 != 0, u64::MAX))
+    time_it("simulate_skid_10k", 50, || {
+        simulate_skid(30, required_depth(30), &inputs, |c| c % 3 != 0, u64::MAX)
     });
 
     // Analytic skeleton characterization (3 classes x 11 factors).
     let dev = Device::ultrascale_plus_vu9p();
-    group.bench_function("characterize_analytic", |b| {
-        b.iter(|| characterize(&dev, &CharacterizeConfig::default()))
+    time_it("characterize_analytic", 50, || {
+        characterize(&dev, &CharacterizeConfig::default())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_algorithms);
-criterion_main!(benches);

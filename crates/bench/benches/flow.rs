@@ -1,56 +1,33 @@
 //! End-to-end flow performance: how long one implementation run takes,
 //! baseline vs fully optimized.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlsb::{Flow, OptimizationOptions, PlaceEffort};
+use hlsb_bench::time_it;
 use hlsb_benchmarks::{genome, stream_buffer};
 use hlsb_fabric::Device;
 
-fn bench_flow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flow");
-    group.sample_size(10);
-
-    let genome_design = genome::design(32);
-    group.bench_function("genome32_baseline", |b| {
-        b.iter(|| {
-            Flow::new(genome_design.clone())
-                .device(Device::ultrascale_plus_vu9p())
-                .clock_mhz(300.0)
-                .options(OptimizationOptions::none())
-                .place_effort(PlaceEffort::Fast)
-                .place_seeds(1)
-                .run()
-                .unwrap()
-        })
-    });
-    group.bench_function("genome32_optimized", |b| {
-        b.iter(|| {
-            Flow::new(genome_design.clone())
-                .device(Device::ultrascale_plus_vu9p())
-                .clock_mhz(300.0)
-                .options(OptimizationOptions::all())
-                .place_effort(PlaceEffort::Fast)
-                .place_seeds(1)
-                .run()
-                .unwrap()
-        })
-    });
-
-    let sb = stream_buffer::design(1 << 18);
-    group.bench_function("stream_buffer_256k_optimized", |b| {
-        b.iter(|| {
-            Flow::new(sb.clone())
-                .device(Device::ultrascale_plus_vu9p())
-                .clock_mhz(300.0)
-                .options(OptimizationOptions::all())
-                .place_effort(PlaceEffort::Fast)
-                .place_seeds(1)
-                .run()
-                .unwrap()
-        })
-    });
-    group.finish();
+fn run(design: hlsb_ir::Design, options: OptimizationOptions) {
+    Flow::new(design)
+        .device(Device::ultrascale_plus_vu9p())
+        .clock_mhz(300.0)
+        .options(options)
+        .place_effort(PlaceEffort::Fast)
+        .place_seeds(1)
+        .run()
+        .unwrap();
 }
 
-criterion_group!(benches, bench_flow);
-criterion_main!(benches);
+fn main() {
+    println!("flow");
+    let genome_design = genome::design(32);
+    time_it("genome32_baseline", 10, || {
+        run(genome_design.clone(), OptimizationOptions::none())
+    });
+    time_it("genome32_optimized", 10, || {
+        run(genome_design.clone(), OptimizationOptions::all())
+    });
+    let sb = stream_buffer::design(1 << 18);
+    time_it("stream_buffer_256k_optimized", 10, || {
+        run(sb.clone(), OptimizationOptions::all())
+    });
+}

@@ -1,7 +1,7 @@
 //! Physical-flow performance: placement, STA and the optimization passes
 //! on a mid-size lowered netlist.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hlsb_bench::time_it;
 use hlsb_delay::HlsPredictedModel;
 use hlsb_fabric::{Device, WireModel};
 use hlsb_ir::unroll::unroll_loop;
@@ -42,7 +42,8 @@ fn lowered_stencil() -> hlsb_netlist::Netlist {
     .netlist
 }
 
-fn bench_physical(c: &mut Criterion) {
+fn main() {
+    println!("physical");
     let netlist = lowered_stencil();
     let device = Device::ultrascale_plus_vu9p();
     let wire = WireModel::for_device(&device);
@@ -54,25 +55,15 @@ fn bench_physical(c: &mut Criterion) {
         batches: 25,
     };
 
-    let mut group = c.benchmark_group("physical");
-    group.sample_size(10);
-    group.bench_function("place_stencil2_fast", |b| {
-        b.iter(|| place_with(&netlist, &device, 7, fast))
+    time_it("place_stencil2_fast", 10, || {
+        place_with(&netlist, &device, 7, fast)
     });
 
     let placement = place_with(&netlist, &device, 7, fast);
-    group.bench_function("sta_stencil2", |b| {
-        b.iter(|| sta(&netlist, &placement, &wire))
+    time_it("sta_stencil2", 10, || sta(&netlist, &placement, &wire));
+    time_it("fanout_opt_stencil2", 10, || {
+        let mut nl = netlist.clone();
+        let mut p = placement.clone();
+        optimize_fanout(&mut nl, &mut p, FanoutOptions::default())
     });
-    group.bench_function("fanout_opt_stencil2", |b| {
-        b.iter(|| {
-            let mut nl = netlist.clone();
-            let mut p = placement.clone();
-            optimize_fanout(&mut nl, &mut p, FanoutOptions::default())
-        })
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_physical);
-criterion_main!(benches);

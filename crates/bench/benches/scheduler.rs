@@ -1,30 +1,26 @@
 //! Scheduler performance: plain list scheduling vs the broadcast-aware
 //! fix-point on the unrolled genome kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hlsb_bench::time_it;
 use hlsb_delay::{CalibratedModel, HlsPredictedModel};
 use hlsb_fabric::Device;
 use hlsb_ir::unroll::unroll_loop;
 use hlsb_sched::{broadcast_aware, schedule_loop};
 
-fn bench_scheduler(c: &mut Criterion) {
+fn main() {
+    println!("scheduler");
     let design = hlsb_benchmarks::genome::design(64);
     let unrolled = unroll_loop(&design.kernels[0].loops[0]).looop;
     let predicted = HlsPredictedModel::new();
     let calibrated = CalibratedModel::characterize_analytic(&Device::ultrascale_plus_vu9p(), 1);
 
-    let mut group = c.benchmark_group("scheduler");
-    group.bench_function("list_schedule_genome64", |b| {
-        b.iter(|| schedule_loop(&unrolled, &design, &predicted, 3.0))
+    time_it("list_schedule_genome64", 50, || {
+        schedule_loop(&unrolled, &design, &predicted, 3.0)
     });
-    group.bench_function("broadcast_aware_genome64", |b| {
-        b.iter(|| broadcast_aware(&unrolled, &design, &predicted, &calibrated, 3.0))
+    time_it("broadcast_aware_genome64", 20, || {
+        broadcast_aware(&unrolled, &design, &predicted, &calibrated, 3.0)
     });
-    group.bench_function("unroll_64x", |b| {
-        b.iter(|| unroll_loop(&design.kernels[0].loops[0]))
+    time_it("unroll_64x", 50, || {
+        unroll_loop(&design.kernels[0].loops[0])
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_scheduler);
-criterion_main!(benches);

@@ -43,14 +43,24 @@ fn main() {
     };
 
     println!("Ablation: handling a 32-way data broadcast (genome kernel)\n");
-    let orig = run(with_body(&design, unrolled.clone()), OptimizationOptions::none());
-    println!("{:<34} {:>4.0} MHz  (FF {:.1}%)", "no fix (baseline)", orig.fmax_mhz,
-        orig.utilization.ff_pct);
+    let orig = run(
+        with_body(&design, unrolled.clone()),
+        OptimizationOptions::none(),
+    );
+    println!(
+        "{:<34} {:>4.0} MHz  (FF {:.1}%)",
+        "no fix (baseline)", orig.fmax_mhz, orig.utilization.ff_pct
+    );
 
-    let aware = run(with_body(&design, unrolled.clone()), OptimizationOptions::data_only());
+    let aware = run(
+        with_body(&design, unrolled.clone()),
+        OptimizationOptions::data_only(),
+    );
     println!(
         "{:<34} {:>4.0} MHz  (FF {:.1}%, {} regs inserted)",
-        "broadcast-aware scheduling (ours)", aware.fmax_mhz, aware.utilization.ff_pct,
+        "broadcast-aware scheduling (ours)",
+        aware.fmax_mhz,
+        aware.utilization.ff_pct,
         aware.inserted_regs
     );
 
@@ -68,7 +78,10 @@ fn main() {
                 None => break,
             }
         }
-        let treed = Loop { body, ..unrolled.clone() };
+        let treed = Loop {
+            body,
+            ..unrolled.clone()
+        };
         let r = run(with_body(&design, treed), OptimizationOptions::none());
         println!(
             "{:<34} {:>4.0} MHz  (FF {:.1}%)",

@@ -31,7 +31,12 @@ fn main() {
             DataType::Int(32),
             OpClass::Mem,
         ),
-        ("float mul", OpKind::Mul, DataType::Float32, OpClass::FloatMul),
+        (
+            "float mul",
+            OpKind::Mul,
+            DataType::Float32,
+            OpClass::FloatMul,
+        ),
     ];
 
     println!(

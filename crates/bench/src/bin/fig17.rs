@@ -25,9 +25,16 @@ fn main() {
     let plan = min_area_split(&widths);
     let naive = naive_area_bits(n, *widths.last().unwrap());
     println!("\npipeline stages: {n}");
-    println!("waist: stage {} ({} bits)",
-        widths.iter().enumerate().min_by_key(|(_, &w)| w).map(|(i, _)| i + 1).unwrap(),
-        widths.iter().min().unwrap());
+    println!(
+        "waist: stage {} ({} bits)",
+        widths
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &w)| w)
+            .map(|(i, _)| i + 1)
+            .unwrap(),
+        widths.iter().min().unwrap()
+    );
     println!("naive end buffer:      {naive} bits");
     println!(
         "min-area split {:?}:  {} bits  ({:.0}% saved)",

@@ -1,0 +1,169 @@
+//! `lint` — run the static implicit-broadcast analyzer on the paper's
+//! benchmarks (or any subset) without placing or timing anything.
+//!
+//! ```text
+//! lint [--design <name>|all] [--target vu9p|zc706|u50|virtex7]
+//!      [--clock <mhz>] [--format table|jsonl|sarif] [--list]
+//! ```
+//!
+//! By default every benchmark is linted against its paper-mandated
+//! device and clock. `--target`/`--clock` override both for
+//! what-if runs (e.g. "would genome's broadcasts matter on a ZC706?").
+//! Exit status is 2 on usage errors, 1 if any finding is error-severity,
+//! 0 otherwise — so CI can gate on it like any other linter.
+
+use hlsb_benchmarks::{all_benchmarks, Benchmark};
+use hlsb_fabric::Device;
+use hlsb_lint::{lint_with, render_sarif, LintConfig, LintReport, Severity};
+use std::process::ExitCode;
+
+struct Args {
+    design: String,
+    target: Option<Device>,
+    clock_mhz: Option<f64>,
+    format: Format,
+    list: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Table,
+    Jsonl,
+    Sarif,
+}
+
+fn device_by_name(s: &str) -> Option<Device> {
+    match s {
+        "vu9p" => Some(Device::ultrascale_plus_vu9p()),
+        "zc706" => Some(Device::zynq_zc706()),
+        "u50" => Some(Device::alveo_u50()),
+        "virtex7" => Some(Device::virtex7()),
+        _ => None,
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: lint [--design <name>|all] [--target vu9p|zc706|u50|virtex7]\n\
+         \x20           [--clock <mhz>] [--format table|jsonl|sarif] [--list]"
+    );
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        design: "all".into(),
+        target: None,
+        clock_mhz: None,
+        format: Format::Table,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--design" => {
+                args.design = it.next().ok_or("--design needs a value")?;
+            }
+            "--target" => {
+                let t = it.next().ok_or("--target needs a value")?;
+                args.target = Some(device_by_name(&t).ok_or(format!("unknown target `{t}`"))?);
+            }
+            "--clock" => {
+                let c = it.next().ok_or("--clock needs a value")?;
+                let mhz: f64 = c.parse().map_err(|_| format!("bad clock `{c}`"))?;
+                if !(mhz.is_finite() && mhz > 0.0) {
+                    return Err(format!("bad clock `{c}`"));
+                }
+                args.clock_mhz = Some(mhz);
+            }
+            "--format" => {
+                args.format = match it.next().ok_or("--format needs a value")?.as_str() {
+                    "table" => Format::Table,
+                    "jsonl" => Format::Jsonl,
+                    "sarif" => Format::Sarif,
+                    f => return Err(format!("unknown format `{f}`")),
+                };
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            f => return Err(format!("unknown flag `{f}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn lint_benchmark(bench: &Benchmark, args: &Args) -> LintReport {
+    let device = args.target.clone().unwrap_or_else(|| bench.device.clone());
+    let config = LintConfig {
+        clock_mhz: args.clock_mhz.unwrap_or(bench.clock_mhz),
+        ..LintConfig::default()
+    };
+    lint_with(&bench.design, &device, config)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("lint: {e}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    let benches = all_benchmarks();
+    if args.list {
+        for b in &benches {
+            println!(
+                "{:<16} {:<22} {}",
+                b.design.name, b.broadcast_type, b.device.name
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&Benchmark> = if args.design == "all" {
+        benches.iter().collect()
+    } else {
+        benches
+            .iter()
+            .filter(|b| b.design.name == args.design)
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "lint: no benchmark named `{}` (try --list; one of: {})",
+            args.design,
+            benches
+                .iter()
+                .map(|b| b.design.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    }
+
+    let reports: Vec<LintReport> = selected.iter().map(|b| lint_benchmark(b, &args)).collect();
+    match args.format {
+        Format::Table => {
+            for r in &reports {
+                print!("{}", r.to_table());
+                println!();
+            }
+        }
+        Format::Jsonl => {
+            for r in &reports {
+                print!("{}", r.to_jsonl());
+            }
+        }
+        Format::Sarif => println!("{}", render_sarif(&reports)),
+    }
+
+    let worst = reports.iter().filter_map(LintReport::max_severity).max();
+    if worst == Some(Severity::Error) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -26,7 +26,10 @@ fn main() {
         .unwrap_or_else(|| panic!("no benchmark matching '{name}'"));
 
     println!("clock-target sweep: {} ({level})", bench.name);
-    println!("{:>13} {:>15} {:>7} {:>6}", "target (MHz)", "achieved (MHz)", "depth", "regs");
+    println!(
+        "{:>13} {:>15} {:>7} {:>6}",
+        "target (MHz)", "achieved (MHz)", "depth", "regs"
+    );
     for target in [150.0f64, 200.0, 250.0, 300.0, 333.0, 400.0, 500.0] {
         let r = Flow::new(bench.design.clone())
             .device(bench.device.clone())

@@ -9,8 +9,16 @@ fn main() {
     println!("Table 1: timing improvements and post-implementation resources");
     println!(
         "{:<20} {:<20} {:<24} {:>7} {:>7} {:>7} {:>7} {:>4} {:>4} {:>6}",
-        "Application", "Broadcast type", "Target FPGA", "LUT%", "FF%", "BRAM%", "DSP%", "Orig",
-        "Opt", "Diff"
+        "Application",
+        "Broadcast type",
+        "Target FPGA",
+        "LUT%",
+        "FF%",
+        "BRAM%",
+        "DSP%",
+        "Orig",
+        "Opt",
+        "Diff"
     );
     println!("{:-<134}", "");
 

@@ -14,8 +14,11 @@
 //! | `fig17`  | Fig. 17 — inter-stage bitwidths of the (a·b)c pipeline |
 //! | `fig19`  | Fig. 19 — stream-buffer Fmax vs buffer size, 3 variants |
 //!
-//! Criterion benches (in `benches/`) measure the flow's own runtime
-//! (scheduler, placement, DP, simulation).
+//! Plain timing benches (in `benches/`, `cargo bench`) measure the flow's
+//! own runtime (scheduler, placement, DP, simulation) with a
+//! dependency-free `std::time::Instant` harness — the container that
+//! builds this workspace has no network access, so no external bench
+//! framework is used.
 
 use hlsb::{Flow, ImplementationResult, OptimizationOptions, PlaceEffort};
 use hlsb_benchmarks::Benchmark;
@@ -47,6 +50,23 @@ pub fn run_benchmark_with(
         .place_effort(effort)
         .run()
         .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name))
+}
+
+/// Minimal timing harness for the `benches/` targets: runs `f` once to
+/// warm up, then `iters` timed iterations, and prints min / mean / max
+/// wall time. Keeps results observable via [`std::hint::black_box`].
+pub fn time_it<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut samples_ms = Vec::with_capacity(iters as usize);
+    for _ in 0..iters.max(1) {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples_ms.iter().copied().fold(0.0f64, f64::max);
+    let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
+    println!("{label:<32} min {min:>9.3} ms   mean {mean:>9.3} ms   max {max:>9.3} ms");
 }
 
 /// Formats a utilization/fmax row in the Table-1 layout.

@@ -112,7 +112,10 @@ mod tests {
     fn scales_with_parameter() {
         // The pragma defers replication to the unroll transform.
         let small = unroll_loop(&design(8).kernels[0].loops[0]).looop.body.len();
-        let large = unroll_loop(&design(64).kernels[0].loops[0]).looop.body.len();
+        let large = unroll_loop(&design(64).kernels[0].loops[0])
+            .looop
+            .body
+            .len();
         assert!(small < large);
     }
 }

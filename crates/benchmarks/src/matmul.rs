@@ -32,8 +32,8 @@ pub fn design(pes: usize, acc_depth: usize) -> Design {
     for pe in 0..pes {
         let b_elem = l.repack(b_word, ty);
         let prod = l.mul(a_elem, b_elem); // a_elem broadcast to all MACs
-        // Accumulation pipeline (partial-sum chain deepened per the
-        // "increase the parallelism ... to expose the problem" setup).
+                                          // Accumulation pipeline (partial-sum chain deepened per the
+                                          // "increase the parallelism ... to expose the problem" setup).
         let mut acc = prod;
         for _ in 0..acc_depth {
             let c = l.constant(&format!("psum{pe}"), ty);

@@ -16,7 +16,10 @@ use hlsb_ir::{DataType, Design, InstId, KernelId};
 /// dot-product PEs.
 pub fn design(width: usize, pes: usize) -> Design {
     let f = DataType::Float32;
-    assert!(pes >= 1 && width.is_multiple_of(pes), "width must divide into PEs");
+    assert!(
+        pes >= 1 && width.is_multiple_of(pes),
+        "width must divide into PEs"
+    );
     let chunk = width / pes;
 
     let mut b = DesignBuilder::new("vector_product");
@@ -174,7 +177,7 @@ mod tests {
     fn pe_partition_is_exact() {
         let d = design(128, 4);
         assert_eq!(d.kernels.len(), 5); // 4 PEs + top
-        // Each PE has 32 lanes -> 32 fmuls.
+                                        // Each PE has 32 lanes -> 32 fmuls.
         let muls = d.kernels[0].loops[0]
             .body
             .iter()

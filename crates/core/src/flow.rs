@@ -6,12 +6,14 @@ use crate::result::{ImplementationResult, Utilization};
 use hlsb_delay::{CalibratedModel, HlsPredictedModel};
 use hlsb_fabric::{Device, WireModel};
 use hlsb_ir::unroll::unroll_loop;
-use hlsb_ir::{Design, verify::verify_design};
+use hlsb_ir::{verify::verify_design, Design};
 use hlsb_place::{place_with, AnnealConfig};
 use hlsb_rtlgen::{lower_design, ControlStyle, RtlOptions, ScheduledDesign, ScheduledLoop};
 use hlsb_sched::{broadcast_aware, schedule_loop, MemAccessPlan};
 use hlsb_sync::split_dataflow_design;
-use hlsb_timing::{optimize_fanout, refine_critical, retime, FanoutOptions, RefineOptions, RetimeOptions};
+use hlsb_timing::{
+    optimize_fanout, refine_critical, retime, FanoutOptions, RefineOptions, RetimeOptions,
+};
 
 /// Builder for one implementation run: design → schedule → RTL → place →
 /// timing, with the paper's optimizations toggled by
@@ -25,6 +27,7 @@ pub struct Flow {
     seed: u64,
     effort: PlaceEffort,
     place_seeds: u32,
+    lint: bool,
 }
 
 impl Flow {
@@ -39,6 +42,7 @@ impl Flow {
             seed: 1,
             effort: PlaceEffort::Normal,
             place_seeds: 3,
+            lint: false,
         }
     }
 
@@ -79,6 +83,17 @@ impl Flow {
         self
     }
 
+    /// Enables the static broadcast lint (`hlsb-lint`) as a pre-pass.
+    /// The report lands in [`ImplementationResult::lint`]; findings can
+    /// then be cross-checked against the post-route critical path with
+    /// [`hlsb_lint::cross_check`]. Off by default — linting re-runs the
+    /// unroll/schedule pipeline in report-only mode, roughly doubling
+    /// front-end time.
+    pub fn lint(mut self, enabled: bool) -> Self {
+        self.lint = enabled;
+        self
+    }
+
     /// Runs the flow.
     ///
     /// # Errors
@@ -97,8 +112,14 @@ impl Flow {
     /// Same as [`Flow::run`].
     pub fn run_detailed(
         &self,
-    ) -> Result<(ImplementationResult, hlsb_netlist::Netlist, hlsb_place::Placement), FlowError>
-    {
+    ) -> Result<
+        (
+            ImplementationResult,
+            hlsb_netlist::Netlist,
+            hlsb_place::Placement,
+        ),
+        FlowError,
+    > {
         if !(self.clock_mhz.is_finite() && self.clock_mhz > 0.0) {
             return Err(FlowError::BadParameter {
                 what: format!("clock target {} MHz", self.clock_mhz),
@@ -106,6 +127,20 @@ impl Flow {
         }
         verify_design(&self.design)?;
         let clock_ns = 1000.0 / self.clock_mhz;
+
+        // Opt-in static broadcast pre-pass: report-only, on the design as
+        // written (before any splitting/unrolling the flow itself does).
+        let lint = self.lint.then(|| {
+            hlsb_lint::lint_with(
+                &self.design,
+                &self.device,
+                hlsb_lint::LintConfig {
+                    clock_mhz: self.clock_mhz,
+                    seed: self.seed,
+                    ..hlsb_lint::LintConfig::default()
+                },
+            )
+        });
 
         // §4.2 case 1: split independent dataflow flows before scheduling.
         let design = if self.options.sync_pruning {
@@ -117,7 +152,10 @@ impl Flow {
         // Delay models.
         let predicted = HlsPredictedModel::new();
         let calibrated = if self.options.broadcast_aware {
-            Some(CalibratedModel::characterize_analytic(&self.device, self.seed))
+            Some(CalibratedModel::characterize_analytic(
+                &self.device,
+                self.seed,
+            ))
         } else {
             None
         };
@@ -186,8 +224,7 @@ impl Flow {
                 });
             }
         }
-        let site_budget =
-            u64::from(self.device.grid_w) * u64::from(self.device.grid_h) / 2;
+        let site_budget = u64::from(self.device.grid_w) * u64::from(self.device.grid_h) / 2;
         if netlist.cell_count() as u64 >= site_budget {
             return Err(FlowError::DoesNotFit {
                 what: format!(
@@ -233,8 +270,7 @@ impl Flow {
                 best = Some((timing.period_ns, nl, placement, timing, fo, rt));
             }
         }
-        let (_, netlist, placement, timing, fo, rt) =
-            best.expect("at least one placement trial");
+        let (_, netlist, placement, timing, fo, rt) = best.expect("at least one placement trial");
         let critical_cells: Vec<String> = timing
             .critical_path
             .iter()
@@ -248,24 +284,29 @@ impl Flow {
         let (lut_pct, ff_pct, bram_pct, dsp_pct) =
             stats.utilization(res.luts, res.ffs, res.brams, res.dsps);
 
-        Ok((ImplementationResult {
-            fmax_mhz: timing.fmax_mhz,
-            period_ns: timing.period_ns,
-            utilization: Utilization {
-                lut_pct,
-                ff_pct,
-                bram_pct,
-                dsp_pct,
+        Ok((
+            ImplementationResult {
+                fmax_mhz: timing.fmax_mhz,
+                period_ns: timing.period_ns,
+                utilization: Utilization {
+                    lut_pct,
+                    ff_pct,
+                    bram_pct,
+                    dsp_pct,
+                },
+                stats,
+                timing,
+                lower_info: lowered.info,
+                schedule_depths: depths,
+                inserted_regs,
+                duplicated_regs: fo.duplicated_registers,
+                retime_moves: rt.moves,
+                critical_cells,
+                lint,
             },
-            stats,
-            timing,
-            lower_info: lowered.info,
-            schedule_depths: depths,
-            inserted_regs,
-            duplicated_regs: fo.duplicated_registers,
-            retime_moves: rt.moves,
-            critical_cells,
-        }, netlist, placement))
+            netlist,
+            placement,
+        ))
     }
 }
 
@@ -332,6 +373,28 @@ mod tests {
         let b = run(&d, OptimizationOptions::all());
         assert_eq!(a.fmax_mhz, b.fmax_mhz);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn lint_pre_pass_is_opt_in_and_attached() {
+        let d = unrolled_broadcast(256);
+        let silent = run(&d, OptimizationOptions::none());
+        assert!(silent.lint.is_none(), "lint must be opt-in");
+
+        let r = Flow::new(d)
+            .place_effort(PlaceEffort::Fast)
+            .place_seeds(1)
+            .lint(true)
+            .run()
+            .expect("flow succeeds");
+        let report = r.lint.expect("lint report attached");
+        assert_eq!(report.design, "bc");
+        // A 256-way invariant broadcast must trip the data rule.
+        assert!(report.has_rule("BA01"), "{}", report.to_table());
+        // The report is renderable in all three formats.
+        assert!(!report.to_table().is_empty());
+        assert!(!report.to_jsonl().is_empty());
+        assert!(report.to_sarif().contains("\"version\":\"2.1.0\""));
     }
 
     #[test]

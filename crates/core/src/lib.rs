@@ -64,6 +64,7 @@ pub use hlsb_ctrl as ctrl;
 pub use hlsb_delay as delay;
 pub use hlsb_fabric as fabric;
 pub use hlsb_ir as ir;
+pub use hlsb_lint as lint;
 pub use hlsb_netlist as netlist;
 pub use hlsb_place as place;
 pub use hlsb_rtlgen as rtlgen;

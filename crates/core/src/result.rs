@@ -54,6 +54,9 @@ pub struct ImplementationResult {
     pub retime_moves: usize,
     /// Names and kinds of the cells on the critical path (launch first).
     pub critical_cells: Vec<String>,
+    /// Static broadcast lint report, when [`Flow::lint`](crate::Flow::lint)
+    /// was enabled.
+    pub lint: Option<hlsb_lint::LintReport>,
 }
 
 impl ImplementationResult {
@@ -96,6 +99,7 @@ mod tests {
             duplicated_regs: 0,
             retime_moves: 0,
             critical_cells: vec![],
+            lint: None,
         }
     }
 

@@ -110,7 +110,7 @@ pub fn brute_force_split(widths: &[u64]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hlsb_rng::Rng;
 
     #[test]
     fn paper_fig17_example() {
@@ -176,22 +176,33 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn dp_is_optimal(widths in proptest::collection::vec(1u64..2000, 1..10)) {
+    fn random_widths(rng: &mut Rng, max_w: u64, max_len: usize) -> Vec<u64> {
+        let len = rng.gen_index(max_len) + 1;
+        (0..len).map(|_| rng.gen_u64(1, max_w)).collect()
+    }
+
+    #[test]
+    fn dp_is_optimal() {
+        let mut rng = Rng::seed_from_u64(0xD15_7001);
+        for _ in 0..256 {
+            let widths = random_widths(&mut rng, 1999, 9);
             let dp = min_area_split(&widths);
             let bf = brute_force_split(&widths);
-            prop_assert_eq!(dp.total_bits, bf);
+            assert_eq!(dp.total_bits, bf, "widths {widths:?}");
         }
+    }
 
-        #[test]
-        fn dp_never_worse_than_naive(widths in proptest::collection::vec(1u64..5000, 1..40)) {
+    #[test]
+    fn dp_never_worse_than_naive() {
+        let mut rng = Rng::seed_from_u64(0xD15_7002);
+        for _ in 0..256 {
+            let widths = random_widths(&mut rng, 4999, 39);
             let dp = min_area_split(&widths);
-            prop_assert!(dp.total_bits <= dp.naive_bits);
+            assert!(dp.total_bits <= dp.naive_bits, "widths {widths:?}");
             // Cuts are strictly increasing and end at n.
-            prop_assert_eq!(*dp.cuts.last().unwrap(), widths.len());
+            assert_eq!(*dp.cuts.last().unwrap(), widths.len());
             for w in dp.cuts.windows(2) {
-                prop_assert!(w[0] < w[1]);
+                assert!(w[0] < w[1]);
             }
         }
     }

@@ -206,16 +206,21 @@ pub fn simulate_skid(
     ready: impl FnMut(u64) -> bool,
     max_cycles: u64,
 ) -> SimResult {
-    simulate_skid_with(n_stages, skid_depth, GatePolicy::Credit, inputs, ready, max_cycles)
+    simulate_skid_with(
+        n_stages,
+        skid_depth,
+        GatePolicy::Credit,
+        inputs,
+        ready,
+        max_cycles,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::skid::required_depth;
-    use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use hlsb_rng::Rng;
 
     const MAX: u64 = 1_000_000;
 
@@ -228,8 +233,7 @@ mod tests {
         let inputs = data(100);
         let stall = simulate_stall(8, 2, &inputs, |_| true, MAX);
         for policy in [GatePolicy::RegisteredEmpty, GatePolicy::Credit] {
-            let skid =
-                simulate_skid_with(8, required_depth(8), policy, &inputs, |_| true, MAX);
+            let skid = simulate_skid_with(8, required_depth(8), policy, &inputs, |_| true, MAX);
             assert_eq!(skid.outputs, inputs, "{policy:?}");
             assert!(!skid.overflow);
             assert!(skid.cycles <= 100 + 8 + 4, "{policy:?}: {}", skid.cycles);
@@ -255,14 +259,7 @@ mod tests {
         assert_eq!(ok.peak_occupancy, n + 1, "the bound should be reached");
 
         // The +1 matters: a buffer of depth N loses data.
-        let bad = simulate_skid_with(
-            n,
-            n,
-            GatePolicy::RegisteredEmpty,
-            &inputs,
-            |c| c < 5,
-            4_000,
-        );
+        let bad = simulate_skid_with(n, n, GatePolicy::RegisteredEmpty, &inputs, |c| c < 5, 4_000);
         assert!(bad.overflow, "depth N must overflow under the empty policy");
     }
 
@@ -272,14 +269,7 @@ mod tests {
         let inputs = data(80);
         let n = 10;
         for depth in [1, 3, n, n + 1] {
-            let r = simulate_skid_with(
-                n,
-                depth,
-                GatePolicy::Credit,
-                &inputs,
-                |c| c % 7 != 0,
-                MAX,
-            );
+            let r = simulate_skid_with(n, depth, GatePolicy::Credit, &inputs, |c| c % 7 != 0, MAX);
             assert!(!r.overflow, "depth {depth}");
             assert_eq!(r.outputs, inputs, "depth {depth}");
         }
@@ -305,7 +295,7 @@ mod tests {
     #[test]
     fn same_outputs_under_random_backpressure() {
         let inputs = data(200);
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let pattern: Vec<bool> = (0..8192).map(|_| rng.gen_bool(0.6)).collect();
         let n = 9;
         let stall = simulate_stall(n, 2, &inputs, |c| pattern[c as usize % pattern.len()], MAX);
@@ -329,7 +319,7 @@ mod tests {
         // stall-based back-pressure control" — completion times must agree
         // up to a pipeline-drain constant under the credit realization.
         let inputs = data(2_000);
-        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let pattern: Vec<bool> = (0..1 << 14).map(|_| rng.gen_bool(0.5)).collect();
         let n = 20;
         let stall = simulate_stall(n, 2, &inputs, |c| pattern[c as usize % pattern.len()], MAX);
@@ -382,19 +372,15 @@ mod tests {
         assert!(!skid.overflow);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn skid_never_overflows_and_preserves_stream(
-            n in 1usize..32,
-            len in 1usize..150,
-            seed in 0u64..u64::MAX,
-            p in 0.05f64..1.0,
-            use_credit in proptest::bool::ANY,
-        ) {
+    #[test]
+    fn skid_never_overflows_and_preserves_stream() {
+        let mut rng = Rng::seed_from_u64(0x5C1D_0001);
+        for case in 0..64 {
+            let n = rng.gen_index(31) + 1;
+            let len = rng.gen_index(149) + 1;
+            let p = 0.05 + rng.gen_f64() * 0.95;
+            let use_credit = rng.gen_bool(0.5);
             let inputs = data(len);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let pattern: Vec<bool> = (0..1 << 13).map(|_| rng.gen_bool(p)).collect();
             let policy = if use_credit {
                 GatePolicy::Credit
@@ -409,27 +395,31 @@ mod tests {
                 |c| pattern[c as usize % pattern.len()],
                 MAX,
             );
-            prop_assert!(!skid.overflow);
-            prop_assert_eq!(&skid.outputs, &inputs);
-            prop_assert!(skid.peak_occupancy <= required_depth(n));
+            assert!(!skid.overflow, "case {case}: n={n} len={len} p={p:.2}");
+            assert_eq!(skid.outputs, inputs, "case {case}: n={n} len={len}");
+            assert!(skid.peak_occupancy <= required_depth(n));
         }
+    }
 
-        #[test]
-        fn stall_and_credit_skid_agree(
-            n in 1usize..24,
-            len in 1usize..120,
-            seed in 0u64..u64::MAX,
-        ) {
+    #[test]
+    fn stall_and_credit_skid_agree() {
+        let mut rng = Rng::seed_from_u64(0x5C1D_0002);
+        for case in 0..64 {
+            let n = rng.gen_index(23) + 1;
+            let len = rng.gen_index(119) + 1;
             let inputs = data(len);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let pattern: Vec<bool> = (0..1 << 13).map(|_| rng.gen_bool(0.5)).collect();
-            let stall = simulate_stall(n, 2, &inputs,
-                |c| pattern[c as usize % pattern.len()], MAX);
-            let skid = simulate_skid(n, required_depth(n), &inputs,
-                |c| pattern[c as usize % pattern.len()], MAX);
-            prop_assert_eq!(&stall.outputs, &skid.outputs);
+            let stall = simulate_stall(n, 2, &inputs, |c| pattern[c as usize % pattern.len()], MAX);
+            let skid = simulate_skid(
+                n,
+                required_depth(n),
+                &inputs,
+                |c| pattern[c as usize % pattern.len()],
+                MAX,
+            );
+            assert_eq!(stall.outputs, skid.outputs, "case {case}: n={n} len={len}");
             // Long-run throughput equivalence.
-            prop_assert!(stall.cycles.abs_diff(skid.cycles) <= 2 * n as u64 + 8);
+            assert!(stall.cycles.abs_diff(skid.cycles) <= 2 * n as u64 + 8);
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The calibrated delay model: `max(predicted, smoothed measurement)`.
 
-use crate::characterize::{characterize, CharacterizeConfig, Characterization};
+use crate::characterize::{characterize, Characterization, CharacterizeConfig};
 use crate::classes::{classify, OpClass};
 use crate::model::DelayModel;
 use crate::predicted::HlsPredictedModel;
@@ -83,7 +83,10 @@ fn interpolate_log(curve: &[(usize, f64)], bf: usize) -> f64 {
     if curve.len() == 1 {
         return curve[0].1;
     }
-    let pts: Vec<(f64, f64)> = curve.iter().map(|&(b, v)| ((b.max(1) as f64).ln(), v)).collect();
+    let pts: Vec<(f64, f64)> = curve
+        .iter()
+        .map(|&(b, v)| ((b.max(1) as f64).ln(), v))
+        .collect();
     let (lo, hi) = if x <= pts[0].0 {
         (pts[0], pts[1])
     } else if x >= pts[pts.len() - 1].0 {
@@ -107,8 +110,8 @@ impl DelayModel for CalibratedModel {
             return 0.0;
         }
         let predicted = HlsPredictedModel::class_delay_ns(class, ty);
-        let measured = HlsPredictedModel::measured_base_ns(class, ty)
-            + self.wire_excess_ns(class, bf);
+        let measured =
+            HlsPredictedModel::measured_base_ns(class, ty) + self.wire_excess_ns(class, bf);
         predicted.max(measured)
     }
 
@@ -178,7 +181,10 @@ mod tests {
         let a = hlsb_ir::ArrayId(0);
         let small = m.delay_ns(OpKind::Store(a), ty, 1);
         let large = m.delay_ns(OpKind::Store(a), ty, 640);
-        assert!(large > small + 1.5, "store 1 bank {small} vs 640 banks {large}");
+        assert!(
+            large > small + 1.5,
+            "store 1 bank {small} vs 640 banks {large}"
+        );
     }
 
     #[test]

@@ -119,7 +119,14 @@ pub fn characterize(device: &Device, config: &CharacterizeConfig) -> Characteriz
             .iter()
             .map(|&bf| {
                 let measured = if config.placed {
-                    measure_placed(device, &wire, class, ty, bf, config.seed ^ (ci as u64) << 32)
+                    measure_placed(
+                        device,
+                        &wire,
+                        class,
+                        ty,
+                        bf,
+                        config.seed ^ (ci as u64) << 32,
+                    )
                 } else {
                     measure_analytic(&wire, class, ty, bf)
                 };

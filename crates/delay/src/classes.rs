@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn float_ops_classify_by_type() {
-        assert_eq!(classify(OpKind::Add, DataType::Float32), OpClass::FloatAddSub);
+        assert_eq!(
+            classify(OpKind::Add, DataType::Float32),
+            OpClass::FloatAddSub
+        );
         assert_eq!(classify(OpKind::Add, DataType::Int(32)), OpClass::IntAlu);
         assert_eq!(classify(OpKind::Mul, DataType::Float32), OpClass::FloatMul);
         assert_eq!(classify(OpKind::Mul, DataType::Int(16)), OpClass::IntMul);

@@ -42,7 +42,7 @@ pub mod model;
 pub mod predicted;
 
 pub use calibrated::CalibratedModel;
-pub use characterize::{characterize, CharacterizeConfig, Characterization, CurvePoint};
+pub use characterize::{characterize, Characterization, CharacterizeConfig, CurvePoint};
 pub use classes::{classify, OpClass};
 pub use model::DelayModel;
 pub use predicted::HlsPredictedModel;

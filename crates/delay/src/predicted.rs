@@ -127,7 +127,10 @@ mod tests {
         assert_eq!(m.latency(OpKind::Add, DataType::Float32), 4);
         assert_eq!(m.latency(OpKind::Mul, DataType::Float32), 3);
         assert_eq!(m.latency(OpKind::Reg, DataType::Int(32)), 1);
-        assert_eq!(m.latency(OpKind::Load(hlsb_ir::ArrayId(0)), DataType::Int(32)), 1);
+        assert_eq!(
+            m.latency(OpKind::Load(hlsb_ir::ArrayId(0)), DataType::Int(32)),
+            1
+        );
     }
 
     #[test]

@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn older_families_are_slower() {
-        assert!(DeviceFamily::Zynq7000.speed_factor() > DeviceFamily::UltraScalePlus.speed_factor());
+        assert!(
+            DeviceFamily::Zynq7000.speed_factor() > DeviceFamily::UltraScalePlus.speed_factor()
+        );
         assert!(DeviceFamily::Virtex7.speed_factor() > 1.0);
         assert_eq!(DeviceFamily::UltraScalePlus.speed_factor(), 1.0);
     }

@@ -37,7 +37,9 @@ impl NoiseModel {
         if self.amplitude == 0.0 {
             return value;
         }
-        let h = splitmix64(self.seed ^ key_a.rotate_left(17) ^ key_b.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let h = splitmix64(
+            self.seed ^ key_a.rotate_left(17) ^ key_b.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         // Map to [-1, 1).
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
         value * (1.0 + self.amplitude * unit)

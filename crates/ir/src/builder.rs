@@ -30,9 +30,7 @@
 //! # }
 //! ```
 
-use crate::design::{
-    Array, ArrayId, Concurrency, Design, Fifo, FifoId, Kernel, KernelId, Loop,
-};
+use crate::design::{Array, ArrayId, Concurrency, Design, Fifo, FifoId, Kernel, KernelId, Loop};
 use crate::dfg::{Dfg, InstId};
 use crate::op::{CmpPred, OpKind};
 use crate::pragma::{Partition, PipelinePragma};
@@ -324,7 +322,9 @@ impl<'k, 'a> LoopBuilder<'k, 'a> {
     /// `array[idx] = value`.
     pub fn store(&mut self, array: ArrayId, idx: InstId, value: InstId) -> InstId {
         let ty = self.lp.body.inst(value).ty;
-        self.lp.body.push(OpKind::Store(array), ty, vec![idx, value])
+        self.lp
+            .body
+            .push(OpKind::Store(array), ty, vec![idx, value])
     }
 
     /// Blocking read from a FIFO.
@@ -357,7 +357,9 @@ impl<'k, 'a> LoopBuilder<'k, 'a> {
     /// Marks a value as a loop output.
     pub fn output(&mut self, name: &str, value: InstId) -> InstId {
         let ty = self.lp.body.inst(value).ty;
-        self.lp.body.push_named(OpKind::Output, ty, vec![value], name)
+        self.lp
+            .body
+            .push_named(OpKind::Output, ty, vec![value], name)
     }
 
     /// Commits the loop to the kernel.

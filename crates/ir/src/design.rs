@@ -337,7 +337,10 @@ mod tests {
         assert!(text.contains("array[0] buf: 2048 x i32"), "{text}");
         assert!(text.contains("cyclic factor=4"), "{text}");
         assert!(text.contains("kernel k (latency 3)"), "{text}");
-        assert!(text.contains("loop l (trip 16, unroll 4, pipeline II=1)"), "{text}");
+        assert!(
+            text.contains("loop l (trip 16, unroll 4, pipeline II=1)"),
+            "{text}"
+        );
         assert!(text.contains("%0 = indvar"), "{text}");
     }
 

@@ -362,10 +362,7 @@ impl Dfg {
         }
         let duplicable = |inst: &Instruction| {
             split_invariants
-                && matches!(
-                    inst.kind,
-                    OpKind::Const | OpKind::Input { invariant: true }
-                )
+                && matches!(inst.kind, OpKind::Const | OpKind::Input { invariant: true })
         };
         for (i, inst) in self.insts.iter().enumerate() {
             if duplicable(inst) {

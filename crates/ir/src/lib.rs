@@ -37,8 +37,8 @@
 
 pub mod builder;
 pub mod design;
-pub mod interp;
 pub mod dfg;
+pub mod interp;
 pub mod op;
 pub mod pragma;
 pub mod tree;

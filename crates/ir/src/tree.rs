@@ -84,8 +84,7 @@ pub fn insert_broadcast_tree(dfg: &Dfg, def: InstId, arity: usize) -> (Dfg, Vec<
                 let mut level = Vec::with_capacity(size);
                 for i in 0..size {
                     let parent = prev_level[i * prev_level.len() / size];
-                    let mut reg =
-                        Instruction::new(OpKind::Reg, inst.ty, vec![parent]);
+                    let mut reg = Instruction::new(OpKind::Reg, inst.ty, vec![parent]);
                     reg.name = format!("{}_bt{li}_{i}", inst.name);
                     level.push(out.push_inst(reg));
                 }
@@ -110,7 +109,11 @@ mod tests {
             vec![],
             "src",
         );
-        let x = d.push(OpKind::Input { invariant: false }, DataType::Int(32), vec![]);
+        let x = d.push(
+            OpKind::Input { invariant: false },
+            DataType::Int(32),
+            vec![],
+        );
         for _ in 0..n {
             d.push(OpKind::Sub, DataType::Int(32), vec![x, src]);
         }
@@ -122,10 +125,7 @@ mod tests {
         let (d, src) = broadcast(64);
         let (out, map) = insert_broadcast_tree(&d, src, 4);
         // 64 users / arity 4 = 16 leaves, 4 mid, 1 root: 21 registers.
-        let regs = out
-            .iter()
-            .filter(|(_, i)| i.kind == OpKind::Reg)
-            .count();
+        let regs = out.iter().filter(|(_, i)| i.kind == OpKind::Reg).count();
         assert_eq!(regs, 21);
         // Every node of the treed cone (source + registers) fans out by at
         // most the arity. (The untreed varying input keeps its fanout.)
@@ -175,7 +175,8 @@ mod tests {
 
         let run = |lp: &crate::Loop| {
             let mut io = LoopIo::default();
-            io.fifo_inputs.insert(fin, (0..8).map(|i| i * 5 - 9).collect());
+            io.fifo_inputs
+                .insert(fin, (0..8).map(|i| i * 5 - 9).collect());
             io.invariants.insert("src".into(), 17);
             Interpreter::new(&d).run_loop(lp, 8, &mut io);
             io.fifo_outputs[&fout].clone()

@@ -63,7 +63,10 @@ impl fmt::Display for IrError {
                 "instruction {inst} expects {expected} operands but has {actual}"
             ),
             IrError::NonArithType { inst } => {
-                write!(f, "instruction {inst} performs arithmetic on a non-arithmetic type")
+                write!(
+                    f,
+                    "instruction {inst} performs arithmetic on a non-arithmetic type"
+                )
             }
             IrError::DanglingReference { inst, what } => {
                 write!(f, "instruction {inst} references a non-existent {what}")
@@ -116,27 +119,24 @@ pub fn verify_dfg(dfg: &Dfg, design: &Design) -> Result<(), IrError> {
             return Err(IrError::NonArithType { inst: id });
         }
         match inst.kind {
-            OpKind::Load(a) | OpKind::Store(a)
-                if a.index() >= design.arrays.len() => {
-                    return Err(IrError::DanglingReference {
-                        inst: id,
-                        what: "array",
-                    });
-                }
-            OpKind::FifoRead(fid) | OpKind::FifoWrite(fid)
-                if fid.index() >= design.fifos.len() => {
-                    return Err(IrError::DanglingReference {
-                        inst: id,
-                        what: "fifo",
-                    });
-                }
-            OpKind::Call(k)
-                if k.index() >= design.kernels.len() => {
-                    return Err(IrError::DanglingReference {
-                        inst: id,
-                        what: "kernel",
-                    });
-                }
+            OpKind::Load(a) | OpKind::Store(a) if a.index() >= design.arrays.len() => {
+                return Err(IrError::DanglingReference {
+                    inst: id,
+                    what: "array",
+                });
+            }
+            OpKind::FifoRead(fid) | OpKind::FifoWrite(fid) if fid.index() >= design.fifos.len() => {
+                return Err(IrError::DanglingReference {
+                    inst: id,
+                    what: "fifo",
+                });
+            }
+            OpKind::Call(k) if k.index() >= design.kernels.len() => {
+                return Err(IrError::DanglingReference {
+                    inst: id,
+                    what: "kernel",
+                });
+            }
             _ => {}
         }
     }
@@ -177,19 +177,34 @@ mod tests {
     #[test]
     fn detects_arity_mismatch() {
         let mut dfg = Dfg::new();
-        let a = dfg.push(OpKind::Input { invariant: false }, DataType::Int(32), vec![]);
+        let a = dfg.push(
+            OpKind::Input { invariant: false },
+            DataType::Int(32),
+            vec![],
+        );
         // Add with one operand: bypass builder helpers.
         let mut bad = Instruction::new(OpKind::Add, DataType::Int(32), vec![a]);
         bad.name = "bad".into();
         dfg.push_inst(bad);
         let err = verify_dfg(&dfg, &empty_design()).unwrap_err();
-        assert!(matches!(err, IrError::ArityMismatch { expected: 2, actual: 1, .. }));
+        assert!(matches!(
+            err,
+            IrError::ArityMismatch {
+                expected: 2,
+                actual: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn detects_non_arith_type() {
         let mut dfg = Dfg::new();
-        let a = dfg.push(OpKind::Input { invariant: false }, DataType::Bits(64), vec![]);
+        let a = dfg.push(
+            OpKind::Input { invariant: false },
+            DataType::Bits(64),
+            vec![],
+        );
         dfg.push(OpKind::Add, DataType::Bits(64), vec![a, a]);
         let err = verify_dfg(&dfg, &empty_design()).unwrap_err();
         assert!(matches!(err, IrError::NonArithType { .. }));
@@ -201,7 +216,10 @@ mod tests {
         let i = dfg.push(OpKind::IndVar, DataType::Int(32), vec![]);
         dfg.push(OpKind::Load(ArrayId(7)), DataType::Int(32), vec![i]);
         let err = verify_dfg(&dfg, &empty_design()).unwrap_err();
-        assert!(matches!(err, IrError::DanglingReference { what: "array", .. }));
+        assert!(matches!(
+            err,
+            IrError::DanglingReference { what: "array", .. }
+        ));
     }
 
     #[test]
@@ -209,19 +227,29 @@ mod tests {
         let mut dfg = Dfg::new();
         dfg.push(OpKind::FifoRead(FifoId(0)), DataType::Int(8), vec![]);
         let err = verify_dfg(&dfg, &empty_design()).unwrap_err();
-        assert!(matches!(err, IrError::DanglingReference { what: "fifo", .. }));
+        assert!(matches!(
+            err,
+            IrError::DanglingReference { what: "fifo", .. }
+        ));
 
         let mut dfg2 = Dfg::new();
         dfg2.push(OpKind::Call(KernelId(3)), DataType::Int(8), vec![]);
         let err2 = verify_dfg(&dfg2, &empty_design()).unwrap_err();
-        assert!(matches!(err2, IrError::DanglingReference { what: "kernel", .. }));
+        assert!(matches!(
+            err2,
+            IrError::DanglingReference { what: "kernel", .. }
+        ));
     }
 
     #[test]
     fn valid_graph_passes() {
         let mut dfg = Dfg::new();
         let a = dfg.push(OpKind::Input { invariant: true }, DataType::Int(32), vec![]);
-        let b = dfg.push(OpKind::Input { invariant: false }, DataType::Int(32), vec![]);
+        let b = dfg.push(
+            OpKind::Input { invariant: false },
+            DataType::Int(32),
+            vec![],
+        );
         let s = dfg.push(OpKind::Add, DataType::Int(32), vec![a, b]);
         dfg.push(OpKind::Output, DataType::Int(32), vec![s]);
         assert!(verify_dfg(&dfg, &empty_design()).is_ok());
@@ -235,6 +263,9 @@ mod tests {
             actual: 5,
         };
         let s = e.to_string();
-        assert!(s.contains("%3") && s.contains('2') && s.contains('5'), "{s}");
+        assert!(
+            s.contains("%3") && s.contains('2') && s.contains('5'),
+            "{s}"
+        );
     }
 }

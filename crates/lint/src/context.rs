@@ -1,0 +1,168 @@
+//! Shared analysis context: the design under lint, the target device and
+//! the calibrated delay tables every rule consults.
+
+use hlsb_delay::{CalibratedModel, HlsPredictedModel, OpClass};
+use hlsb_fabric::{Device, WireModel};
+use hlsb_ir::Design;
+
+/// Tunables for one lint run. `Default` matches the paper's AWS F1 setup
+/// (300 MHz target) with device-calibrated thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintConfig {
+    /// Clock target, MHz. Broadcast penalties are judged against this.
+    pub clock_mhz: f64,
+    /// Seed for the analytic delay characterization (the measurement
+    /// noise model); findings are deterministic for a fixed seed.
+    pub seed: u64,
+    /// Override for the BA01 broadcast-factor flag line. `None` derives
+    /// it from the device's calibrated delay tables.
+    pub data_threshold: Option<usize>,
+    /// Override for the PC01 stall-fanout flag line. `None` derives it
+    /// from the device wire model.
+    pub stall_fanout_threshold: Option<usize>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            clock_mhz: 300.0,
+            seed: 1,
+            data_threshold: None,
+            stall_fanout_threshold: None,
+        }
+    }
+}
+
+/// Everything a [`Rule`](crate::Rule) needs, built once per run.
+pub struct LintContext<'a> {
+    /// The design under analysis.
+    pub design: &'a Design,
+    /// The target device.
+    pub device: &'a Device,
+    /// Clock period, ns.
+    pub clock_ns: f64,
+    /// The broadcast-blind model a stock HLS scheduler would use.
+    pub predicted: HlsPredictedModel,
+    /// The broadcast-calibrated model (paper §4.1's delay tables).
+    pub calibrated: CalibratedModel,
+    /// Wire model of the target fabric, for control-net estimates.
+    pub wire: WireModel,
+    /// Run configuration.
+    pub config: LintConfig,
+}
+
+impl<'a> LintContext<'a> {
+    /// Builds the context, running the analytic characterization for the
+    /// target device.
+    pub fn new(design: &'a Design, device: &'a Device, config: LintConfig) -> Self {
+        let calibrated = CalibratedModel::characterize_analytic(device, config.seed);
+        let wire = WireModel::for_device(device);
+        LintContext {
+            design,
+            device,
+            clock_ns: 1000.0 / config.clock_mhz,
+            predicted: HlsPredictedModel::new(),
+            calibrated,
+            wire,
+            config,
+        }
+    }
+
+    /// Interconnect-delay budget for one data broadcast: past 15 % of the
+    /// period, the unbudgeted wire excess starts displacing real logic.
+    pub fn data_budget_ns(&self) -> f64 {
+        0.15 * self.clock_ns
+    }
+
+    /// Indicative broadcast-factor flag line for this device at this
+    /// clock: the first power of two whose calibrated wire excess on the
+    /// int-ALU curve exceeds [`data_budget_ns`](Self::data_budget_ns).
+    /// Slower fabrics and faster clocks both lower the line. BA01 judges
+    /// each finding at its exact fanout; this quantized figure is for
+    /// reports and what-if summaries.
+    pub fn data_broadcast_threshold(&self) -> usize {
+        if let Some(t) = self.config.data_threshold {
+            return t.max(2);
+        }
+        let budget = self.data_budget_ns();
+        let mut bf = 2usize;
+        while bf < 4096 && self.calibrated.wire_excess_ns(OpClass::IntAlu, bf) < budget {
+            bf *= 2;
+        }
+        bf
+    }
+
+    /// Extra interconnect delay a `fanout`-sink single-cycle control
+    /// broadcast adds over an ordinary net: the capacitive per-sink term
+    /// of the wire model, which dominates the thousand-sink stall nets
+    /// of §3.3 (the base/log terms are paid by any net and are already
+    /// in the cell delay budget).
+    pub fn control_broadcast_excess_ns(&self, fanout: usize) -> f64 {
+        self.wire.speed * self.wire.c_sink_ns * fanout as f64
+    }
+
+    /// The stall/enable fanout above which the control broadcast excess
+    /// eats more than 25 % of the period on this fabric.
+    pub fn stall_fanout_threshold(&self) -> usize {
+        if let Some(t) = self.config.stall_fanout_threshold {
+            return t.max(1);
+        }
+        let budget = 0.25 * self.clock_ns;
+        let per_sink = self.wire.speed * self.wire.c_sink_ns;
+        ((budget / per_sink).ceil() as usize).max(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_are_device_calibrated() {
+        let d = Design::new("t");
+        let fast = Device::ultrascale_plus_vu9p();
+        let slow = Device::zynq_zc706();
+        let cfg = LintConfig::default();
+        let ctx_fast = LintContext::new(&d, &fast, cfg.clone());
+        let ctx_slow = LintContext::new(&d, &slow, cfg);
+        let t_fast = ctx_fast.data_broadcast_threshold();
+        let t_slow = ctx_slow.data_broadcast_threshold();
+        assert!((2..=4096).contains(&t_fast));
+        // A slower family reaches the same wire excess at a smaller
+        // fanout, so its flag line cannot sit above the fast device's.
+        assert!(t_slow <= t_fast, "slow {t_slow} vs fast {t_fast}");
+        assert!(ctx_fast.stall_fanout_threshold() >= 8);
+    }
+
+    #[test]
+    fn explicit_overrides_win() {
+        let d = Design::new("t");
+        let dev = Device::ultrascale_plus_vu9p();
+        let cfg = LintConfig {
+            data_threshold: Some(7),
+            stall_fanout_threshold: Some(123),
+            ..LintConfig::default()
+        };
+        let ctx = LintContext::new(&d, &dev, cfg);
+        assert_eq!(ctx.data_broadcast_threshold(), 7);
+        assert_eq!(ctx.stall_fanout_threshold(), 123);
+    }
+
+    #[test]
+    fn faster_clock_lowers_the_data_flag_line() {
+        let d = Design::new("t");
+        let dev = Device::ultrascale_plus_vu9p();
+        let at = |mhz| {
+            LintContext::new(
+                &d,
+                &dev,
+                LintConfig {
+                    clock_mhz: mhz,
+                    ..LintConfig::default()
+                },
+            )
+            .data_broadcast_threshold()
+        };
+        assert!(at(500.0) <= at(150.0));
+    }
+}

@@ -1,0 +1,191 @@
+//! BA01 — data broadcast created by loop unrolling (paper §3.1 #1, §4.1).
+//!
+//! Unrolling shares loop-invariant values between body copies, so a value
+//! read once per iteration becomes an N-way same-cycle fanout in hardware.
+//! The HLS scheduler's predicted delay tables ignore that fanout, so the
+//! broadcast wire shows up only after place-and-route. This rule re-runs
+//! the unroll + schedule pipeline statically and flags every instruction
+//! whose same-cycle reader count exceeds the device-calibrated threshold.
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::rules::Rule;
+use hlsb_delay::{classify, OpClass};
+use hlsb_ir::unroll::unroll_loop;
+use hlsb_ir::{Dfg, InstId, Loop};
+use hlsb_sched::{schedule_loop, ScheduleReport};
+
+/// Detects RAW-dependency-derived broadcasts after unrolling.
+pub struct DataBroadcast;
+
+/// Worst calibrated wire excess any same-cycle reader of `def` pays at
+/// broadcast factor `bf`. Free-class readers (outputs, regs) carry no
+/// operator curve; if only those read the value, fall back to the int-ALU
+/// curve — the wire still has to reach their input registers.
+fn reader_penalty_ns(ctx: &LintContext<'_>, dfg: &Dfg, def: InstId, bf: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for &uid in dfg.users(def) {
+        let u = dfg.inst(uid);
+        let class = classify(u.kind, u.ty);
+        if class != OpClass::Free {
+            worst = worst.max(ctx.calibrated.wire_excess_ns(class, bf));
+        }
+    }
+    if worst == 0.0 {
+        worst = ctx.calibrated.wire_excess_ns(OpClass::IntAlu, bf);
+    }
+    worst
+}
+
+fn check_loop(ctx: &LintContext<'_>, kernel: &str, lp: &Loop, out: &mut Vec<Diagnostic>) {
+    let unrolled = unroll_loop(lp);
+    let body = &unrolled.looop.body;
+    let schedule = schedule_loop(&unrolled.looop, ctx.design, &ctx.predicted, ctx.clock_ns);
+    let report = ScheduleReport::from_schedule(&lp.name, body, &schedule);
+
+    // Enumerate broadcasts from a low floor and judge each at its *exact*
+    // fanout against the delay budget: a power-of-two threshold would skip
+    // e.g. a 12-way window-pixel broadcast that is already over budget on
+    // a slow family (face detection on the ZC706). An explicit
+    // `data_threshold` override switches back to plain fanout gating.
+    let override_t = ctx.config.data_threshold;
+    let floor = override_t.unwrap_or(2).max(2);
+    let budget = ctx.data_budget_ns();
+    for entry in report.broadcasts(floor) {
+        let bf = entry.broadcast_factor;
+        let penalty = reader_penalty_ns(ctx, body, entry.inst, bf);
+        if override_t.is_none() && penalty < budget {
+            continue;
+        }
+        // The scheduler believed this cycle fit; the calibrated excess is
+        // pure unbudgeted slack loss. Past 30 % of the period it is very
+        // unlikely to survive routing.
+        let severity = if penalty > 0.30 * ctx.clock_ns {
+            Severity::Error
+        } else {
+            Severity::Warning
+        };
+        let subject = if entry.name.is_empty() {
+            format!("%{}", entry.inst.0)
+        } else {
+            entry.name.clone()
+        };
+        let mut pragma = format!("unroll={}", lp.unroll);
+        if let Some(p) = lp.pipeline {
+            pragma.push_str(&format!(", {p}"));
+        }
+        out.push(Diagnostic {
+            rule: DataBroadcast.id(),
+            rule_name: DataBroadcast.name(),
+            severity,
+            section: DataBroadcast.section(),
+            subject: subject.clone(),
+            message: format!(
+                "`{subject}` ({}) feeds {bf} same-cycle readers in cycle {} after \
+                 unrolling; calibrated wire excess ≈ {penalty:.2} ns on a {:.2} ns \
+                 clock, invisible to the scheduler's predicted tables",
+                entry.op, entry.cycle, ctx.clock_ns
+            ),
+            location: Location {
+                kernel: Some(kernel.to_string()),
+                looop: Some(lp.name.clone()),
+                pragma: Some(pragma),
+            },
+            broadcast_factor: bf,
+            est_penalty_ns: penalty,
+            remedy: DataBroadcast.remedy(),
+        });
+    }
+}
+
+impl Rule for DataBroadcast {
+    fn id(&self) -> &'static str {
+        "BA01"
+    }
+    fn name(&self) -> &'static str {
+        "data-broadcast"
+    }
+    fn section(&self) -> &'static str {
+        "§3.1/§4.1"
+    }
+    fn summary(&self) -> &'static str {
+        "loop-invariant value fans out to many same-cycle readers after unrolling"
+    }
+    fn remedy(&self) -> &'static str {
+        "insert an explicit register stage after the source (OpKind::Reg) or enable \
+         broadcast-aware scheduling (OptimizationOptions::broadcast_aware)"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for kernel in &ctx.design.kernels {
+            for lp in &kernel.loops {
+                check_loop(ctx, &kernel.name, lp, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::LintConfig;
+    use hlsb_fabric::Device;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::types::DataType;
+    use hlsb_ir::Design;
+
+    /// One invariant coefficient multiplied into every unrolled lane.
+    fn broadcast_design(unroll: u32) -> Design {
+        let mut b = DesignBuilder::new("ba01");
+        let fin = b.fifo("in", DataType::Int(32), 2);
+        let fout = b.fifo("out", DataType::Int(32), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("main", 4096, 1);
+        l.set_unroll(unroll);
+        let coef = l.invariant_input("coef", DataType::Int(32));
+        let x = l.fifo_read(fin, DataType::Int(32));
+        let y = l.mul(coef, x);
+        l.fifo_write(fout, y);
+        l.finish();
+        k.finish();
+        b.finish().unwrap()
+    }
+
+    fn run(design: &Design) -> Vec<Diagnostic> {
+        let device = Device::ultrascale_plus_vu9p();
+        let ctx = LintContext::new(design, &device, LintConfig::default());
+        let mut out = Vec::new();
+        DataBroadcast.check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wide_unroll() {
+        let design = broadcast_design(256);
+        let diags = run(&design);
+        assert!(!diags.is_empty(), "256-way broadcast must be flagged");
+        let d = diags
+            .iter()
+            .find(|d| d.subject == "coef")
+            .expect("coef flagged");
+        assert!(d.broadcast_factor >= 256);
+        assert!(d.est_penalty_ns > 0.0);
+        assert_eq!(d.rule, "BA01");
+        assert_eq!(d.location.kernel.as_deref(), Some("top"));
+        assert_eq!(d.location.looop.as_deref(), Some("main"));
+        assert!(d.location.pragma.as_deref().unwrap().contains("unroll=256"));
+    }
+
+    #[test]
+    fn silent_without_unrolling() {
+        let design = broadcast_design(1);
+        assert!(run(&design).is_empty(), "no unroll, no broadcast");
+    }
+
+    #[test]
+    fn severity_grows_with_factor() {
+        let wide = run(&broadcast_design(1024));
+        let worst = wide.iter().map(|d| d.severity).max().unwrap();
+        assert_eq!(worst, Severity::Error, "1024-way fanout should be an error");
+    }
+}

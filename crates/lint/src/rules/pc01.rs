@@ -1,0 +1,189 @@
+//! PC01 — pipeline flow-control (stall/enable) broadcast (paper §3.3,
+//! §4.3, Figure 7).
+//!
+//! Stall-based pipeline control wires one `stall` net to the clock-enable
+//! of every stage register. The net's fanout is the total register count
+//! of the pipeline — invisible in the HLS report, ruinous after routing.
+//! This rule schedules each pipelined loop, reconstructs the per-stage
+//! register widths the control logic would gate, and estimates the stall
+//! net's skeleton broadcast delay on the target fabric.
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::rules::Rule;
+use hlsb_ir::unroll::unroll_loop;
+use hlsb_ir::{ArrayId, Design, Loop, OpKind};
+use hlsb_rtlgen::stage_widths;
+use hlsb_sched::schedule_loop;
+
+/// Detects global stall/enable nets with region-scale fanout.
+pub struct StallBroadcast;
+
+/// Estimated stall-net fanout of a scheduled pipeline: every data bit of
+/// every stage register carries a clock-enable load, plus one valid flag
+/// per stage.
+pub fn stall_fanout(widths: &[u64]) -> usize {
+    widths.iter().sum::<u64>() as usize + widths.len()
+}
+
+/// BRAM-unit clock-enables the loop's stall net must also gate: when the
+/// pipeline stalls, every 36 Kb unit of every array it reads or writes
+/// holds its port (the stream-buffer pattern of §5.5 — the back-pressure
+/// enable fans out to the whole buffer, not just the stage registers).
+pub fn gated_bram_units(design: &Design, lp: &Loop) -> usize {
+    design
+        .arrays
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let a = ArrayId(*i as u32);
+            lp.body
+                .iter()
+                .any(|(_, inst)| matches!(inst.kind, OpKind::Load(x) | OpKind::Store(x) if x == a))
+        })
+        .map(|(_, arr)| arr.bram_units())
+        .sum()
+}
+
+fn check_loop(ctx: &LintContext<'_>, kernel: &str, lp: &Loop, out: &mut Vec<Diagnostic>) {
+    if lp.pipeline.is_none() {
+        return;
+    }
+    let unrolled = unroll_loop(lp);
+    let schedule = schedule_loop(&unrolled.looop, ctx.design, &ctx.predicted, ctx.clock_ns);
+    let widths = stage_widths(&unrolled.looop, &schedule);
+    let brams = gated_bram_units(ctx.design, lp);
+    let fanout = stall_fanout(&widths) + brams;
+    let threshold = ctx.stall_fanout_threshold();
+    if fanout < threshold {
+        return;
+    }
+    let penalty = ctx.control_broadcast_excess_ns(fanout);
+    let severity = if penalty > 0.75 * ctx.clock_ns {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    let mut pragma = String::new();
+    if let Some(p) = lp.pipeline {
+        pragma.push_str(&p.to_string());
+    }
+    if lp.unroll > 1 {
+        pragma.push_str(&format!(", unroll={}", lp.unroll));
+    }
+    out.push(Diagnostic {
+        rule: StallBroadcast.id(),
+        rule_name: StallBroadcast.name(),
+        severity,
+        section: StallBroadcast.section(),
+        subject: format!("{}.stall", lp.name),
+        message: format!(
+            "stall-based control of this {}-stage pipeline gates ~{fanout} \
+             enables from one net (stage widths sum to {} bits{}); estimated \
+             enable-net broadcast excess ≈ {penalty:.2} ns on a {:.2} ns clock",
+            widths.len(),
+            widths.iter().sum::<u64>(),
+            if brams > 0 {
+                format!(", plus {brams} BRAM-unit port enables")
+            } else {
+                String::new()
+            },
+            ctx.clock_ns
+        ),
+        location: Location {
+            kernel: Some(kernel.to_string()),
+            looop: Some(lp.name.clone()),
+            pragma: (!pragma.is_empty()).then_some(pragma),
+        },
+        broadcast_factor: fanout,
+        est_penalty_ns: penalty,
+        remedy: StallBroadcast.remedy(),
+    });
+}
+
+impl Rule for StallBroadcast {
+    fn id(&self) -> &'static str {
+        "PC01"
+    }
+    fn name(&self) -> &'static str {
+        "stall-broadcast"
+    }
+    fn section(&self) -> &'static str {
+        "§3.3/§4.3"
+    }
+    fn summary(&self) -> &'static str {
+        "global stall/enable net gates every pipeline stage register"
+    }
+    fn remedy(&self) -> &'static str {
+        "switch to skid-buffer flow control (OptimizationOptions::skid_buffer, plus \
+         min_area_skid for the DP-placed multi-level split)"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for kernel in &ctx.design.kernels {
+            for lp in &kernel.loops {
+                check_loop(ctx, &kernel.name, lp, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{LintConfig, LintContext};
+    use hlsb_fabric::Device;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::types::DataType;
+    use hlsb_ir::Design;
+
+    /// A deep wide pipeline: `stages` chained 512-bit multiplies.
+    fn pipeline_design(stages: usize, bits: u16) -> Design {
+        let mut b = DesignBuilder::new("pc01");
+        let fin = b.fifo("in", DataType::Bits(64), 2);
+        let fout = b.fifo("out", DataType::Bits(64), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("pipe", 65_536, 1);
+        let x = l.fifo_read(fin, DataType::Bits(64));
+        let mut v = l.repack(x, DataType::Int(bits));
+        for _ in 0..stages {
+            let r = l.reg(v);
+            v = l.add(r, r);
+        }
+        let folded = l.repack(v, DataType::Bits(64));
+        l.fifo_write(fout, folded);
+        l.finish();
+        k.finish();
+        b.finish().unwrap()
+    }
+
+    fn run(design: &Design) -> Vec<Diagnostic> {
+        let device = Device::ultrascale_plus_vu9p();
+        let ctx = LintContext::new(design, &device, LintConfig::default());
+        let mut out = Vec::new();
+        StallBroadcast.check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_deep_wide_pipelines() {
+        let diags = run(&pipeline_design(64, 512));
+        assert_eq!(diags.len(), 1, "one stall net per pipelined loop");
+        let d = &diags[0];
+        assert_eq!(d.rule, "PC01");
+        assert_eq!(d.subject, "pipe.stall");
+        assert!(d.broadcast_factor > 10_000, "fanout {}", d.broadcast_factor);
+        assert!(d.est_penalty_ns > 0.0);
+    }
+
+    #[test]
+    fn shallow_narrow_pipelines_pass() {
+        assert!(run(&pipeline_design(2, 8)).is_empty());
+    }
+
+    #[test]
+    fn fanout_counts_bits_and_valids() {
+        assert_eq!(stall_fanout(&[512, 512, 32]), 512 + 512 + 32 + 3);
+        assert_eq!(stall_fanout(&[]), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! SY01 — synchronization fan-in/fan-out of dataflow regions (paper
+//! §3.2, §4.2, Figure 5).
+//!
+//! HLS glues concurrent modules together with a start broadcast and a
+//! done-AND-reduce. Two statically detectable pathologies:
+//!
+//! * a **wide done-reduce** over many parallel modules — most of which
+//!   have statically known latency and need not be waited on at all
+//!   (§4.2's pruning);
+//! * a **fused loop** containing several independent streaming flows that
+//!   share one iteration barrier — §4.2's splitting would give each flow
+//!   its own control (detected via [`hlsb_sync::split_loop_flows`]).
+//!
+//! This rule reports both instead of transforming.
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::rules::Rule;
+use hlsb_ir::Concurrency;
+use hlsb_sync::{prune_sync, split_loop_flows, ModuleSync};
+
+/// Detects done-reduce trees and fused dataflow loops §4.2 would prune.
+pub struct SyncFanin;
+
+/// Fan-in of the AND-reduce primitives the control generator emits; a
+/// reduce wider than this becomes a multi-level tree (mirrors the
+/// `REDUCE_FANIN` arity in `hlsb-rtlgen`'s control lowering).
+pub const SYNC_REDUCE_FANIN: usize = 6;
+
+fn check_design_sync(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let design = ctx.design;
+    if design.concurrency != Concurrency::Dataflow || design.kernels.len() < 2 {
+        return;
+    }
+    let modules: Vec<ModuleSync> = design
+        .kernels
+        .iter()
+        .map(|k| match k.static_latency {
+            Some(l) => ModuleSync::fixed(&k.name, l),
+            None => ModuleSync::dynamic(&k.name),
+        })
+        .collect();
+    let plan = prune_sync(&modules);
+    let n = modules.len();
+    let waited = plan.reduce_width();
+    // Start broadcast + done reduce both scale with the module count.
+    let penalty = ctx.wire.skeleton_net_delay_ns(n);
+    if plan.pruned.is_empty() && n <= SYNC_REDUCE_FANIN {
+        return;
+    }
+    let severity = if n > 4 * SYNC_REDUCE_FANIN {
+        Severity::Error
+    } else if n > SYNC_REDUCE_FANIN || waited < n {
+        Severity::Warning
+    } else {
+        Severity::Info
+    };
+    let levels = if n <= 1 {
+        0
+    } else {
+        (n as f64).log(SYNC_REDUCE_FANIN as f64).ceil() as usize
+    };
+    out.push(Diagnostic {
+        rule: SyncFanin.id(),
+        rule_name: SyncFanin.name(),
+        severity,
+        section: SyncFanin.section(),
+        subject: format!("{}.done", design.name),
+        message: format!(
+            "dataflow region synchronizes {n} kernels through a {levels}-level \
+             done-AND-reduce; {} have static latency, so pruning would wait on \
+             only {waited} (start/done nets fan to all {n} modules)",
+            plan.pruned.len()
+        ),
+        location: Location {
+            kernel: None,
+            looop: None,
+            pragma: Some("dataflow".into()),
+        },
+        broadcast_factor: n,
+        est_penalty_ns: penalty,
+        remedy: SyncFanin.remedy(),
+    });
+}
+
+/// Parallel-PE call sites (Fig. 6b): a loop invoking ≥ 2 kernels gets a
+/// start broadcast to every PE and a done-AND-reduce back — exactly the
+/// sync the design-level dataflow check covers, but anchored at the call
+/// site. The control generator emits this sync regardless of any
+/// `dataflow` pragma (`rtlgen::control::attach_call_sync`).
+fn check_call_sync(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    for kernel in &ctx.design.kernels {
+        for lp in &kernel.loops {
+            let modules: Vec<ModuleSync> = lp
+                .body
+                .iter()
+                .filter_map(|(_, inst)| match inst.kind {
+                    hlsb_ir::OpKind::Call(k) => {
+                        let callee = ctx.design.kernel(k);
+                        Some(match callee.static_latency {
+                            Some(l) => ModuleSync::fixed(&callee.name, l),
+                            None => ModuleSync::dynamic(&callee.name),
+                        })
+                    }
+                    _ => None,
+                })
+                .collect();
+            let n = modules.len();
+            if n < 2 {
+                continue;
+            }
+            let plan = prune_sync(&modules);
+            let waited = plan.reduce_width();
+            if plan.pruned.is_empty() && n <= SYNC_REDUCE_FANIN {
+                continue;
+            }
+            let severity = if n > 4 * SYNC_REDUCE_FANIN {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            out.push(Diagnostic {
+                rule: SyncFanin.id(),
+                rule_name: SyncFanin.name(),
+                severity,
+                section: SyncFanin.section(),
+                subject: format!("{}.{}.done", kernel.name, lp.name),
+                message: format!(
+                    "loop `{}` synchronizes {n} parallel PE calls with a start \
+                     broadcast and done-AND-reduce; {} have static latency, so \
+                     pruning would wait on only {waited}",
+                    lp.name,
+                    plan.pruned.len()
+                ),
+                location: Location {
+                    kernel: Some(kernel.name.clone()),
+                    looop: Some(lp.name.clone()),
+                    pragma: lp.pipeline.map(|p| p.to_string()),
+                },
+                broadcast_factor: n,
+                est_penalty_ns: ctx.wire.skeleton_net_delay_ns(n),
+                remedy: SyncFanin.remedy(),
+            });
+        }
+    }
+}
+
+fn check_fused_loops(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    for kernel in &ctx.design.kernels {
+        for lp in &kernel.loops {
+            let flows = split_loop_flows(lp);
+            if flows.len() <= 1 {
+                continue;
+            }
+            let n = flows.len();
+            let penalty = ctx.wire.skeleton_net_delay_ns(n);
+            out.push(Diagnostic {
+                rule: SyncFanin.id(),
+                rule_name: SyncFanin.name(),
+                severity: if n > SYNC_REDUCE_FANIN {
+                    Severity::Warning
+                } else {
+                    Severity::Info
+                },
+                section: SyncFanin.section(),
+                subject: format!("{}.{}", kernel.name, lp.name),
+                message: format!(
+                    "loop `{}` fuses {n} independent streaming flows under one \
+                     iteration barrier; splitting (§4.2) would give each flow \
+                     its own flow control",
+                    lp.name
+                ),
+                location: Location {
+                    kernel: Some(kernel.name.clone()),
+                    looop: Some(lp.name.clone()),
+                    pragma: lp.pipeline.map(|p| p.to_string()),
+                },
+                broadcast_factor: n,
+                est_penalty_ns: penalty,
+                remedy: SyncFanin.remedy(),
+            });
+        }
+    }
+}
+
+impl Rule for SyncFanin {
+    fn id(&self) -> &'static str {
+        "SY01"
+    }
+    fn name(&self) -> &'static str {
+        "sync-fanin"
+    }
+    fn section(&self) -> &'static str {
+        "§3.2/§4.2"
+    }
+    fn summary(&self) -> &'static str {
+        "wide done-AND-reduce or fused dataflow loop that synchronization pruning would shrink"
+    }
+    fn remedy(&self) -> &'static str {
+        "enable synchronization pruning (OptimizationOptions::sync_pruning): split fused \
+         flows and wait only on dynamic-latency / longest-latency modules"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        check_design_sync(ctx, out);
+        check_call_sync(ctx, out);
+        check_fused_loops(ctx, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{LintConfig, LintContext};
+    use hlsb_fabric::Device;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::types::DataType;
+    use hlsb_ir::Design;
+
+    /// `n` fixed-latency PE kernels in one dataflow region.
+    fn dataflow_design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("sy01");
+        b.dataflow();
+        for i in 0..n {
+            let fin = b.fifo(format!("in{i}"), DataType::Int(32), 2);
+            let fout = b.fifo(format!("out{i}"), DataType::Int(32), 2);
+            let mut k = b.kernel(format!("pe{i}"));
+            k.set_static_latency(10 + i as u64);
+            let mut l = k.pipelined_loop(format!("l{i}"), 256, 1);
+            let x = l.fifo_read(fin, DataType::Int(32));
+            let y = l.add(x, x);
+            l.fifo_write(fout, y);
+            l.finish();
+            k.finish();
+        }
+        b.finish().unwrap()
+    }
+
+    /// One loop carrying `n` independent FIFO-to-FIFO flows.
+    fn fused_design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("fused");
+        let fifos: Vec<_> = (0..n)
+            .map(|i| {
+                (
+                    b.fifo(format!("in{i}"), DataType::Int(32), 2),
+                    b.fifo(format!("out{i}"), DataType::Int(32), 2),
+                )
+            })
+            .collect();
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("fused", 256, 1);
+        for &(fin, fout) in &fifos {
+            let x = l.fifo_read(fin, DataType::Int(32));
+            let y = l.add(x, x);
+            l.fifo_write(fout, y);
+        }
+        l.finish();
+        k.finish();
+        b.finish().unwrap()
+    }
+
+    fn run(design: &Design) -> Vec<Diagnostic> {
+        let device = Device::ultrascale_plus_vu9p();
+        let ctx = LintContext::new(design, &device, LintConfig::default());
+        let mut out = Vec::new();
+        SyncFanin.check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wide_dataflow_sync() {
+        let diags = run(&dataflow_design(28));
+        let d = diags
+            .iter()
+            .find(|d| d.subject == "sy01.done")
+            .expect("done reduce");
+        assert_eq!(d.broadcast_factor, 28);
+        assert!(d.severity >= Severity::Warning);
+        // 27 of the 28 static-latency PEs are prunable.
+        assert!(d.message.contains("wait on only 1"), "{}", d.message);
+    }
+
+    #[test]
+    fn flags_fused_flows() {
+        let diags = run(&fused_design(4));
+        let d = diags
+            .iter()
+            .find(|d| d.subject == "top.fused")
+            .expect("fused loop");
+        assert_eq!(d.broadcast_factor, 4);
+    }
+
+    #[test]
+    fn single_flow_sequential_design_passes() {
+        let diags = run(&fused_design(1));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// A top loop calling `n` fixed-latency PE kernels (Fig. 6b style —
+    /// no dataflow pragma; the sync comes from the call sites).
+    fn call_design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("calls");
+        let fin = b.fifo("in", DataType::Int(32), 2);
+        let fout = b.fifo("out", DataType::Int(32), 2);
+        let mut pes = Vec::new();
+        for i in 0..n {
+            let mut pe = b.kernel(format!("pe{i}"));
+            pe.set_static_latency(5 + i as u64);
+            let mut l = pe.pipelined_loop("body", 256, 1);
+            let x = l.invariant_input("x", DataType::Int(32));
+            let y = l.add(x, x);
+            l.output("y", y);
+            l.finish();
+            pes.push(pe.finish());
+        }
+        let mut top = b.kernel("top");
+        let mut l = top.pipelined_loop("main", 256, 1);
+        let x = l.fifo_read(fin, DataType::Int(32));
+        let mut acc = None;
+        for &pe in &pes {
+            let r = l.call(pe, vec![x], DataType::Int(32));
+            acc = Some(match acc {
+                Some(a) => l.add(a, r),
+                None => r,
+            });
+        }
+        l.fifo_write(fout, acc.unwrap());
+        l.finish();
+        top.finish();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn flags_prunable_call_site_sync() {
+        let diags = run(&call_design(4));
+        let d = diags
+            .iter()
+            .find(|d| d.subject == "top.main.done")
+            .expect("call-site sync flagged");
+        assert_eq!(d.broadcast_factor, 4);
+        // All 4 PEs have static latency: only the slowest needs waiting.
+        assert!(d.message.contains("wait on only 1"), "{}", d.message);
+    }
+}

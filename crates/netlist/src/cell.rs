@@ -214,7 +214,11 @@ mod tests {
 
     #[test]
     fn ports_cost_nothing() {
-        for c in [Cell::input("i", 8), Cell::output("o", 8), Cell::constant("c", 8)] {
+        for c in [
+            Cell::input("i", 8),
+            Cell::output("o", 8),
+            Cell::constant("c", 8),
+        ] {
             assert_eq!(c.luts + c.ffs + c.brams + c.dsps, 0, "{}", c.name);
         }
     }

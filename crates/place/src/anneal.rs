@@ -4,9 +4,7 @@ use crate::placement::Placement;
 use crate::sites::{site_legal, snap_column};
 use hlsb_fabric::Device;
 use hlsb_netlist::{CellId, CellKind, Netlist};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use hlsb_rng::Rng;
 use std::collections::HashMap;
 
 /// Annealing parameters.
@@ -212,7 +210,7 @@ fn anneal(
     if n < 2 {
         return;
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total_moves = (config.moves_per_cell as usize * n)
         .clamp(config.min_moves as usize, config.max_moves as usize);
     let moves_per_batch = (total_moves / config.batches.max(1) as usize).max(1);
@@ -225,12 +223,12 @@ fn anneal(
 
     for _ in 0..config.batches {
         for _ in 0..moves_per_batch {
-            let a = CellId(rng.gen_range(0..n as u32));
+            let a = CellId(rng.gen_index(n) as u32);
             let kind_a = netlist.cell(a).kind;
             let (ax, ay) = placement.loc(a);
-            let w = window.max(2.0) as i32;
-            let tx = (i32::from(ax) + rng.gen_range(-w..=w)).clamp(0, i32::from(gw) - 1) as u16;
-            let ty = (i32::from(ay) + rng.gen_range(-w..=w)).clamp(0, i32::from(gh) - 1) as u16;
+            let w = i64::from(window.max(2.0) as i32);
+            let tx = (i64::from(ax) + rng.gen_i64(-w, w)).clamp(0, i64::from(gw) - 1) as u16;
+            let ty = (i64::from(ay) + rng.gen_i64(-w, w)).clamp(0, i64::from(gh) - 1) as u16;
             let target = (snap_column(kind_a, tx, gw), ty);
             if target == (ax, ay) || !site_legal(kind_a, target.0) {
                 continue;
@@ -242,14 +240,14 @@ fn anneal(
                 if !site_legal(netlist.cell(b).kind, ax) {
                     continue;
                 }
-                let before = adjacent_cost(netlist, placement, a)
-                    + adjacent_cost(netlist, placement, b);
+                let before =
+                    adjacent_cost(netlist, placement, a) + adjacent_cost(netlist, placement, b);
                 placement.set_loc(a, target);
                 placement.set_loc(b, (ax, ay));
-                let after = adjacent_cost(netlist, placement, a)
-                    + adjacent_cost(netlist, placement, b);
+                let after =
+                    adjacent_cost(netlist, placement, a) + adjacent_cost(netlist, placement, b);
                 let delta = after - before;
-                if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+                if delta <= 0.0 || rng.gen_f64() < (-delta / temp).exp() {
                     occupied.insert(target, a);
                     occupied.insert((ax, ay), b);
                 } else {
@@ -261,7 +259,7 @@ fn anneal(
                 placement.set_loc(a, target);
                 let after = adjacent_cost(netlist, placement, a);
                 let delta = after - before;
-                if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+                if delta <= 0.0 || rng.gen_f64() < (-delta / temp).exp() {
                     occupied.remove(&(ax, ay));
                     occupied.insert(target, a);
                 } else {
@@ -315,12 +313,12 @@ fn polish(
                     if b == a || !site_legal(netlist.cell(b).kind, old.0) {
                         continue;
                     }
-                    let before = adjacent_cost(netlist, placement, a)
-                        + adjacent_cost(netlist, placement, b);
+                    let before =
+                        adjacent_cost(netlist, placement, a) + adjacent_cost(netlist, placement, b);
                     placement.set_loc(a, target);
                     placement.set_loc(b, old);
-                    let after = adjacent_cost(netlist, placement, a)
-                        + adjacent_cost(netlist, placement, b);
+                    let after =
+                        adjacent_cost(netlist, placement, a) + adjacent_cost(netlist, placement, b);
                     if after < before {
                         occupied.insert(target, a);
                         occupied.insert(old, b);
@@ -458,11 +456,11 @@ mod tests {
         nl.connect(src, &sinks);
         let d = Device::ultrascale_plus_vu9p();
         let p = place(&nl, &d, 9);
-        let max_dist = sinks
-            .iter()
-            .map(|&s| p.dist(src, s))
-            .fold(0.0f64, f64::max);
-        assert!(max_dist >= 4.0, "64 exclusive sites imply spread, got {max_dist}");
+        let max_dist = sinks.iter().map(|&s| p.dist(src, s)).fold(0.0f64, f64::max);
+        assert!(
+            max_dist >= 4.0,
+            "64 exclusive sites imply spread, got {max_dist}"
+        );
     }
 
     #[test]

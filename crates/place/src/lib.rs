@@ -14,7 +14,7 @@
 //! like `sqrt(k)` no matter how good the placement is — exactly the
 //! physical phenomenon the paper measures with its skeleton designs.
 //!
-//! All randomness is seeded (`rand_chacha`), so placements are
+//! All randomness is seeded (a seeded xoshiro generator (`hlsb-rng`)), so placements are
 //! reproducible.
 //!
 //! # Example

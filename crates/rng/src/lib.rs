@@ -1,0 +1,175 @@
+//! Self-contained deterministic pseudo-randomness for the workspace.
+//!
+//! The repository must build and test with no network access, so nothing
+//! here may come from crates.io. This crate provides the one thing the
+//! external `rand` stack was used for: a small, seedable, reproducible
+//! generator for the annealing placer and the randomized test harnesses.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna), seeded through
+//! SplitMix64 — the standard pairing: SplitMix64 decorrelates low-entropy
+//! seeds (0, 1, 2, ...) before they reach the xoshiro state.
+
+/// A seedable xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 — small, high-quality 64-bit mixer (also used by
+/// `hlsb_fabric::NoiseModel`; duplicated here to keep this crate
+/// dependency-free).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Distinct seeds — even
+    /// adjacent integers — yield decorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let s = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        Rng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli sample with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        // Multiply-shift bounded sampling (Lemire); the slight modulo bias
+        // of a plain `%` would be fine for annealing, but this is exact in
+        // distribution terms for every n that fits in u64.
+        let n = n as u64;
+        (((self.next_u64() as u128 * n as u128) >> 64) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + (((self.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64)
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "invalid range");
+        let span = (hi as i128 - lo as i128) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as i64;
+        }
+        let off = ((self.next_u64() as u128 * (span as u128 + 1)) >> 64) as i128;
+        (lo as i128 + off) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn adjacent_seeds_decorrelate() {
+        let mut a = Rng::seed_from_u64(0);
+        let mut b = Rng::seed_from_u64(1);
+        let same = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_frequency_tracks_p() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_both_ends() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut lo_hit = false;
+        let mut hi_hit = false;
+        for _ in 0..10_000 {
+            match r.gen_i64(-3, 3) {
+                -3 => lo_hit = true,
+                3 => hi_hit = true,
+                v => assert!((-3..=3).contains(&v)),
+            }
+        }
+        assert!(lo_hit && hi_hit);
+        for _ in 0..100 {
+            let v = r.gen_u64(10, 10);
+            assert_eq!(v, 10);
+        }
+    }
+}

@@ -42,11 +42,7 @@ fn status_ff(ctx: &mut Ctx<'_>, src: CellId, name: String) -> CellId {
 }
 
 /// Attaches pipeline flow control to a lowered loop.
-pub(crate) fn attach_pipeline_control(
-    ctx: &mut Ctx<'_>,
-    sl: &ScheduledLoop,
-    art: &LoopArtifacts,
-) {
+pub(crate) fn attach_pipeline_control(ctx: &mut Ctx<'_>, sl: &ScheduledLoop, art: &LoopArtifacts) {
     if !sl.looop.is_pipelined() {
         return;
     }

@@ -233,7 +233,9 @@ fn lower_body(
                 // off a plain FF (which physical fanout optimization can
                 // duplicate), not off the FIFO storage macro.
                 let cell = ctx.fifo_cell(fid);
-                let q = ctx.nl.add_cell(Cell::ff(format!("{name}_q"), inst.ty.bits()));
+                let q = ctx
+                    .nl
+                    .add_cell(Cell::ff(format!("{name}_q"), inst.ty.bits()));
                 ctx.nl.connect(cell, &[q]);
                 art.loop_ffs.push(q);
                 if !art.fifos.contains(&fid) {

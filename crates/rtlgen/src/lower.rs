@@ -132,7 +132,8 @@ pub fn lower_design(
         }
         let mut prev_done: Option<CellId> = None;
         for (li, sl) in sd.loops[ki].iter().enumerate() {
-            let art: LoopArtifacts = lower_loop(&mut ctx, sd, sl, &format!("{}_{li}", kernel.name), model);
+            let art: LoopArtifacts =
+                lower_loop(&mut ctx, sd, sl, &format!("{}_{li}", kernel.name), model);
             ctx.info.pipeline_stages += sl.schedule.depth;
 
             // Sequential FSM: each loop starts when the previous is done.

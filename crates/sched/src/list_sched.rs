@@ -177,9 +177,7 @@ pub fn schedule_loop(
         .max()
         .unwrap_or(1)
         .max(1);
-    let ii = lp
-        .pipeline
-        .map_or(depth, |p| p.ii.max(mem_ii));
+    let ii = lp.pipeline.map_or(depth, |p| p.ii.max(mem_ii));
     Schedule {
         ops,
         depth,
@@ -220,12 +218,7 @@ mod tests {
         // budget = 3.33 * 0.875 = 2.91; adds cost 0.78 + 0.25 net = 1.03
         // each → two chain per cycle, the third splits.
         let (d, ids) = add_chain(7);
-        let s = schedule_loop(
-            &d.kernels[0].loops[0],
-            &d,
-            &HlsPredictedModel::new(),
-            3.33,
-        );
+        let s = schedule_loop(&d.kernels[0].loops[0], &d, &HlsPredictedModel::new(), 3.33);
         assert!(s.violations.is_empty());
         let cycles: Vec<u32> = ids.iter().map(|&i| s.op(i).cycle).collect();
         assert_eq!(cycles, vec![0, 0, 1, 1, 2, 2, 3]);
@@ -236,12 +229,7 @@ mod tests {
     #[test]
     fn raw_dependencies_are_respected() {
         let (d, ids) = add_chain(10);
-        let s = schedule_loop(
-            &d.kernels[0].loops[0],
-            &d,
-            &HlsPredictedModel::new(),
-            3.33,
-        );
+        let s = schedule_loop(&d.kernels[0].loops[0], &d, &HlsPredictedModel::new(), 3.33);
         let dfg = &d.kernels[0].loops[0].body;
         for (id, inst) in dfg.iter() {
             for &dep in &inst.operands {
@@ -341,7 +329,7 @@ mod tests {
     mod properties {
         use super::*;
         use hlsb_ir::Dfg;
-        use proptest::prelude::*;
+        use hlsb_rng::Rng;
 
         /// Builds a random straight-line program; `ops[i]` selects both
         /// the operation and its operand indices.
@@ -405,32 +393,37 @@ mod tests {
             }
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
+        fn random_ops(rng: &mut Rng, min_len: usize, max_len: usize) -> Vec<u16> {
+            let len = rng.gen_u64(min_len as u64, max_len as u64) as usize;
+            (0..len).map(|_| rng.gen_u64(0, 3999) as u16).collect()
+        }
 
-            #[test]
-            fn schedules_respect_deps_and_budget(
-                ops in proptest::collection::vec(0u16..4000, 0..40),
-                clock in 2.0f64..8.0,
-            ) {
+        #[test]
+        fn schedules_respect_deps_and_budget() {
+            let mut rng = Rng::seed_from_u64(0x5CED_0001);
+            for _ in 0..64 {
+                let ops = random_ops(&mut rng, 0, 39);
+                let clock = 2.0 + rng.gen_f64() * 6.0;
                 let d = random_loop(&ops);
                 let lp = &d.kernels[0].loops[0];
                 let s = schedule_loop(lp, &d, &HlsPredictedModel::new(), clock);
                 check_schedule(&lp.body, &s, clock * CLOCK_MARGIN);
-                prop_assert!(s.depth >= 1);
-                prop_assert_eq!(s.ii, 1);
+                assert!(s.depth >= 1);
+                assert_eq!(s.ii, 1);
             }
+        }
 
-            #[test]
-            fn alap_sinking_never_extends_depth(
-                ops in proptest::collection::vec(0u16..4000, 1..40),
-            ) {
+        #[test]
+        fn alap_sinking_never_extends_depth() {
+            let mut rng = Rng::seed_from_u64(0x5CED_0002);
+            for _ in 0..64 {
+                let ops = random_ops(&mut rng, 1, 39);
                 let d = random_loop(&ops);
                 let lp = &d.kernels[0].loops[0];
                 let s = schedule_loop(lp, &d, &HlsPredictedModel::new(), 3.33);
                 // Every op still finishes within the reported depth.
                 for id in lp.body.ids() {
-                    prop_assert!(s.op(id).done_cycle() < s.depth);
+                    assert!(s.op(id).done_cycle() < s.depth, "ops {ops:?}");
                 }
             }
         }

@@ -147,9 +147,7 @@ impl ScheduleReport {
         let mut lines = text.lines().enumerate();
 
         // Header: "== schedule report: <name> (depth D, II I) =="
-        let (hline, header) = lines
-            .next()
-            .ok_or_else(|| err(1, "empty report"))?;
+        let (hline, header) = lines.next().ok_or_else(|| err(1, "empty report"))?;
         let header = header
             .strip_prefix("== schedule report: ")
             .and_then(|h| h.strip_suffix(" =="))
@@ -210,9 +208,7 @@ impl ScheduleReport {
                 name: String::new(),
                 cycle: parse_u32(cols[2], "cycle")?,
                 latency: parse_u32(cols[3], "latency")?,
-                est_delay_ns: cols[4]
-                    .parse()
-                    .map_err(|_| err(lno + 1, "bad delay"))?,
+                est_delay_ns: cols[4].parse().map_err(|_| err(lno + 1, "bad delay"))?,
                 raw_deps,
                 broadcast_factor: parse_u32(cols[5], "broadcast factor")? as usize,
             });

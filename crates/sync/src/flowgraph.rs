@@ -34,7 +34,8 @@ pub fn split_loop_flows(lp: &Loop) -> Vec<Loop> {
         return vec![lp.clone()];
     }
 
-    let duplicable = |kind: OpKind| matches!(kind, OpKind::Const | OpKind::Input { invariant: true });
+    let duplicable =
+        |kind: OpKind| matches!(kind, OpKind::Const | OpKind::Input { invariant: true });
 
     comps
         .iter()

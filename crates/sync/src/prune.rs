@@ -124,7 +124,7 @@ pub fn prune_sync_bounded(bounds: &[LatencyRange]) -> SyncPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hlsb_rng::Rng;
 
     #[test]
     fn waits_only_on_longest_static() {
@@ -171,16 +171,10 @@ mod tests {
     fn bounded_pruning_respects_overlap() {
         // [10, 30] cannot cover [5, 15] (min 10 < max 15), but [20, 30]
         // covers [5, 15].
-        let plan = prune_sync_bounded(&[
-            LatencyRange::new(10, 30),
-            LatencyRange::new(5, 15),
-        ]);
+        let plan = prune_sync_bounded(&[LatencyRange::new(10, 30), LatencyRange::new(5, 15)]);
         assert_eq!(plan.wait, vec![0, 1], "overlapping ranges both waited");
 
-        let plan2 = prune_sync_bounded(&[
-            LatencyRange::new(20, 30),
-            LatencyRange::new(5, 15),
-        ]);
+        let plan2 = prune_sync_bounded(&[LatencyRange::new(20, 30), LatencyRange::new(5, 15)]);
         assert_eq!(plan2.wait, vec![0]);
         assert_eq!(plan2.pruned, vec![1]);
     }
@@ -196,60 +190,80 @@ mod tests {
         assert_eq!(plan.pruned, vec![0, 2]);
     }
 
-    proptest! {
-        #[test]
-        fn plan_partitions_modules(lats in proptest::collection::vec(
-            proptest::option::of(0u64..1000), 0..20)) {
+    #[test]
+    fn plan_partitions_modules() {
+        let mut rng = Rng::seed_from_u64(0x5CA1_0001);
+        for _ in 0..256 {
+            let len = rng.gen_index(20);
+            let lats: Vec<Option<u64>> = (0..len)
+                .map(|_| rng.gen_bool(0.5).then(|| rng.gen_u64(0, 999)))
+                .collect();
             let modules: Vec<ModuleSync> = lats
                 .iter()
                 .enumerate()
-                .map(|(i, l)| ModuleSync { name: format!("m{i}"), latency: *l })
+                .map(|(i, l)| ModuleSync {
+                    name: format!("m{i}"),
+                    latency: *l,
+                })
                 .collect();
             let plan = prune_sync(&modules);
             let mut all: Vec<usize> = plan.wait.iter().chain(&plan.pruned).copied().collect();
             all.sort_unstable();
-            prop_assert_eq!(all, (0..modules.len()).collect::<Vec<_>>());
+            assert_eq!(all, (0..modules.len()).collect::<Vec<_>>());
         }
+    }
 
-        #[test]
-        fn pruning_is_sound(lats in proptest::collection::vec(0u64..1000, 1..20)) {
-            // Soundness: when every waited module has finished, every
-            // pruned module must have finished, for any concrete latency
-            // assignment (here: the exact static latencies).
+    #[test]
+    fn pruning_is_sound() {
+        // Soundness: when every waited module has finished, every pruned
+        // module must have finished, for any concrete latency assignment
+        // (here: the exact static latencies).
+        let mut rng = Rng::seed_from_u64(0x5CA1_0002);
+        for _ in 0..256 {
+            let len = rng.gen_index(19) + 1;
+            let lats: Vec<u64> = (0..len).map(|_| rng.gen_u64(0, 999)).collect();
             let modules: Vec<ModuleSync> = lats
                 .iter()
                 .enumerate()
-                .map(|(i, l)| ModuleSync { name: format!("m{i}"), latency: Some(*l) })
+                .map(|(i, l)| ModuleSync {
+                    name: format!("m{i}"),
+                    latency: Some(*l),
+                })
                 .collect();
             let plan = prune_sync(&modules);
             let wait_done = plan.wait.iter().map(|&i| lats[i]).max().unwrap_or(0);
             for &p in &plan.pruned {
-                prop_assert!(lats[p] <= wait_done);
+                assert!(lats[p] <= wait_done, "lats {lats:?}");
             }
         }
+    }
 
-        #[test]
-        fn bounded_pruning_is_sound(
-            ranges in proptest::collection::vec((0u64..500, 0u64..500), 1..16),
-            picks in proptest::collection::vec(0.0f64..1.0, 16),
-        ) {
-            let bounds: Vec<LatencyRange> = ranges
-                .iter()
-                .map(|&(a, b)| LatencyRange::new(a.min(b), a.max(b)))
+    #[test]
+    fn bounded_pruning_is_sound() {
+        let mut rng = Rng::seed_from_u64(0x5CA1_0003);
+        for _ in 0..256 {
+            let len = rng.gen_index(15) + 1;
+            let bounds: Vec<LatencyRange> = (0..len)
+                .map(|_| {
+                    let a = rng.gen_u64(0, 499);
+                    let b = rng.gen_u64(0, 499);
+                    LatencyRange::new(a.min(b), a.max(b))
+                })
                 .collect();
             let plan = prune_sync_bounded(&bounds);
             // Any realizable latency assignment within bounds:
             let actual: Vec<u64> = bounds
                 .iter()
-                .zip(picks.iter())
-                .map(|(r, &t)| r.min + ((r.max - r.min) as f64 * t) as u64)
+                .map(|r| r.min + ((r.max - r.min) as f64 * rng.gen_f64()) as u64)
                 .collect();
             let wait_done = plan.wait.iter().map(|&i| actual[i]).max().unwrap_or(0);
             for &p in &plan.pruned {
-                prop_assert!(
+                assert!(
                     actual[p] <= wait_done,
                     "pruned module {} (lat {}) outlives waited set ({})",
-                    p, actual[p], wait_done
+                    p,
+                    actual[p],
+                    wait_done
                 );
             }
         }

@@ -114,9 +114,7 @@ pub fn refine_critical(
                 let fo = fo_net.map(|n| netlist.net(n).fanout()).unwrap_or(1);
                 let new_delay = wire.net_delay_ns(placement.dist(a, b), fo);
                 let new_timing = sta(netlist, placement, wire);
-                if new_delay + 1e-9 < old_delay
-                    && new_timing.period_ns <= timing.period_ns + 1e-9
-                {
+                if new_delay + 1e-9 < old_delay && new_timing.period_ns <= timing.period_ns + 1e-9 {
                     timing = new_timing;
                     report.moves += 1;
                     any = true;

@@ -240,8 +240,11 @@ mod tests {
         nl.connect(b, &[add]);
         nl.connect(add, &[f]);
         nl.connect(f, &[out]);
-        let mut p =
-            Placement::from_locs(vec![(0, 0), (0, 1), (1, 0), (2, 0), (3, 0), (4, 0)], 140, 120);
+        let mut p = Placement::from_locs(
+            vec![(0, 0), (0, 1), (1, 0), (2, 0), (3, 0), (4, 0)],
+            140,
+            120,
+        );
         let w = WireModel::ultrascale_plus();
         let ffs_before = nl.stats().ffs;
         let (rep, timing) = retime(&mut nl, &mut p, &w, RetimeOptions::default());

@@ -30,12 +30,7 @@ impl TimingReport {
     /// Renders the critical path as a per-arc breakdown, in the style of a
     /// `report_timing` text report: one line per hop with the cell, its
     /// placed location, the net's fanout, and the incremental delay.
-    pub fn path_text(
-        &self,
-        netlist: &Netlist,
-        placement: &Placement,
-        wire: &WireModel,
-    ) -> String {
+    pub fn path_text(&self, netlist: &Netlist, placement: &Placement, wire: &WireModel) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
@@ -49,12 +44,12 @@ impl TimingReport {
         for (i, &c) in self.critical_path.iter().enumerate() {
             let cell = netlist.cell(c);
             let (x, y) = placement.loc(c);
-            let logic = if i == 0 || cell.kind.is_combinational() || i + 1 == self.critical_path.len()
-            {
-                cell.delay_ns
-            } else {
-                0.0
-            };
+            let logic =
+                if i == 0 || cell.kind.is_combinational() || i + 1 == self.critical_path.len() {
+                    cell.delay_ns
+                } else {
+                    0.0
+                };
             let net = if i > 0 {
                 let prev = self.critical_path[i - 1];
                 let fo = netlist
@@ -231,7 +226,11 @@ mod tests {
             + 0.7
             + w.net_delay_ns(1.0, 1)
             + SETUP_NS;
-        assert!((r.period_ns - expected).abs() < 1e-9, "{} vs {expected}", r.period_ns);
+        assert!(
+            (r.period_ns - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            r.period_ns
+        );
         assert_eq!(r.critical_path, vec![a, x, b]);
     }
 
@@ -249,7 +248,9 @@ mod tests {
 
         let mut nl2 = Netlist::new("fo32");
         let a2 = nl2.add_cell(Cell::ff("a", 8));
-        let sinks: Vec<_> = (0..32).map(|i| nl2.add_cell(Cell::ff(format!("s{i}"), 8))).collect();
+        let sinks: Vec<_> = (0..32)
+            .map(|i| nl2.add_cell(Cell::ff(format!("s{i}"), 8)))
+            .collect();
         nl2.connect(a2, &sinks);
         let mut locs = vec![(0u16, 0u16)];
         locs.extend((0..32).map(|i| (5u16, i as u16)));

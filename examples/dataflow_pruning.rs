@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nparallel-module pruning: wait on {} of {} done signals {:?}",
         plan.wait.len(),
         modules.len(),
-        plan.wait.iter().map(|&i| modules[i].name.as_str()).collect::<Vec<_>>()
+        plan.wait
+            .iter()
+            .map(|&i| modules[i].name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // 3. End-to-end effect on the Alveo U50 (the paper's 191 -> 324 MHz).
@@ -61,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!("\noriginal (one sync domain):  {orig}");
     println!("pruned (28 free-running flows): {pruned}");
-    println!("gain: {:+.0}%  (paper: 191 -> 324 MHz, +70%)", pruned.gain_over(&orig));
+    println!(
+        "gain: {:+.0}%  (paper: 191 -> 324 MHz, +70%)",
+        pruned.gain_over(&orig)
+    );
     Ok(())
 }

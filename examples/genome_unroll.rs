@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. End-to-end Fmax across unroll factors (the paper's Fig. 15b).
-    println!("\n{:>8} {:>12} {:>12} {:>7}", "unroll", "orig (MHz)", "opt (MHz)", "gain");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>7}",
+        "unroll", "orig (MHz)", "opt (MHz)", "gain"
+    );
     for unroll in [8u32, 16, 32] {
         let design = genome::design(unroll);
         let run = |opts| {

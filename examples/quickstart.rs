@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = b.finish()?;
 
     let device = Device::ultrascale_plus_vu9p();
-    println!("design: {} ({} instructions before unrolling)", design.name, design.inst_count());
+    println!(
+        "design: {} ({} instructions before unrolling)",
+        design.name,
+        design.inst_count()
+    );
     println!("target: {} @ 300 MHz\n", device);
 
     let baseline = Flow::new(design.clone())
@@ -42,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .options(OptimizationOptions::none())
         .run()?;
     println!("baseline (stock HLS):    {baseline}");
-    println!("  stall-broadcast fanout: {}", baseline.lower_info.max_control_fanout);
+    println!(
+        "  stall-broadcast fanout: {}",
+        baseline.lower_info.max_control_fanout
+    );
 
     let optimized = Flow::new(design)
         .device(device)
@@ -50,8 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .options(OptimizationOptions::all())
         .run()?;
     println!("optimized (paper's fixes): {optimized}");
-    println!("  registers inserted by broadcast-aware scheduling: {}", optimized.inserted_regs);
-    println!("  skid buffer bits: {}", optimized.lower_info.skid_buffer_bits);
+    println!(
+        "  registers inserted by broadcast-aware scheduling: {}",
+        optimized.inserted_regs
+    );
+    println!(
+        "  skid buffer bits: {}",
+        optimized.lower_info.skid_buffer_bits
+    );
     println!("\nfrequency gain: {:+.0}%", optimized.gain_over(&baseline));
     Ok(())
 }

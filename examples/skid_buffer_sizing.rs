@@ -31,7 +31,10 @@ fn main() {
         ok.peak_occupancy,
         ok.overflow
     );
-    println!("  depth N   = {n}: overflow: {} (the +1 matters)", bad.overflow);
+    println!(
+        "  depth N   = {n}: overflow: {} (the +1 matters)",
+        bad.overflow
+    );
 
     // 2. Throughput equivalence vs the stall broadcast.
     let inputs: Vec<u64> = (0..5_000).collect();
@@ -40,8 +43,11 @@ fn main() {
     let skid = simulate_skid(n, required_depth(n), &inputs, ready, 1_000_000);
     println!("\n5000 items through 60%-duty back-pressure:");
     println!("  stall control: {} cycles", stall.cycles);
-    println!("  skid control:  {} cycles (same output stream: {})",
-        skid.cycles, stall.outputs == skid.outputs);
+    println!(
+        "  skid control:  {} cycles (same output stream: {})",
+        skid.cycles,
+        stall.outputs == skid.outputs
+    );
 
     // 3. Min-area split on the paper's Fig. 17 profile.
     let mut widths = vec![32u64; 56];

@@ -48,7 +48,10 @@ fn optimizations_never_break_the_flow_and_usually_help() {
         opt.fmax_mhz,
         orig.fmax_mhz
     );
-    assert!(opt.inserted_regs > 0, "the 32-way broadcast should get registers");
+    assert!(
+        opt.inserted_regs > 0,
+        "the 32-way broadcast should get registers"
+    );
 }
 
 #[test]

@@ -1,10 +1,10 @@
 //! Physical-flow properties spanning netlist, placement and timing.
 
 use hlsb_fabric::{Device, WireModel};
-use hlsb_netlist::{Cell, Netlist, to_verilog};
+use hlsb_netlist::{to_verilog, Cell, Netlist};
 use hlsb_place::{place, Placement};
+use hlsb_rng::Rng;
 use hlsb_timing::sta;
-use proptest::prelude::*;
 
 /// A random feed-forward netlist: FF sources, comb middle layers, FF sinks.
 fn random_netlist(shape: &[u8]) -> Netlist {
@@ -14,7 +14,14 @@ fn random_netlist(shape: &[u8]) -> Netlist {
         .collect();
     for (li, &n) in shape.iter().enumerate() {
         let layer: Vec<_> = (0..(n % 5) + 1)
-            .map(|i| nl.add_cell(Cell::comb(format!("l{li}_{i}"), 8, 0.3 + f64::from(n % 3) * 0.2, 8)))
+            .map(|i| {
+                nl.add_cell(Cell::comb(
+                    format!("l{li}_{i}"),
+                    8,
+                    0.3 + f64::from(n % 3) * 0.2,
+                    8,
+                ))
+            })
             .collect();
         for (i, &c) in layer.iter().enumerate() {
             let d = prev[i % prev.len()];
@@ -28,64 +35,79 @@ fn random_netlist(shape: &[u8]) -> Netlist {
     nl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_shape(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_index(max_len) + 1;
+    (0..len).map(|_| rng.gen_u64(0, 249) as u8).collect()
+}
 
-    #[test]
-    fn placement_is_legal_and_sta_is_finite(
-        shape in proptest::collection::vec(0u8..250, 1..8),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn placement_is_legal_and_sta_is_finite() {
+    let mut rng = Rng::seed_from_u64(0x9413_0001);
+    for _ in 0..16 {
+        let shape = random_shape(&mut rng, 7);
+        let seed = rng.gen_u64(0, 999);
         let nl = random_netlist(&shape);
         let dev = Device::ultrascale_plus_vu9p();
         let p = place(&nl, &dev, seed);
-        prop_assert!(p.in_bounds());
+        assert!(p.in_bounds());
         // Site exclusivity holds.
         let mut seen = std::collections::HashSet::new();
         for (id, _) in nl.cells() {
-            prop_assert!(seen.insert(p.loc(id)), "collision at {:?}", p.loc(id));
+            assert!(seen.insert(p.loc(id)), "collision at {:?}", p.loc(id));
         }
         let r = sta(&nl, &p, &WireModel::for_device(&dev));
-        prop_assert!(r.period_ns.is_finite() && r.period_ns > 0.0);
-        prop_assert!(!r.critical_path.is_empty());
+        assert!(r.period_ns.is_finite() && r.period_ns > 0.0);
+        assert!(!r.critical_path.is_empty());
     }
+}
 
-    #[test]
-    fn sta_is_monotone_in_distance(
-        shape in proptest::collection::vec(0u8..250, 1..6),
-        dx in 1u16..40,
-    ) {
-        // Stretching the placement (moving one critical cell away) never
-        // decreases the period.
+#[test]
+fn sta_is_monotone_in_distance() {
+    // Uniformly stretching the placement scales every manhattan distance
+    // up, and the wire model is increasing in distance, so the period can
+    // never decrease. (Moving a *single* cell is not monotone — it may
+    // land closer to some of its neighbors — so the property is stated
+    // over a whole-placement stretch.)
+    let mut rng = Rng::seed_from_u64(0x9413_0002);
+    for _ in 0..16 {
+        let shape = random_shape(&mut rng, 5);
         let nl = random_netlist(&shape);
         let dev = Device::ultrascale_plus_vu9p();
         let mut p = place(&nl, &dev, 1);
         let w = WireModel::for_device(&dev);
         let before = sta(&nl, &p, &w);
-        let victim = *before.critical_path.last().unwrap();
-        let (x, y) = p.loc(victim);
-        p.set_loc(victim, ((x + dx).min(dev.grid_w as u16 - 1), y));
+        for (id, _) in nl.cells() {
+            let (x, y) = p.loc(id);
+            p.set_loc(id, (x * 2, y * 2));
+        }
         let after = sta(&nl, &p, &w);
-        prop_assert!(after.period_ns + 1e-9 >= before.period_ns);
+        assert!(
+            after.period_ns + 1e-9 >= before.period_ns,
+            "shape {shape:?}"
+        );
     }
+}
 
-    #[test]
-    fn verilog_export_is_structurally_consistent(
-        shape in proptest::collection::vec(0u8..250, 1..6),
-    ) {
+#[test]
+fn verilog_export_is_structurally_consistent() {
+    let mut rng = Rng::seed_from_u64(0x9413_0003);
+    for _ in 0..32 {
+        let shape = random_shape(&mut rng, 5);
         let nl = random_netlist(&shape);
         let v = to_verilog(&nl);
         // Balanced modules, one wire per net, one instance line per
         // non-port cell.
-        prop_assert_eq!(v.matches("module ").count(), v.matches("endmodule").count());
+        assert_eq!(v.matches("module ").count(), v.matches("endmodule").count());
         // One wire declaration per net in the top module (the primitive
         // library after the first `endmodule` has its own wires).
         let top = v.split("endmodule").next().expect("top module");
-        prop_assert_eq!(top.matches("    wire ").count(), nl.net_count());
-        let instances = v.matches("hlsb_ff").count() + v.matches("hlsb_comb").count()
-            + v.matches("hlsb_bram").count() + v.matches("hlsb_const").count();
+        assert_eq!(top.matches("    wire ").count(), nl.net_count());
+        let instances = v.matches("hlsb_ff").count()
+            + v.matches("hlsb_comb").count()
+            + v.matches("hlsb_bram").count()
+            + v.matches("hlsb_const").count();
         // Primitive names appear once in the library and once per instance.
-        prop_assert!(instances >= nl.cell_count());
+        assert!(instances >= nl.cell_count());
     }
 }
 

@@ -7,9 +7,9 @@ use hlsb_fabric::Device;
 use hlsb_ir::interp::{Interpreter, LoopIo};
 use hlsb_ir::unroll::unroll_loop;
 use hlsb_ir::{CmpPred, DataType, Design, InstId, Loop, OpKind};
+use hlsb_rng::Rng;
 use hlsb_sched::broadcast_aware;
 use hlsb_sync::split_loop_flows;
-use proptest::prelude::*;
 
 #[test]
 fn broadcast_aware_rewrite_preserves_genome_outputs() {
@@ -30,8 +30,15 @@ fn broadcast_aware_rewrite_preserves_genome_outputs() {
             .unwrap();
         io.fifo_inputs
             .insert(fin, (0..256).map(|i| i * 7 - 300).collect());
-        for name in ["curr_x", "curr_y", "curr_tag", "avg_qspan", "max_dist_x", "max_dist_y", "bw"]
-        {
+        for name in [
+            "curr_x",
+            "curr_y",
+            "curr_tag",
+            "avg_qspan",
+            "max_dist_x",
+            "max_dist_y",
+            "bw",
+        ] {
             io.invariants.insert(name.into(), 13);
         }
         Interpreter::new(&design).run_loop(lp, 8, &mut io);
@@ -113,22 +120,24 @@ fn observe(design: &Design, lp: &Loop, fin: hlsb_ir::FifoId, fout: hlsb_ir::Fifo
     io.fifo_outputs.remove(&fout).unwrap_or_default()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dce_and_reg_insertion_preserve_random_programs(
-        ops in proptest::collection::vec(0u8..252, 1..24),
-        reg_at in 0usize..20,
-    ) {
+#[test]
+fn dce_and_reg_insertion_preserve_random_programs() {
+    let mut rng = Rng::seed_from_u64(0x5E11_0001);
+    for _ in 0..48 {
+        let len = rng.gen_index(23) + 1;
+        let ops: Vec<u8> = (0..len).map(|_| rng.gen_u64(0, 251) as u8).collect();
+        let reg_at = rng.gen_index(20);
         let (design, fin, fout) = random_program(&ops);
         let lp = &design.kernels[0].loops[0];
         let base = observe(&design, lp, fin, fout);
 
         // DCE.
         let (dce_body, _) = lp.body.eliminate_dead();
-        let dce = Loop { body: dce_body, ..lp.clone() };
-        prop_assert_eq!(&observe(&design, &dce, fin, fout), &base);
+        let dce = Loop {
+            body: dce_body,
+            ..lp.clone()
+        };
+        assert_eq!(observe(&design, &dce, fin, fout), base, "ops {ops:?}");
 
         // Register insertion after an arbitrary (live, value-producing) def.
         let candidates: Vec<InstId> = lp
@@ -139,7 +148,10 @@ proptest! {
             .collect();
         let def = candidates[reg_at % candidates.len()];
         let (reg_body, _, _) = lp.body.insert_reg_after(def);
-        let reg = Loop { body: reg_body, ..lp.clone() };
-        prop_assert_eq!(&observe(&design, &reg, fin, fout), &base);
+        let reg = Loop {
+            body: reg_body,
+            ..lp.clone()
+        };
+        assert_eq!(observe(&design, &reg, fin, fout), base, "ops {ops:?}");
     }
 }

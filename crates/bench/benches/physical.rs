@@ -13,7 +13,7 @@ use hlsb_timing::{optimize_fanout, sta, FanoutOptions};
 fn lowered_stencil() -> hlsb_netlist::Netlist {
     let design = hlsb_benchmarks::stencil::design(2);
     let model = HlsPredictedModel::new();
-    let loops = design
+    let loops: Vec<Vec<ScheduledLoop>> = design
         .kernels
         .iter()
         .map(|k| {
@@ -33,8 +33,8 @@ fn lowered_stencil() -> hlsb_netlist::Netlist {
         .collect();
     lower_design(
         &ScheduledDesign {
-            design: design.clone(),
-            loops,
+            design: &design,
+            loops: &loops,
         },
         &RtlOptions::baseline(),
         &model,

@@ -1,0 +1,67 @@
+//! Session-level performance: what artifact reuse and parallel execution
+//! buy on a Table-1-shaped sweep (several benchmarks × two option sets).
+//!
+//! Three configurations over the same flow list:
+//!
+//! * **cold** — a fresh single-threaded session per iteration (every
+//!   artifact built from scratch; the pre-session behaviour);
+//! * **warm** — a single-threaded session whose cache was pre-populated
+//!   by one untimed sweep (front-end + schedule artifacts all hit);
+//! * **parallel** — a fresh session per iteration with the host's full
+//!   thread budget (set `HLSB_THREADS` to pin it).
+//!
+//! Numbers land in `EXPERIMENTS.md`. On a single-core host the parallel
+//! row matches cold (the scoped-thread pool degenerates to one worker);
+//! results are bit-identical across all three by construction.
+
+use hlsb::{Flow, FlowSession, OptimizationOptions, PlaceEffort};
+use hlsb_bench::{benchmark_flow, time_it};
+use hlsb_benchmarks::all_benchmarks;
+
+/// Table-1-shaped flow list, sized for bench iteration: the small/medium
+/// benchmarks, orig + opt each, fast effort, one placement seed.
+fn sweep_flows() -> Vec<Flow> {
+    let mut flows = Vec::new();
+    for bench in all_benchmarks() {
+        // The two giant designs (500k+ LUTs) would dominate the timing
+        // without changing the comparison.
+        if bench.name.contains("Stencil") || bench.name.contains("Matrix") {
+            continue;
+        }
+        for options in [OptimizationOptions::none(), OptimizationOptions::all()] {
+            flows.push(
+                benchmark_flow(&bench, options)
+                    .place_effort(PlaceEffort::Fast)
+                    .place_seeds(1),
+            );
+        }
+    }
+    flows
+}
+
+fn main() {
+    println!("session");
+    let flows = sweep_flows();
+    println!(
+        "sweep: {} flows, host threads {}",
+        flows.len(),
+        FlowSession::new().threads()
+    );
+
+    time_it("sweep_cold_1thread", 5, || {
+        FlowSession::with_threads(1).run_many(&flows)
+    });
+
+    let warm = FlowSession::with_threads(1);
+    warm.run_many(&flows);
+    time_it("sweep_warm_cache_1thread", 5, || warm.run_many(&flows));
+    let stats = warm.cache_stats();
+    println!(
+        "warm-cache session: {} hits / {} misses",
+        stats.hits, stats.misses
+    );
+
+    time_it("sweep_cold_parallel", 5, || {
+        FlowSession::new().run_many(&flows)
+    });
+}

@@ -1,10 +1,15 @@
 //! Regenerates Fig. 19: achieved frequency of the stream-buffer design
 //! across buffer sizes, for the original design, the data-broadcast-only
-//! optimization, and the full data + control optimization.
+//! optimization, and the full data + control optimization. The fifteen
+//! flows run through one [`hlsb::FlowSession`] (parallel up to the
+//! thread budget; each size's three variants share cached front-end and
+//! schedule artifacts).
 
-use hlsb::{Flow, OptimizationOptions};
-use hlsb_bench::SEED;
+use hlsb::{Flow, FlowSession, OptimizationOptions};
+use hlsb_bench::{expect_all, pass_summary, SEED};
 use hlsb_benchmarks::stream_buffer;
+
+const SIZES: [usize; 5] = [1 << 14, 1 << 16, 1 << 18, 1 << 20, 2_306_048];
 
 fn main() {
     let device = hlsb::fabric::Device::ultrascale_plus_vu9p();
@@ -14,24 +19,34 @@ fn main() {
         "words", "BRAMs", "orig (MHz)", "data (MHz)", "data+ctrl (MHz)"
     );
 
-    for words in [1 << 14, 1 << 16, 1 << 18, 1 << 20, 2_306_048] {
+    let mut flows = Vec::new();
+    let mut labels = Vec::new();
+    let mut brams = Vec::new();
+    for words in SIZES {
         let design = stream_buffer::design(words);
-        let brams = design.arrays[0].bram_units();
-        let run = |opts| {
-            Flow::new(design.clone())
-                .device(device.clone())
-                .clock_mhz(333.0)
-                .options(opts)
-                .seed(SEED)
-                .run()
-                .expect("flow")
-        };
-        let orig = run(OptimizationOptions::none());
-        let data = run(OptimizationOptions::data_only());
-        let all = run(OptimizationOptions::all());
+        brams.push(design.arrays[0].bram_units());
+        for (tag, opts) in [
+            ("orig", OptimizationOptions::none()),
+            ("data", OptimizationOptions::data_only()),
+            ("all", OptimizationOptions::all()),
+        ] {
+            flows.push(
+                Flow::new(design.clone())
+                    .device(device.clone())
+                    .clock_mhz(333.0)
+                    .options(opts)
+                    .seed(SEED),
+            );
+            labels.push(format!("stream buffer {words}w ({tag})"));
+        }
+    }
+    let session = FlowSession::new();
+    let results = expect_all(&labels, session.run_many(&flows));
+
+    for ((words, brams), triple) in SIZES.iter().zip(brams).zip(results.chunks(3)) {
         println!(
             "{words:>12} {brams:>7} {:>12.0} {:>12.0} {:>16.0}",
-            orig.fmax_mhz, data.fmax_mhz, all.fmax_mhz
+            triple[0].fmax_mhz, triple[1].fmax_mhz, triple[2].fmax_mhz
         );
     }
     println!(
@@ -39,4 +54,6 @@ fn main() {
          optimization helps but saturates; data + control stays high\n\
          (paper: both needed for scalable performance, §5.5)."
     );
+    println!();
+    println!("{}", pass_summary(&results, &session));
 }

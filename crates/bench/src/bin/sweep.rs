@@ -5,10 +5,16 @@
 //! ```text
 //! sweep <benchmark-name-substring> [none|data|skid|all]
 //! ```
+//!
+//! The targets run through one [`hlsb::FlowSession`]: the front-end
+//! artifact is clock-independent, so all seven flows unroll once and the
+//! sweep parallelizes across clock targets up to the thread budget.
 
-use hlsb::{Flow, OptimizationOptions};
-use hlsb_bench::SEED;
+use hlsb::{Flow, FlowSession, OptimizationOptions};
+use hlsb_bench::{expect_all, pass_summary, SEED};
 use hlsb_benchmarks::all_benchmarks;
+
+const TARGETS: [f64; 7] = [150.0, 200.0, 250.0, 300.0, 333.0, 400.0, 500.0];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,14 +36,24 @@ fn main() {
         "{:>13} {:>15} {:>7} {:>6}",
         "target (MHz)", "achieved (MHz)", "depth", "regs"
     );
-    for target in [150.0f64, 200.0, 250.0, 300.0, 333.0, 400.0, 500.0] {
-        let r = Flow::new(bench.design.clone())
-            .device(bench.device.clone())
-            .clock_mhz(target)
-            .options(options)
-            .seed(SEED)
-            .run()
-            .expect("flow");
+    let flows: Vec<Flow> = TARGETS
+        .iter()
+        .map(|&target| {
+            Flow::new(bench.design.clone())
+                .device(bench.device.clone())
+                .clock_mhz(target)
+                .options(options)
+                .seed(SEED)
+        })
+        .collect();
+    let labels: Vec<String> = TARGETS
+        .iter()
+        .map(|t| format!("{} @ {t:.0} MHz", bench.name))
+        .collect();
+    let session = FlowSession::new();
+    let results = expect_all(&labels, session.run_many(&flows));
+
+    for (target, r) in TARGETS.iter().zip(&results) {
         println!(
             "{target:>13.0} {:>15.0} {:>7} {:>6}",
             r.fmax_mhz,
@@ -45,4 +61,6 @@ fn main() {
             r.inserted_regs
         );
     }
+    println!();
+    println!("{}", pass_summary(&results, &session));
 }

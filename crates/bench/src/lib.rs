@@ -20,11 +20,21 @@
 //! builds this workspace has no network access, so no external bench
 //! framework is used.
 
-use hlsb::{Flow, ImplementationResult, OptimizationOptions, PlaceEffort};
+use hlsb::{Flow, ImplementationResult, OptimizationOptions, PassTrace, PlaceEffort};
 use hlsb_benchmarks::Benchmark;
 
 /// Shared deterministic seed for every experiment.
 pub const SEED: u64 = 0xDAC2_2020;
+
+/// The flow for one benchmark at its paper settings, ready to run (or to
+/// hand to [`hlsb::FlowSession::run_many`] alongside its variants).
+pub fn benchmark_flow(bench: &Benchmark, options: OptimizationOptions) -> Flow {
+    Flow::new(bench.design.clone())
+        .device(bench.device.clone())
+        .clock_mhz(bench.clock_mhz)
+        .options(options)
+        .seed(SEED)
+}
 
 /// Runs one benchmark through the flow with the given options.
 ///
@@ -42,14 +52,41 @@ pub fn run_benchmark_with(
     options: OptimizationOptions,
     effort: PlaceEffort,
 ) -> ImplementationResult {
-    Flow::new(bench.design.clone())
-        .device(bench.device.clone())
-        .clock_mhz(bench.clock_mhz)
-        .options(options)
-        .seed(SEED)
+    benchmark_flow(bench, options)
         .place_effort(effort)
         .run()
         .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name))
+}
+
+/// Unwraps a [`hlsb::FlowSession::run_many`] result batch, panicking
+/// with the failing label on error — experiment inputs all fit.
+pub fn expect_all(
+    labels: &[String],
+    results: Vec<Result<ImplementationResult, hlsb::FlowError>>,
+) -> Vec<ImplementationResult> {
+    results
+        .into_iter()
+        .zip(labels)
+        .map(|(r, label)| r.unwrap_or_else(|e| panic!("{label} failed: {e}")))
+        .collect()
+}
+
+/// Where-the-time-went footer for an experiment binary: per-pass wall
+/// times and counters accumulated over all runs, plus the session's
+/// cache hit rate.
+pub fn pass_summary(results: &[ImplementationResult], session: &hlsb::FlowSession) -> String {
+    let mut total = PassTrace::default();
+    for r in results {
+        total.merge(&r.trace);
+    }
+    let stats = session.cache_stats();
+    format!(
+        "pass totals over {} runs ({} threads, artifact cache {} hits / {} misses):\n{total}",
+        results.len(),
+        session.threads(),
+        stats.hits,
+        stats.misses
+    )
 }
 
 /// Minimal timing harness for the `benches/` targets: runs `f` once to

@@ -1,0 +1,219 @@
+//! Content-addressed stage-artifact cache.
+//!
+//! A [`FlowSession`](crate::FlowSession) keys each cacheable stage output
+//! by a content hash of everything that stage reads: the design, the
+//! options prefix that affects it, and — where relevant — the clock,
+//! device and seed. Variant sweeps (same design, different option sets or
+//! clocks) and the lint pre-pass then share the expensive front-end work
+//! instead of re-running it per flow.
+//!
+//! Keying rules (see `DESIGN.md` §3):
+//!
+//! * **front-end** — `(design, split?)`. Clock-independent, so clock
+//!   sweeps share one unroll; `split?` is the `sync_pruning` toggle.
+//! * **schedule** — `(front-end key, clock, broadcast_aware?)`, plus the
+//!   device and seed *only* when broadcast-aware (the calibrated tables
+//!   depend on both; the baseline predicted schedule on neither).
+//! * **lower / implement** — not cached: their inputs almost never repeat
+//!   within a session and the netlists dominate memory.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::passes::{FrontEndArtifact, ScheduleArtifact};
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of any `Debug` value. The IR types all derive `Debug`
+/// with full field coverage, so the debug rendering is a faithful (if
+/// verbose) serialization — good enough for cache identity, where a
+/// spurious miss only costs a rebuild.
+pub(crate) fn hash_debug<T: Debug + ?Sized>(value: &T) -> u64 {
+    fnv1a(format!("{value:?}").as_bytes())
+}
+
+/// Order-dependent combination of key components.
+pub(crate) fn combine(parts: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &p in parts {
+        for b in p.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Front-end stage key: `(design, split?)`.
+pub(crate) fn front_end_key(design_hash: u64, split: bool) -> u64 {
+    combine(&[design_hash, u64::from(split)])
+}
+
+/// Schedule stage key; `device_hash`/`seed` contribute only when
+/// `broadcast_aware` (the baseline schedule depends on neither).
+pub(crate) fn schedule_key(
+    front_end: u64,
+    clock_ns: f64,
+    broadcast_aware: bool,
+    device_hash: u64,
+    seed: u64,
+) -> u64 {
+    combine(&[
+        front_end,
+        clock_ns.to_bits(),
+        u64::from(broadcast_aware),
+        if broadcast_aware { device_hash } else { 0 },
+        if broadcast_aware { seed } else { 0 },
+    ])
+}
+
+/// Hit/miss totals across all stages of a session's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Artifact requests served from the cache.
+    pub hits: u64,
+    /// Artifact requests that had to build.
+    pub misses: u64,
+}
+
+/// One stage's keyed artifact store.
+struct StageCache<T> {
+    map: Mutex<HashMap<u64, Arc<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> Default for StageCache<T> {
+    fn default() -> Self {
+        StageCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T> StageCache<T> {
+    /// Returns the artifact for `key`, building it on a miss. The lock is
+    /// dropped while `build` runs so concurrent flows only serialize on
+    /// the map, not on the work; if two flows race on one key, the first
+    /// insert wins (builds are deterministic per key, so either is
+    /// correct). The `bool` is true on a hit.
+    fn get_or_build(&self, key: u64, build: impl FnOnce() -> T) -> (Arc<T>, bool) {
+        if let Some(found) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(found), true);
+        }
+        let built = Arc::new(build());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().unwrap();
+        let kept = Arc::clone(map.entry(key).or_insert(built));
+        (kept, false)
+    }
+
+    /// Inserts an already-built artifact under an extra key (no stats) —
+    /// used when one build is known valid for two keys, e.g. an identity
+    /// dataflow split equals the unsplit front-end.
+    fn seed(&self, key: u64, artifact: Arc<T>) {
+        self.map.lock().unwrap().entry(key).or_insert(artifact);
+    }
+}
+
+/// The session-lifetime artifact cache.
+#[derive(Default)]
+pub(crate) struct ArtifactCache {
+    front_ends: StageCache<FrontEndArtifact>,
+    schedules: StageCache<ScheduleArtifact>,
+}
+
+impl ArtifactCache {
+    pub(crate) fn front_end(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> FrontEndArtifact,
+    ) -> (Arc<FrontEndArtifact>, bool) {
+        self.front_ends.get_or_build(key, build)
+    }
+
+    pub(crate) fn seed_front_end(&self, key: u64, artifact: Arc<FrontEndArtifact>) {
+        self.front_ends.seed(key, artifact);
+    }
+
+    pub(crate) fn schedule(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> ScheduleArtifact,
+    ) -> (Arc<ScheduleArtifact>, bool) {
+        self.schedules.get_or_build(key, build)
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.front_ends.hits.load(Ordering::Relaxed)
+                + self.schedules.hits.load(Ordering::Relaxed),
+            misses: self.front_ends.misses.load(Ordering::Relaxed)
+                + self.schedules.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_content_sensitive() {
+        assert_eq!(hash_debug(&(1u32, "a")), hash_debug(&(1u32, "a")));
+        assert_ne!(hash_debug(&(1u32, "a")), hash_debug(&(2u32, "a")));
+        assert_ne!(combine(&[1, 2]), combine(&[2, 1]), "order must matter");
+    }
+
+    #[test]
+    fn schedule_key_ignores_device_and_seed_without_ba() {
+        let k = |dev, seed| schedule_key(7, 3.3, false, dev, seed);
+        assert_eq!(k(1, 10), k(2, 20));
+        let ba = |dev, seed| schedule_key(7, 3.3, true, dev, seed);
+        assert_ne!(ba(1, 10), ba(2, 10));
+        assert_ne!(ba(1, 10), ba(1, 20));
+        assert_ne!(k(1, 10), ba(1, 10));
+    }
+
+    #[test]
+    fn stage_cache_hits_and_seeding() {
+        let cache: StageCache<u32> = StageCache::default();
+        let mut builds = 0;
+        let (a, hit) = cache.get_or_build(1, || {
+            builds += 1;
+            42
+        });
+        assert!(!hit);
+        let (b, hit) = cache.get_or_build(1, || {
+            builds += 1;
+            42
+        });
+        assert!(hit);
+        assert_eq!(builds, 1);
+        assert_eq!(*a, *b);
+
+        cache.seed(2, a);
+        let (c, hit) = cache.get_or_build(2, || {
+            builds += 1;
+            0
+        });
+        assert!(hit, "seeded key must hit");
+        assert_eq!(*c, 42);
+        assert_eq!(builds, 1);
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.misses.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,33 +1,33 @@
-//! The end-to-end implementation flow.
+//! The end-to-end implementation flow: a builder over the staged pass
+//! pipeline (see [`crate::passes`] and [`FlowSession`]).
 
 use crate::error::FlowError;
 use crate::options::{OptimizationOptions, PlaceEffort};
-use crate::result::{ImplementationResult, Utilization};
-use hlsb_delay::{CalibratedModel, HlsPredictedModel};
-use hlsb_fabric::{Device, WireModel};
-use hlsb_ir::unroll::unroll_loop;
-use hlsb_ir::{verify::verify_design, Design};
-use hlsb_place::{place_with, AnnealConfig};
-use hlsb_rtlgen::{lower_design, ControlStyle, RtlOptions, ScheduledDesign, ScheduledLoop};
-use hlsb_sched::{broadcast_aware, schedule_loop, MemAccessPlan};
-use hlsb_sync::split_dataflow_design;
-use hlsb_timing::{
-    optimize_fanout, refine_critical, retime, FanoutOptions, RefineOptions, RetimeOptions,
-};
+use crate::result::ImplementationResult;
+use crate::session::FlowSession;
+use hlsb_fabric::Device;
+use hlsb_ir::Design;
 
 /// Builder for one implementation run: design → schedule → RTL → place →
 /// timing, with the paper's optimizations toggled by
 /// [`OptimizationOptions`].
+///
+/// Each `run` call executes the staged pipeline front-end → schedule →
+/// lower → implement → sign-off; the per-pass wall times and counters
+/// land in [`ImplementationResult::trace`]. `run` uses a throwaway
+/// [`FlowSession`] — to share cached front-end/schedule artifacts across
+/// several runs (variant sweeps over one design) or run flows in
+/// parallel, create a session and pass flows to it instead.
 #[derive(Debug, Clone)]
 pub struct Flow {
-    design: Design,
-    device: Device,
-    clock_mhz: f64,
-    options: OptimizationOptions,
-    seed: u64,
-    effort: PlaceEffort,
-    place_seeds: u32,
-    lint: bool,
+    pub(crate) design: Design,
+    pub(crate) device: Device,
+    pub(crate) clock_mhz: f64,
+    pub(crate) options: OptimizationOptions,
+    pub(crate) seed: u64,
+    pub(crate) effort: PlaceEffort,
+    pub(crate) place_seeds: u32,
+    pub(crate) lint: bool,
 }
 
 impl Flow {
@@ -65,6 +65,9 @@ impl Flow {
     }
 
     /// Sets the random seed (placement and characterization noise).
+    /// Multi-seed trials derive per-trial seeds as decorrelated streams
+    /// of this value ([`hlsb_rng::derive_seed`]); stream 0 is the seed
+    /// itself.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -78,6 +81,8 @@ impl Flow {
 
     /// Number of placement seeds tried (the best timing wins), as
     /// multi-seed implementation runs do in production flows. Minimum 1.
+    /// Trials run in parallel when the session's thread budget allows;
+    /// the winner is identical either way.
     pub fn place_seeds(mut self, n: u32) -> Self {
         self.place_seeds = n.max(1);
         self
@@ -86,9 +91,10 @@ impl Flow {
     /// Enables the static broadcast lint (`hlsb-lint`) as a pre-pass.
     /// The report lands in [`ImplementationResult::lint`]; findings can
     /// then be cross-checked against the post-route critical path with
-    /// [`hlsb_lint::cross_check`]. Off by default — linting re-runs the
-    /// unroll/schedule pipeline in report-only mode, roughly doubling
-    /// front-end time.
+    /// [`hlsb_lint::cross_check`]. Off by default. The lint borrows the
+    /// flow's own front-end artifacts (unroll + baseline schedule)
+    /// instead of re-deriving them — see the `lint` pass record in
+    /// [`ImplementationResult::trace`].
     pub fn lint(mut self, enabled: bool) -> Self {
         self.lint = enabled;
         self
@@ -120,193 +126,7 @@ impl Flow {
         ),
         FlowError,
     > {
-        if !(self.clock_mhz.is_finite() && self.clock_mhz > 0.0) {
-            return Err(FlowError::BadParameter {
-                what: format!("clock target {} MHz", self.clock_mhz),
-            });
-        }
-        verify_design(&self.design)?;
-        let clock_ns = 1000.0 / self.clock_mhz;
-
-        // Opt-in static broadcast pre-pass: report-only, on the design as
-        // written (before any splitting/unrolling the flow itself does).
-        let lint = self.lint.then(|| {
-            hlsb_lint::lint_with(
-                &self.design,
-                &self.device,
-                hlsb_lint::LintConfig {
-                    clock_mhz: self.clock_mhz,
-                    seed: self.seed,
-                    ..hlsb_lint::LintConfig::default()
-                },
-            )
-        });
-
-        // §4.2 case 1: split independent dataflow flows before scheduling.
-        let design = if self.options.sync_pruning {
-            split_dataflow_design(&self.design).0
-        } else {
-            self.design.clone()
-        };
-
-        // Delay models.
-        let predicted = HlsPredictedModel::new();
-        let calibrated = if self.options.broadcast_aware {
-            Some(CalibratedModel::characterize_analytic(
-                &self.device,
-                self.seed,
-            ))
-        } else {
-            None
-        };
-
-        // Schedule every loop (applying unroll pragmas).
-        let mut inserted_regs = 0usize;
-        let mut depths = Vec::new();
-        let mut loops = Vec::with_capacity(design.kernels.len());
-        for kernel in &design.kernels {
-            let mut ks = Vec::with_capacity(kernel.loops.len());
-            for lp in &kernel.loops {
-                let mut unrolled = unroll_loop(lp).looop;
-                // Dead code elimination, as any HLS front-end performs.
-                let (body, _) = unrolled.body.eliminate_dead();
-                unrolled.body = body;
-                let sl = if let Some(cal) = &calibrated {
-                    let out = broadcast_aware(&unrolled, &design, &predicted, cal, clock_ns);
-                    inserted_regs += out.inserted_regs;
-                    ScheduledLoop {
-                        looop: out.looop,
-                        schedule: out.schedule,
-                        mem_plan: out.mem_plan,
-                    }
-                } else {
-                    let schedule = schedule_loop(&unrolled, &design, &predicted, clock_ns);
-                    ScheduledLoop {
-                        looop: unrolled,
-                        schedule,
-                        mem_plan: MemAccessPlan::default(),
-                    }
-                };
-                depths.push(sl.schedule.depth);
-                ks.push(sl);
-            }
-            loops.push(ks);
-        }
-
-        // RTL generation.
-        let rtl_options = RtlOptions {
-            control: if self.options.skid_buffer {
-                ControlStyle::Skid {
-                    min_area: self.options.min_area_skid,
-                }
-            } else {
-                ControlStyle::Stall
-            },
-            sync_pruning: self.options.sync_pruning,
-        };
-        let sd = ScheduledDesign { design, loops };
-        let lowered = lower_design(&sd, &rtl_options, &predicted);
-        let netlist = lowered.netlist;
-        netlist.validate()?;
-
-        // Capacity check.
-        let stats = netlist.stats();
-        let res = self.device.resources;
-        for (used, cap, name) in [
-            (stats.luts, res.luts, "LUT"),
-            (stats.ffs, res.ffs, "FF"),
-            (stats.brams, res.brams, "BRAM"),
-            (stats.dsps, res.dsps, "DSP"),
-        ] {
-            if used > cap {
-                return Err(FlowError::DoesNotFit {
-                    what: format!("{name}: {used} needed, {cap} available"),
-                });
-            }
-        }
-        let site_budget = u64::from(self.device.grid_w) * u64::from(self.device.grid_h) / 2;
-        if netlist.cell_count() as u64 >= site_budget {
-            return Err(FlowError::DoesNotFit {
-                what: format!(
-                    "{} cells exceed the placement budget of {site_budget} sites",
-                    netlist.cell_count()
-                ),
-            });
-        }
-
-        // Physical flow: place, fanout-optimize, retime, analyze.
-        let anneal = match self.effort {
-            PlaceEffort::Fast => AnnealConfig {
-                moves_per_cell: 12,
-                min_moves: 3_000,
-                max_moves: 60_000,
-                cooling: 0.8,
-                batches: 25,
-            },
-            PlaceEffort::Normal => AnnealConfig::default(),
-        };
-        let wire = WireModel::for_device(&self.device);
-        // Multi-seed implementation: place/optimize with several seeds and
-        // keep the best-timing result (as production flows do).
-        #[allow(clippy::type_complexity)]
-        let mut best: Option<(
-            f64,
-            hlsb_netlist::Netlist,
-            hlsb_place::Placement,
-            hlsb_timing::TimingReport,
-            hlsb_timing::fanout_opt::FanoutOptReport,
-            hlsb_timing::retime::RetimeReport,
-        )> = None;
-        for trial in 0..self.place_seeds {
-            let mut nl = netlist.clone();
-            let seed = self.seed.wrapping_add(u64::from(trial) * 0x9E37);
-            let mut placement = place_with(&nl, &self.device, seed, anneal);
-            let fo = optimize_fanout(&mut nl, &mut placement, FanoutOptions::default());
-            let (rt, _) = retime(&mut nl, &mut placement, &wire, RetimeOptions::default());
-            // Timing-driven refinement, as physical synthesis would run.
-            let (_refine, timing) =
-                refine_critical(&nl, &mut placement, &wire, RefineOptions::default());
-            if best.as_ref().is_none_or(|b| timing.period_ns < b.0) {
-                best = Some((timing.period_ns, nl, placement, timing, fo, rt));
-            }
-        }
-        let (_, netlist, placement, timing, fo, rt) = best.expect("at least one placement trial");
-        let critical_cells: Vec<String> = timing
-            .critical_path
-            .iter()
-            .map(|&c| {
-                let cell = netlist.cell(c);
-                format!("{}:{}", cell.kind, cell.name)
-            })
-            .collect();
-
-        let stats = netlist.stats();
-        let (lut_pct, ff_pct, bram_pct, dsp_pct) =
-            stats.utilization(res.luts, res.ffs, res.brams, res.dsps);
-
-        Ok((
-            ImplementationResult {
-                fmax_mhz: timing.fmax_mhz,
-                period_ns: timing.period_ns,
-                utilization: Utilization {
-                    lut_pct,
-                    ff_pct,
-                    bram_pct,
-                    dsp_pct,
-                },
-                stats,
-                timing,
-                lower_info: lowered.info,
-                schedule_depths: depths,
-                inserted_regs,
-                duplicated_regs: fo.duplicated_registers,
-                retime_moves: rt.moves,
-                critical_cells,
-                lint,
-            },
-            netlist,
-            placement,
-        ))
+        FlowSession::new().run_detailed(self)
     }
 }
 
@@ -376,6 +196,22 @@ mod tests {
     }
 
     #[test]
+    fn every_pass_is_traced() {
+        let d = unrolled_broadcast(8);
+        let r = run(&d, OptimizationOptions::none());
+        for pass in ["front-end", "schedule", "lower", "implement", "sign-off"] {
+            assert!(
+                r.trace.records.iter().any(|rec| rec.pass == pass),
+                "missing {pass} in:\n{}",
+                r.trace
+            );
+        }
+        assert_eq!(r.trace.counter("front-end", "executions"), Some(1));
+        assert_eq!(r.trace.counter("implement", "trials"), Some(3));
+        assert!(r.trace.counter("lower", "cells").unwrap() > 0);
+    }
+
+    #[test]
     fn lint_pre_pass_is_opt_in_and_attached() {
         let d = unrolled_broadcast(256);
         let silent = run(&d, OptimizationOptions::none());
@@ -387,6 +223,12 @@ mod tests {
             .lint(true)
             .run()
             .expect("flow succeeds");
+
+        // The lint borrowed the flow's front-end artifacts instead of
+        // re-running unroll/schedule: one front-end execution total.
+        assert_eq!(r.trace.counter("front-end", "executions"), Some(1));
+        assert_eq!(r.trace.counter("lint", "front-end-reused"), Some(1));
+
         let report = r.lint.expect("lint report attached");
         assert_eq!(report.design, "bc");
         // A 256-way invariant broadcast must trip the data rule.

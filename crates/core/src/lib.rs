@@ -52,12 +52,21 @@
 pub mod error;
 pub mod flow;
 pub mod options;
+pub mod passes;
 pub mod result;
+pub mod session;
+pub mod trace;
 
+mod cache;
+
+pub use cache::CacheStats;
 pub use error::FlowError;
 pub use flow::Flow;
 pub use options::{OptimizationOptions, PlaceEffort};
+pub use passes::{FrontEndArtifact, ScheduleArtifact};
 pub use result::{ImplementationResult, Utilization};
+pub use session::FlowSession;
+pub use trace::{PassRecord, PassTrace};
 
 // Re-export the sub-crates for downstream convenience.
 pub use hlsb_ctrl as ctrl;

@@ -1,0 +1,71 @@
+//! Front-end pass: dataflow splitting (§4.2 case 1), unroll-pragma
+//! application and dead-code elimination.
+
+use hlsb_ir::unroll::unroll_loop;
+use hlsb_ir::{Design, Loop};
+use hlsb_sync::split_dataflow_design;
+
+/// The front-end's output: the effective design plus every loop body
+/// after unrolling and DCE, in `unrolled[kernel][loop]` order.
+///
+/// Clock-independent, so one artifact serves every clock target, option
+/// set with the same `sync_pruning` setting, and the lint pre-pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontEndArtifact {
+    /// The split design, only when dataflow splitting actually changed
+    /// it. `None` means the original design is the effective one — the
+    /// flow then borrows it instead of cloning (an identity
+    /// `split_dataflow_design` and the `sync_pruning = false` path both
+    /// land here).
+    pub split_design: Option<Design>,
+    /// Unrolled + dead-code-eliminated loop bodies of the effective
+    /// design.
+    pub unrolled: Vec<Vec<Loop>>,
+}
+
+impl FrontEndArtifact {
+    /// The design the rest of the pipeline sees: the split one when
+    /// splitting changed anything, otherwise the caller's original.
+    pub fn design<'a>(&'a self, original: &'a Design) -> &'a Design {
+        self.split_design.as_ref().unwrap_or(original)
+    }
+
+    /// Whether dataflow splitting changed the design.
+    pub fn split_changed(&self) -> bool {
+        self.split_design.is_some()
+    }
+}
+
+/// Runs the front-end. `split` applies §4.2 case 1 (dataflow loop
+/// splitting) before unrolling. Infallible: the session verifies the
+/// design before calling (cache hits must not skip verification errors).
+pub(crate) fn run(design: &Design, split: bool) -> FrontEndArtifact {
+    let split_design = if split {
+        let (out, report) = split_dataflow_design(design);
+        (report.loops_split > 0).then_some(out)
+    } else {
+        None
+    };
+    let effective = split_design.as_ref().unwrap_or(design);
+    let unrolled = effective
+        .kernels
+        .iter()
+        .map(|kernel| {
+            kernel
+                .loops
+                .iter()
+                .map(|lp| {
+                    let mut unrolled = unroll_loop(lp).looop;
+                    // Dead code elimination, as any HLS front-end performs.
+                    let (body, _) = unrolled.body.eliminate_dead();
+                    unrolled.body = body;
+                    unrolled
+                })
+                .collect()
+        })
+        .collect();
+    FrontEndArtifact {
+        split_design,
+        unrolled,
+    }
+}

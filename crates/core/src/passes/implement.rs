@@ -1,0 +1,139 @@
+//! Implement pass: multi-seed placement, fanout optimization, retiming
+//! and timing-driven refinement — the best-timing trial wins.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread;
+
+use hlsb_fabric::{Device, WireModel};
+use hlsb_netlist::Netlist;
+use hlsb_place::{place_with, AnnealConfig, Placement};
+use hlsb_timing::{
+    fanout_opt::FanoutOptReport, optimize_fanout, refine_critical, retime, retime::RetimeReport,
+    FanoutOptions, RefineOptions, RetimeOptions, TimingReport,
+};
+
+use crate::options::PlaceEffort;
+
+/// The winning trial's netlist, placement and reports.
+#[derive(Debug)]
+pub(crate) struct ImplementOutput {
+    pub netlist: Netlist,
+    pub placement: Placement,
+    pub timing: TimingReport,
+    pub fanout: FanoutOptReport,
+    pub retime: RetimeReport,
+}
+
+struct TrialOutcome {
+    idx: u32,
+    out: ImplementOutput,
+}
+
+/// Sequential selection order: a later trial wins only on strictly
+/// better timing, so ties keep the lowest trial index. The parallel
+/// reduction uses the same predicate, which makes parallel ≡ sequential
+/// regardless of completion order.
+fn better(a: &TrialOutcome, b: &TrialOutcome) -> bool {
+    a.out.timing.period_ns < b.out.timing.period_ns
+        || (a.out.timing.period_ns == b.out.timing.period_ns && a.idx < b.idx)
+}
+
+fn run_trial(
+    mut nl: Netlist,
+    idx: u32,
+    device: &Device,
+    wire: &WireModel,
+    anneal: AnnealConfig,
+    base_seed: u64,
+) -> TrialOutcome {
+    let seed = hlsb_rng::derive_seed(base_seed, u64::from(idx));
+    let mut placement = place_with(&nl, device, seed, anneal);
+    let fanout = optimize_fanout(&mut nl, &mut placement, FanoutOptions::default());
+    let (rt, _) = retime(&mut nl, &mut placement, wire, RetimeOptions::default());
+    // Timing-driven refinement, as physical synthesis would run.
+    let (_refine, timing) = refine_critical(&nl, &mut placement, wire, RefineOptions::default());
+    TrialOutcome {
+        idx,
+        out: ImplementOutput {
+            netlist: nl,
+            placement,
+            timing,
+            fanout,
+            retime: rt,
+        },
+    }
+}
+
+/// Places and optimizes `netlist` with `place_seeds` independent seeds
+/// (streams of `seed` via [`hlsb_rng::derive_seed`]; stream 0 is `seed`
+/// itself) and keeps the best-timing result. Trials run on up to
+/// `threads` scoped threads; a single trial consumes the netlist without
+/// cloning.
+pub(crate) fn run(
+    netlist: Netlist,
+    device: &Device,
+    seed: u64,
+    effort: PlaceEffort,
+    place_seeds: u32,
+    threads: usize,
+) -> ImplementOutput {
+    let anneal = match effort {
+        PlaceEffort::Fast => AnnealConfig {
+            moves_per_cell: 12,
+            min_moves: 3_000,
+            max_moves: 60_000,
+            cooling: 0.8,
+            batches: 25,
+        },
+        PlaceEffort::Normal => AnnealConfig::default(),
+    };
+    let wire = WireModel::for_device(device);
+    let trials = place_seeds.max(1);
+
+    if trials == 1 {
+        return run_trial(netlist, 0, device, &wire, anneal, seed).out;
+    }
+
+    let workers = threads.clamp(1, trials as usize);
+    let best = if workers == 1 {
+        let mut best: Option<TrialOutcome> = None;
+        for idx in 0..trials {
+            let t = run_trial(netlist.clone(), idx, device, &wire, anneal, seed);
+            if best.as_ref().is_none_or(|b| better(&t, b)) {
+                best = Some(t);
+            }
+        }
+        best
+    } else {
+        let next = AtomicU32::new(0);
+        let worker_bests: Vec<Option<TrialOutcome>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut best: Option<TrialOutcome> = None;
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= trials {
+                                break;
+                            }
+                            let t = run_trial(netlist.clone(), idx, device, &wire, anneal, seed);
+                            if best.as_ref().is_none_or(|b| better(&t, b)) {
+                                best = Some(t);
+                            }
+                        }
+                        best
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("placement trial panicked"))
+                .collect()
+        });
+        worker_bests
+            .into_iter()
+            .flatten()
+            .reduce(|a, b| if better(&b, &a) { b } else { a })
+    };
+    best.expect("at least one placement trial").out
+}

@@ -1,0 +1,26 @@
+//! The staged pass pipeline behind [`Flow`](crate::Flow).
+//!
+//! [`FlowSession`](crate::FlowSession) runs these stages in order, each
+//! producing a typed artifact consumed by the next:
+//!
+//! ```text
+//! design ──▶ front-end ──▶ schedule ──▶ lower ──▶ implement ──▶ sign-off
+//!            (verify,      (baseline    (RTL,     (place ×N,    (STA,
+//!             split,        or §4.1     capacity   fanout-opt,   util,
+//!             unroll,       broadcast-  check)     retime,       result)
+//!             DCE)          aware)                 refine)
+//! ```
+//!
+//! Front-end and schedule artifacts are content-addressed and cached per
+//! session (see the `cache` module); lower and implement run per flow. Every
+//! stage appends wall time and counters to the run's
+//! [`PassTrace`](crate::PassTrace).
+
+pub(crate) mod front_end;
+pub(crate) mod implement;
+pub(crate) mod lower;
+pub(crate) mod schedule;
+pub(crate) mod signoff;
+
+pub use front_end::FrontEndArtifact;
+pub use schedule::ScheduleArtifact;

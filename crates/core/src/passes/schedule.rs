@@ -1,0 +1,74 @@
+//! Schedule pass: baseline list scheduling, or the paper's §4.1
+//! broadcast-aware scheduling with calibrated delay tables.
+
+use hlsb_delay::{CalibratedModel, HlsPredictedModel};
+use hlsb_fabric::Device;
+use hlsb_rtlgen::ScheduledLoop;
+use hlsb_sched::{schedule_loop, MemAccessPlan};
+
+use crate::passes::FrontEndArtifact;
+use hlsb_ir::Design;
+
+/// The schedule pass output: every loop scheduled, plus the summary
+/// numbers the final result reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleArtifact {
+    /// Scheduled loops in `loops[kernel][loop]` order of the effective
+    /// design.
+    pub loops: Vec<Vec<ScheduledLoop>>,
+    /// Pipeline depth of each loop, in cycles, flattened in kernel-loop
+    /// order.
+    pub depths: Vec<u32>,
+    /// Registers inserted by broadcast-aware scheduling (0 for the
+    /// baseline).
+    pub inserted_regs: usize,
+}
+
+/// Schedules every loop of the front-end artifact. With
+/// `broadcast_aware`, delays come from the device- and seed-calibrated
+/// tables and registers are inserted on over-threshold broadcasts;
+/// otherwise the stock predicted model is used as-is.
+pub(crate) fn run(
+    front_end: &FrontEndArtifact,
+    design: &Design,
+    device: &Device,
+    clock_ns: f64,
+    broadcast_aware: bool,
+    seed: u64,
+) -> ScheduleArtifact {
+    let predicted = HlsPredictedModel::new();
+    let calibrated = broadcast_aware.then(|| CalibratedModel::characterize_analytic(device, seed));
+
+    let mut inserted_regs = 0usize;
+    let mut depths = Vec::new();
+    let mut loops = Vec::with_capacity(front_end.unrolled.len());
+    for kernel_loops in &front_end.unrolled {
+        let mut ks = Vec::with_capacity(kernel_loops.len());
+        for unrolled in kernel_loops {
+            let sl = if let Some(cal) = &calibrated {
+                let out = hlsb_sched::broadcast_aware(unrolled, design, &predicted, cal, clock_ns);
+                inserted_regs += out.inserted_regs;
+                ScheduledLoop {
+                    looop: out.looop,
+                    schedule: out.schedule,
+                    mem_plan: out.mem_plan,
+                }
+            } else {
+                let schedule = schedule_loop(unrolled, design, &predicted, clock_ns);
+                ScheduledLoop {
+                    looop: unrolled.clone(),
+                    schedule,
+                    mem_plan: MemAccessPlan::default(),
+                }
+            };
+            depths.push(sl.schedule.depth);
+            ks.push(sl);
+        }
+        loops.push(ks);
+    }
+    ScheduleArtifact {
+        loops,
+        depths,
+        inserted_regs,
+    }
+}

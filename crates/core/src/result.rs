@@ -1,5 +1,6 @@
 //! Implementation results.
 
+use crate::trace::PassTrace;
 use hlsb_netlist::Stats;
 use hlsb_rtlgen::LowerInfo;
 use hlsb_timing::TimingReport;
@@ -30,7 +31,13 @@ impl fmt::Display for Utilization {
 }
 
 /// The outcome of running the flow on one design.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores [`trace`](ImplementationResult::trace): two results
+/// are equal when the *implementation* is identical, even if one came
+/// from cached artifacts or a different thread count and therefore spent
+/// its time differently. This is what the flow's determinism guarantees
+/// (cached ≡ fresh, parallel ≡ sequential) quantify over.
+#[derive(Debug, Clone)]
 pub struct ImplementationResult {
     /// Achieved maximum frequency, MHz.
     pub fmax_mhz: f64,
@@ -57,6 +64,26 @@ pub struct ImplementationResult {
     /// Static broadcast lint report, when [`Flow::lint`](crate::Flow::lint)
     /// was enabled.
     pub lint: Option<hlsb_lint::LintReport>,
+    /// Per-pass wall times and counters for this run. Excluded from
+    /// equality.
+    pub trace: PassTrace,
+}
+
+impl PartialEq for ImplementationResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.fmax_mhz == other.fmax_mhz
+            && self.period_ns == other.period_ns
+            && self.utilization == other.utilization
+            && self.stats == other.stats
+            && self.timing == other.timing
+            && self.lower_info == other.lower_info
+            && self.schedule_depths == other.schedule_depths
+            && self.inserted_regs == other.inserted_regs
+            && self.duplicated_regs == other.duplicated_regs
+            && self.retime_moves == other.retime_moves
+            && self.critical_cells == other.critical_cells
+            && self.lint == other.lint
+    }
 }
 
 impl ImplementationResult {
@@ -100,6 +127,7 @@ mod tests {
             retime_moves: 0,
             critical_cells: vec![],
             lint: None,
+            trace: PassTrace::default(),
         }
     }
 

@@ -1,0 +1,381 @@
+//! [`FlowSession`] — the staged-pipeline coordinator.
+//!
+//! A session owns the stage-artifact cache (the crate-private `cache`
+//! module) and a
+//! thread budget, and drives the passes of [`crate::passes`] for one or
+//! many [`Flow`]s:
+//!
+//! * **Artifact reuse.** Front-end and schedule artifacts are
+//!   content-addressed, so variant sweeps (option sets, clocks, seeds
+//!   over one design) and the lint pre-pass share them instead of
+//!   re-running unroll/schedule per flow.
+//! * **Parallelism.** Placement trials within one flow, and whole flows
+//!   in [`run_many`](FlowSession::run_many), run on scoped threads. The
+//!   reductions are order-independent, so results are bit-identical to a
+//!   single-threaded run.
+//!
+//! Thread budget precedence: [`FlowSession::with_threads`] > the
+//! `HLSB_THREADS` environment variable > [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use hlsb_ir::verify::verify_design;
+use hlsb_lint::{FrontEndSnapshot, SnapshotLoop};
+use std::borrow::Cow;
+
+use crate::cache::{self, ArtifactCache, CacheStats};
+use crate::error::FlowError;
+use crate::flow::Flow;
+use crate::passes::{self, FrontEndArtifact, ScheduleArtifact};
+use crate::result::ImplementationResult;
+use crate::trace::PassTrace;
+
+/// Reusable flow-execution context: stage-artifact cache + thread budget.
+///
+/// One-shot [`Flow::run`] calls create a throwaway session internally;
+/// create one explicitly to share front-end/schedule artifacts across a
+/// sweep and to run independent flows in parallel:
+///
+/// ```no_run
+/// use hlsb::{Flow, FlowSession, OptimizationOptions};
+/// # let design = hlsb_ir::Design::new("d");
+/// let session = FlowSession::new();
+/// let flows = vec![
+///     Flow::new(design.clone()),
+///     Flow::new(design).options(OptimizationOptions::all()),
+/// ];
+/// let results = session.run_many(&flows);
+/// ```
+pub struct FlowSession {
+    cache: ArtifactCache,
+    threads: usize,
+}
+
+impl Default for FlowSession {
+    fn default() -> Self {
+        FlowSession::new()
+    }
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("HLSB_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl FlowSession {
+    /// A fresh session with an empty cache. The thread budget comes from
+    /// `HLSB_THREADS` when set (and parseable), otherwise from
+    /// [`std::thread::available_parallelism`].
+    pub fn new() -> Self {
+        FlowSession::with_threads(default_threads())
+    }
+
+    /// A fresh session with an explicit thread budget (clamped to ≥ 1).
+    /// Overrides `HLSB_THREADS`.
+    pub fn with_threads(threads: usize) -> Self {
+        FlowSession {
+            cache: ArtifactCache::default(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The session's thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cache hit/miss totals so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs one flow through the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow::run`].
+    pub fn run(&self, flow: &Flow) -> Result<ImplementationResult, FlowError> {
+        self.run_detailed(flow).map(|(r, _, _)| r)
+    }
+
+    /// Runs one flow and also returns the final netlist and placement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow::run`].
+    pub fn run_detailed(
+        &self,
+        flow: &Flow,
+    ) -> Result<
+        (
+            ImplementationResult,
+            hlsb_netlist::Netlist,
+            hlsb_place::Placement,
+        ),
+        FlowError,
+    > {
+        self.run_pipeline(flow, self.threads)
+    }
+
+    /// Runs independent flows, in parallel when the thread budget allows,
+    /// returning results in input order. Flows of one design share cached
+    /// front-end/schedule artifacts. When flows run concurrently, each
+    /// flow's placement trials run sequentially inside it (the outer
+    /// level already saturates the budget); results are bit-identical
+    /// either way.
+    pub fn run_many(&self, flows: &[Flow]) -> Vec<Result<ImplementationResult, FlowError>> {
+        let outer = self.threads.clamp(1, flows.len().max(1));
+        if outer == 1 {
+            return flows
+                .iter()
+                .map(|f| self.run_pipeline(f, self.threads).map(|(r, _, _)| r))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, Result<ImplementationResult, FlowError>)>> =
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..outer)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= flows.len() {
+                                    break;
+                                }
+                                let r = self.run_pipeline(&flows[i], 1).map(|(r, _, _)| r);
+                                out.push((i, r));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("flow worker panicked"))
+                    .collect()
+            });
+        let mut slots: Vec<Option<Result<ImplementationResult, FlowError>>> =
+            flows.iter().map(|_| None).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every flow produces a result"))
+            .collect()
+    }
+
+    /// The staged pipeline for one flow. `implement_threads` caps the
+    /// placement-trial parallelism (run_many sets it to 1 when flows
+    /// already run concurrently).
+    fn run_pipeline(
+        &self,
+        flow: &Flow,
+        implement_threads: usize,
+    ) -> Result<
+        (
+            ImplementationResult,
+            hlsb_netlist::Netlist,
+            hlsb_place::Placement,
+        ),
+        FlowError,
+    > {
+        if !(flow.clock_mhz.is_finite() && flow.clock_mhz > 0.0) {
+            return Err(FlowError::BadParameter {
+                what: format!("clock target {} MHz", flow.clock_mhz),
+            });
+        }
+        // Verification runs per flow, outside the cache: a cache hit must
+        // never mask an invalid design.
+        verify_design(&flow.design)?;
+        let clock_ns = 1000.0 / flow.clock_mhz;
+        let mut trace = PassTrace::default();
+
+        // Front-end (cached, clock-independent).
+        let timer = trace.start("front-end");
+        let design_hash = cache::hash_debug(&flow.design);
+        let fe_key = cache::front_end_key(design_hash, flow.options.sync_pruning);
+        let mut executions = 0u64;
+        let mut hits = 0u64;
+        let (front_end, hit) = self.cache.front_end(fe_key, || {
+            passes::front_end::run(&flow.design, flow.options.sync_pruning)
+        });
+        if hit {
+            hits += 1;
+        } else {
+            executions += 1;
+        }
+        // An identity split equals the unsplit front-end: publish the
+        // artifact under the unsplit key too, so the lint pre-pass and
+        // non-pruning variants of the same design share it.
+        let unsplit_key = cache::front_end_key(design_hash, false);
+        if flow.options.sync_pruning && !front_end.split_changed() {
+            self.cache
+                .seed_front_end(unsplit_key, Arc::clone(&front_end));
+        }
+        // The lint pre-pass analyzes the design as written (pre-split).
+        let lint_front_end: Option<Arc<FrontEndArtifact>> = flow.lint.then(|| {
+            if front_end.split_changed() {
+                let (fe, hit) = self
+                    .cache
+                    .front_end(unsplit_key, || passes::front_end::run(&flow.design, false));
+                if hit {
+                    hits += 1;
+                } else {
+                    executions += 1;
+                }
+                fe
+            } else {
+                hits += 1;
+                Arc::clone(&front_end)
+            }
+        });
+        timer.done(
+            &mut trace,
+            vec![("executions", executions), ("cache-hits", hits)],
+        );
+
+        // Schedule (cached). Keyed by front-end *content*: an identity
+        // split shares schedules with the unsplit variants.
+        let design = front_end.design(&flow.design);
+        let timer = trace.start("schedule");
+        let device_hash = cache::hash_debug(&flow.device);
+        let content_fe_key = if front_end.split_changed() {
+            fe_key
+        } else {
+            unsplit_key
+        };
+        let mut executions = 0u64;
+        let mut hits = 0u64;
+        let sched_key = cache::schedule_key(
+            content_fe_key,
+            clock_ns,
+            flow.options.broadcast_aware,
+            device_hash,
+            flow.seed,
+        );
+        let (schedule, hit) = self.cache.schedule(sched_key, || {
+            passes::schedule::run(
+                &front_end,
+                design,
+                &flow.device,
+                clock_ns,
+                flow.options.broadcast_aware,
+                flow.seed,
+            )
+        });
+        if hit {
+            hits += 1;
+        } else {
+            executions += 1;
+        }
+        // The lint baseline: the broadcast-blind schedule of the unsplit
+        // design at the same clock.
+        let lint_inputs: Option<(Arc<FrontEndArtifact>, Arc<ScheduleArtifact>)> = lint_front_end
+            .map(|fe| {
+                let key = cache::schedule_key(unsplit_key, clock_ns, false, device_hash, flow.seed);
+                let (baseline, hit) = self.cache.schedule(key, || {
+                    passes::schedule::run(
+                        &fe,
+                        &flow.design,
+                        &flow.device,
+                        clock_ns,
+                        false,
+                        flow.seed,
+                    )
+                });
+                if hit {
+                    hits += 1;
+                } else {
+                    executions += 1;
+                }
+                (fe, baseline)
+            });
+        timer.done(
+            &mut trace,
+            vec![("executions", executions), ("cache-hits", hits)],
+        );
+
+        // Lint pre-pass: report-only, borrowing the front-end artifacts
+        // instead of re-deriving them.
+        let lint = lint_inputs.map(|(fe, baseline)| {
+            let timer = trace.start("lint");
+            let snapshot = FrontEndSnapshot {
+                loops: fe
+                    .unrolled
+                    .iter()
+                    .zip(&baseline.loops)
+                    .map(|(kernel, scheduled)| {
+                        kernel
+                            .iter()
+                            .zip(scheduled)
+                            .map(|(unrolled, sl)| SnapshotLoop {
+                                unrolled: Cow::Borrowed(unrolled),
+                                schedule: Cow::Borrowed(&sl.schedule),
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            };
+            let report = hlsb_lint::lint_with_front_end(
+                &flow.design,
+                &flow.device,
+                hlsb_lint::LintConfig {
+                    clock_mhz: flow.clock_mhz,
+                    seed: flow.seed,
+                    ..hlsb_lint::LintConfig::default()
+                },
+                snapshot,
+            );
+            timer.done(
+                &mut trace,
+                vec![
+                    ("front-end-reused", 1),
+                    ("diagnostics", report.diagnostics.len() as u64),
+                ],
+            );
+            report
+        });
+
+        // Lower: RTL generation + capacity check.
+        let timer = trace.start("lower");
+        let lowered = passes::lower::run(design, &schedule, &flow.options, &flow.device)?;
+        timer.done(
+            &mut trace,
+            vec![("cells", lowered.netlist.cell_count() as u64)],
+        );
+
+        // Implement: multi-seed place/optimize, best timing wins.
+        let timer = trace.start("implement");
+        let imp = passes::implement::run(
+            lowered.netlist,
+            &flow.device,
+            flow.seed,
+            flow.effort,
+            flow.place_seeds,
+            implement_threads,
+        );
+        timer.done(
+            &mut trace,
+            vec![("trials", u64::from(flow.place_seeds.max(1)))],
+        );
+
+        // Sign-off: assemble the result.
+        let timer = trace.start("sign-off");
+        let (mut result, netlist, placement) =
+            passes::signoff::assemble(&flow.device, &schedule, lowered.info, imp, lint);
+        timer.done(
+            &mut trace,
+            vec![("critical-cells", result.critical_cells.len() as u64)],
+        );
+        result.trace = trace;
+        Ok((result, netlist, placement))
+    }
+}

@@ -1,0 +1,168 @@
+//! Pass-level observability: wall time and key counters per stage.
+//!
+//! Every pipeline stage ([`crate::passes`]) appends one [`PassRecord`] to
+//! the run's [`PassTrace`], which lands on
+//! [`ImplementationResult::trace`](crate::ImplementationResult::trace).
+//! This is the flow's first observability layer: sweeps can report where
+//! the time goes, and tests can assert structural properties such as "the
+//! lint pre-pass reused the front-end instead of re-running it".
+
+use std::fmt;
+use std::time::Instant;
+
+/// One executed (or cache-satisfied) pass.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// Stage name (`front-end`, `schedule`, `lower`, `implement`,
+    /// `sign-off`, `lint`).
+    pub pass: &'static str,
+    /// Wall-clock time spent in the stage, milliseconds.
+    pub wall_ms: f64,
+    /// Stage counters, e.g. `("executions", 1)` or `("cache-hits", 1)`.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Structural equality: wall times vary run to run and machine to machine,
+/// so two records are equal when they describe the same pass with the same
+/// counters. This keeps `ImplementationResult` comparisons meaningful for
+/// the determinism guarantees (cached ≡ fresh, parallel ≡ sequential).
+impl PartialEq for PassRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.pass == other.pass && self.counters == other.counters
+    }
+}
+
+/// Trace of every pass executed for one implementation run, in order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PassTrace {
+    /// Pass records, in execution order.
+    pub records: Vec<PassRecord>,
+}
+
+impl PassTrace {
+    /// Starts timing a pass; finish with [`PassTimer::done`].
+    pub(crate) fn start(&mut self, pass: &'static str) -> PassTimer {
+        PassTimer {
+            pass,
+            t0: Instant::now(),
+        }
+    }
+
+    /// The value of `counter` in the first record of `pass`, if any.
+    pub fn counter(&self, pass: &str, counter: &str) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.pass == pass)
+            .and_then(|r| r.counters.iter().find(|(n, _)| *n == counter))
+            .map(|(_, v)| *v)
+    }
+
+    /// Total wall time across all recorded passes, milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.wall_ms).sum()
+    }
+
+    /// Accumulates another trace's records into per-pass totals (counters
+    /// summed, wall times summed) — for sweep-level reporting.
+    pub fn merge(&mut self, other: &PassTrace) {
+        for rec in &other.records {
+            if let Some(mine) = self.records.iter_mut().find(|r| r.pass == rec.pass) {
+                mine.wall_ms += rec.wall_ms;
+                for (name, v) in &rec.counters {
+                    if let Some((_, mv)) = mine.counters.iter_mut().find(|(n, _)| n == name) {
+                        *mv += v;
+                    } else {
+                        mine.counters.push((name, *v));
+                    }
+                }
+            } else {
+                self.records.push(rec.clone());
+            }
+        }
+    }
+}
+
+impl fmt::Display for PassTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<12} {:>10}  counters", "pass", "wall (ms)")?;
+        for r in &self.records {
+            let counters = r
+                .counters
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            writeln!(f, "{:<12} {:>10.3}  {}", r.pass, r.wall_ms, counters)?;
+        }
+        write!(f, "{:<12} {:>10.3}", "total", self.total_ms())
+    }
+}
+
+/// In-flight pass timing, created by [`PassTrace::start`].
+pub(crate) struct PassTimer {
+    pass: &'static str,
+    t0: Instant,
+}
+
+impl PassTimer {
+    /// Stops the clock and appends the record.
+    pub(crate) fn done(self, trace: &mut PassTrace, counters: Vec<(&'static str, u64)>) {
+        trace.records.push(PassRecord {
+            pass: self.pass,
+            wall_ms: self.t0.elapsed().as_secs_f64() * 1e3,
+            counters,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pass: &'static str, ms: f64, counters: Vec<(&'static str, u64)>) -> PassRecord {
+        PassRecord {
+            pass,
+            wall_ms: ms,
+            counters,
+        }
+    }
+
+    #[test]
+    fn equality_is_structural_not_temporal() {
+        let a = rec("front-end", 1.0, vec![("executions", 1)]);
+        let b = rec("front-end", 99.0, vec![("executions", 1)]);
+        assert_eq!(a, b, "wall time must not affect equality");
+        let c = rec("front-end", 1.0, vec![("executions", 2)]);
+        assert_ne!(a, c, "counters must affect equality");
+    }
+
+    #[test]
+    fn counter_lookup_and_total() {
+        let mut t = PassTrace::default();
+        let timer = t.start("lower");
+        timer.done(&mut t, vec![("cells", 42)]);
+        assert_eq!(t.counter("lower", "cells"), Some(42));
+        assert_eq!(t.counter("lower", "nope"), None);
+        assert_eq!(t.counter("nope", "cells"), None);
+        assert!(t.total_ms() >= 0.0);
+        assert!(t.to_string().contains("lower"));
+    }
+
+    #[test]
+    fn merge_accumulates_per_pass() {
+        let mut a = PassTrace {
+            records: vec![rec("front-end", 1.0, vec![("executions", 1)])],
+        };
+        let b = PassTrace {
+            records: vec![
+                rec("front-end", 2.0, vec![("executions", 0), ("cache-hits", 1)]),
+                rec("lower", 3.0, vec![("cells", 7)]),
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("front-end", "executions"), Some(1));
+        assert_eq!(a.counter("front-end", "cache-hits"), Some(1));
+        assert_eq!(a.counter("lower", "cells"), Some(7));
+        assert!((a.total_ms() - 6.0).abs() < 1e-9);
+    }
+}

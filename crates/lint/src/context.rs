@@ -1,9 +1,13 @@
-//! Shared analysis context: the design under lint, the target device and
-//! the calibrated delay tables every rule consults.
+//! Shared analysis context: the design under lint, the target device, the
+//! calibrated delay tables every rule consults, and the unrolled +
+//! scheduled front-end snapshot the structural rules analyze.
 
 use hlsb_delay::{CalibratedModel, HlsPredictedModel, OpClass};
 use hlsb_fabric::{Device, WireModel};
-use hlsb_ir::Design;
+use hlsb_ir::unroll::unroll_loop;
+use hlsb_ir::{Design, Loop};
+use hlsb_sched::{schedule_loop, Schedule};
+use std::borrow::Cow;
 
 /// Tunables for one lint run. `Default` matches the paper's AWS F1 setup
 /// (300 MHz target) with device-calibrated thresholds.
@@ -33,6 +37,69 @@ impl Default for LintConfig {
     }
 }
 
+/// The unrolled and baseline-scheduled form of one loop — what the
+/// structural rules (BA01, PC01) analyze. `Cow` so an optimizing flow can
+/// lend its own front-end artifacts instead of the lint re-deriving them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotLoop<'a> {
+    /// The loop body after applying the unroll pragma.
+    pub unrolled: Cow<'a, Loop>,
+    /// Its baseline (broadcast-blind, predicted-delay) schedule.
+    pub schedule: Cow<'a, Schedule>,
+}
+
+/// Unroll + baseline-schedule results for every loop of the design, in
+/// `loops[kernel][loop]` order mirroring [`Design::kernels`].
+///
+/// Standalone lint runs compute this once per context (so BA01 and PC01
+/// no longer each re-run the unroll/schedule pipeline); flows that already
+/// executed their front-end pass hand the artifacts in via
+/// [`crate::lint_with_front_end`] and pay nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrontEndSnapshot<'a> {
+    /// Per-kernel, per-loop snapshots.
+    pub loops: Vec<Vec<SnapshotLoop<'a>>>,
+}
+
+impl FrontEndSnapshot<'_> {
+    /// Runs the unroll + DCE + baseline-schedule front-end on every loop
+    /// — the same transformations an optimizing flow's front-end pass
+    /// applies, so borrowed and self-computed snapshots are identical.
+    pub fn compute(design: &Design, clock_ns: f64) -> FrontEndSnapshot<'static> {
+        let predicted = HlsPredictedModel::new();
+        let loops = design
+            .kernels
+            .iter()
+            .map(|k| {
+                k.loops
+                    .iter()
+                    .map(|lp| {
+                        let mut unrolled = unroll_loop(lp).looop;
+                        let (body, _) = unrolled.body.eliminate_dead();
+                        unrolled.body = body;
+                        let schedule = schedule_loop(&unrolled, design, &predicted, clock_ns);
+                        SnapshotLoop {
+                            unrolled: Cow::Owned(unrolled),
+                            schedule: Cow::Owned(schedule),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        FrontEndSnapshot { loops }
+    }
+
+    /// Whether the snapshot shape matches `design` (one entry per loop).
+    pub fn matches(&self, design: &Design) -> bool {
+        self.loops.len() == design.kernels.len()
+            && design
+                .kernels
+                .iter()
+                .zip(&self.loops)
+                .all(|(k, sl)| k.loops.len() == sl.len())
+    }
+}
+
 /// Everything a [`Rule`](crate::Rule) needs, built once per run.
 pub struct LintContext<'a> {
     /// The design under analysis.
@@ -49,12 +116,36 @@ pub struct LintContext<'a> {
     pub wire: WireModel,
     /// Run configuration.
     pub config: LintConfig,
+    /// Unrolled + scheduled loops, `front_end.loops[kernel][loop]`.
+    pub front_end: FrontEndSnapshot<'a>,
 }
 
 impl<'a> LintContext<'a> {
     /// Builds the context, running the analytic characterization for the
-    /// target device.
+    /// target device and the unroll + baseline-schedule front-end once for
+    /// all rules.
     pub fn new(design: &'a Design, device: &'a Device, config: LintConfig) -> Self {
+        let front_end = FrontEndSnapshot::compute(design, 1000.0 / config.clock_mhz);
+        Self::with_front_end(design, device, config, front_end)
+    }
+
+    /// Builds the context around a prebuilt front-end snapshot (e.g. the
+    /// artifacts of a flow that already unrolled and scheduled the design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot shape does not match the design.
+    pub fn with_front_end(
+        design: &'a Design,
+        device: &'a Device,
+        config: LintConfig,
+        front_end: FrontEndSnapshot<'a>,
+    ) -> Self {
+        assert!(
+            front_end.matches(design),
+            "front-end snapshot shape does not match design '{}'",
+            design.name
+        );
         let calibrated = CalibratedModel::characterize_analytic(device, config.seed);
         let wire = WireModel::for_device(device);
         LintContext {
@@ -65,7 +156,13 @@ impl<'a> LintContext<'a> {
             calibrated,
             wire,
             config,
+            front_end,
         }
+    }
+
+    /// The unrolled + scheduled snapshot of loop `li` of kernel `ki`.
+    pub fn snapshot(&self, ki: usize, li: usize) -> &SnapshotLoop<'a> {
+        &self.front_end.loops[ki][li]
     }
 
     /// Interconnect-delay budget for one data broadcast: past 15 % of the

@@ -53,7 +53,7 @@ pub mod diag;
 pub mod render;
 pub mod rules;
 
-pub use context::{LintConfig, LintContext};
+pub use context::{FrontEndSnapshot, LintConfig, LintContext, SnapshotLoop};
 pub use diag::{Diagnostic, LintReport, Location, Severity};
 pub use render::{render_jsonl, render_sarif, render_table};
 pub use rules::{all_rules, Rule};
@@ -78,8 +78,30 @@ pub fn lint_design(design: &Design, device: &Device, clock_mhz: f64) -> LintRepo
 /// first (severity, then estimated penalty), ties broken by rule id for
 /// determinism.
 pub fn lint_with(design: &Design, device: &Device, config: LintConfig) -> LintReport {
-    let clock_mhz = config.clock_mhz;
     let ctx = LintContext::new(design, device, config);
+    run_rules(ctx)
+}
+
+/// Like [`lint_with`], but analyzes a prebuilt [`FrontEndSnapshot`]
+/// instead of re-running the unroll/schedule front-end — the fast path for
+/// flows that already executed their own front-end pass (e.g.
+/// `hlsb::Flow::lint`).
+///
+/// # Panics
+///
+/// Panics if the snapshot shape does not match the design.
+pub fn lint_with_front_end(
+    design: &Design,
+    device: &Device,
+    config: LintConfig,
+    front_end: FrontEndSnapshot<'_>,
+) -> LintReport {
+    let ctx = LintContext::with_front_end(design, device, config, front_end);
+    run_rules(ctx)
+}
+
+fn run_rules(ctx: LintContext<'_>) -> LintReport {
+    let clock_mhz = ctx.config.clock_mhz;
     let mut diagnostics = Vec::new();
     for rule in all_rules() {
         rule.check(&ctx, &mut diagnostics);
@@ -91,8 +113,8 @@ pub fn lint_with(design: &Design, device: &Device, config: LintConfig) -> LintRe
             .then(a.rule.cmp(b.rule))
     });
     LintReport {
-        design: design.name.clone(),
-        device: device.name.clone(),
+        design: ctx.design.name.clone(),
+        device: ctx.device.name.clone(),
         clock_mhz,
         diagnostics,
     }

@@ -3,17 +3,18 @@
 //! Unrolling shares loop-invariant values between body copies, so a value
 //! read once per iteration becomes an N-way same-cycle fanout in hardware.
 //! The HLS scheduler's predicted delay tables ignore that fanout, so the
-//! broadcast wire shows up only after place-and-route. This rule re-runs
-//! the unroll + schedule pipeline statically and flags every instruction
-//! whose same-cycle reader count exceeds the device-calibrated threshold.
+//! broadcast wire shows up only after place-and-route. This rule analyzes
+//! the context's unroll + schedule snapshot (computed once per lint run,
+//! or lent by an optimizing flow's front-end pass) and flags every
+//! instruction whose same-cycle reader count exceeds the
+//! device-calibrated threshold.
 
-use crate::context::LintContext;
+use crate::context::{LintContext, SnapshotLoop};
 use crate::diag::{Diagnostic, Location, Severity};
 use crate::rules::Rule;
 use hlsb_delay::{classify, OpClass};
-use hlsb_ir::unroll::unroll_loop;
 use hlsb_ir::{Dfg, InstId, Loop};
-use hlsb_sched::{schedule_loop, ScheduleReport};
+use hlsb_sched::ScheduleReport;
 
 /// Detects RAW-dependency-derived broadcasts after unrolling.
 pub struct DataBroadcast;
@@ -37,11 +38,15 @@ fn reader_penalty_ns(ctx: &LintContext<'_>, dfg: &Dfg, def: InstId, bf: usize) -
     worst
 }
 
-fn check_loop(ctx: &LintContext<'_>, kernel: &str, lp: &Loop, out: &mut Vec<Diagnostic>) {
-    let unrolled = unroll_loop(lp);
-    let body = &unrolled.looop.body;
-    let schedule = schedule_loop(&unrolled.looop, ctx.design, &ctx.predicted, ctx.clock_ns);
-    let report = ScheduleReport::from_schedule(&lp.name, body, &schedule);
+fn check_loop(
+    ctx: &LintContext<'_>,
+    kernel: &str,
+    lp: &Loop,
+    snapshot: &SnapshotLoop<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let body = &snapshot.unrolled.body;
+    let report = ScheduleReport::from_schedule(&lp.name, body, &snapshot.schedule);
 
     // Enumerate broadcasts from a low floor and judge each at its *exact*
     // fanout against the delay budget: a power-of-two threshold would skip
@@ -117,9 +122,9 @@ impl Rule for DataBroadcast {
     }
 
     fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
-        for kernel in &ctx.design.kernels {
-            for lp in &kernel.loops {
-                check_loop(ctx, &kernel.name, lp, out);
+        for (ki, kernel) in ctx.design.kernels.iter().enumerate() {
+            for (li, lp) in kernel.loops.iter().enumerate() {
+                check_loop(ctx, &kernel.name, lp, ctx.snapshot(ki, li), out);
             }
         }
     }

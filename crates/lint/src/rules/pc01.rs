@@ -8,13 +8,11 @@
 //! register widths the control logic would gate, and estimates the stall
 //! net's skeleton broadcast delay on the target fabric.
 
-use crate::context::LintContext;
+use crate::context::{LintContext, SnapshotLoop};
 use crate::diag::{Diagnostic, Location, Severity};
 use crate::rules::Rule;
-use hlsb_ir::unroll::unroll_loop;
 use hlsb_ir::{ArrayId, Design, Loop, OpKind};
 use hlsb_rtlgen::stage_widths;
-use hlsb_sched::schedule_loop;
 
 /// Detects global stall/enable nets with region-scale fanout.
 pub struct StallBroadcast;
@@ -45,13 +43,17 @@ pub fn gated_bram_units(design: &Design, lp: &Loop) -> usize {
         .sum()
 }
 
-fn check_loop(ctx: &LintContext<'_>, kernel: &str, lp: &Loop, out: &mut Vec<Diagnostic>) {
+fn check_loop(
+    ctx: &LintContext<'_>,
+    kernel: &str,
+    lp: &Loop,
+    snapshot: &SnapshotLoop<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
     if lp.pipeline.is_none() {
         return;
     }
-    let unrolled = unroll_loop(lp);
-    let schedule = schedule_loop(&unrolled.looop, ctx.design, &ctx.predicted, ctx.clock_ns);
-    let widths = stage_widths(&unrolled.looop, &schedule);
+    let widths = stage_widths(&snapshot.unrolled, &snapshot.schedule);
     let brams = gated_bram_units(ctx.design, lp);
     let fanout = stall_fanout(&widths) + brams;
     let threshold = ctx.stall_fanout_threshold();
@@ -120,9 +122,9 @@ impl Rule for StallBroadcast {
     }
 
     fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
-        for kernel in &ctx.design.kernels {
-            for lp in &kernel.loops {
-                check_loop(ctx, &kernel.name, lp, out);
+        for (ki, kernel) in ctx.design.kernels.iter().enumerate() {
+            for (li, lp) in kernel.loops.iter().enumerate() {
+                check_loop(ctx, &kernel.name, lp, ctx.snapshot(ki, li), out);
             }
         }
     }

@@ -68,7 +68,7 @@ fn op_cell(name: String, kind: OpKind, ty: DataType, model: &impl DelayModel) ->
 /// Lowers one scheduled loop into the context's netlist.
 pub(crate) fn lower_loop(
     ctx: &mut Ctx<'_>,
-    sd: &ScheduledDesign,
+    sd: &ScheduledDesign<'_>,
     sl: &ScheduledLoop,
     prefix: &str,
     model: &impl DelayModel,
@@ -86,7 +86,7 @@ pub(crate) fn lower_loop(
 #[allow(clippy::too_many_arguments)]
 fn lower_body(
     ctx: &mut Ctx<'_>,
-    sd: &ScheduledDesign,
+    sd: &ScheduledDesign<'_>,
     sl: &ScheduledLoop,
     prefix: &str,
     model: &impl DelayModel,
@@ -305,7 +305,7 @@ fn lower_body(
 #[allow(clippy::too_many_arguments)]
 fn lower_call(
     ctx: &mut Ctx<'_>,
-    sd: &ScheduledDesign,
+    sd: &ScheduledDesign<'_>,
     callee: KernelId,
     srcs: &[CellId],
     call_inst: InstId,

@@ -31,7 +31,9 @@ pub mod memory;
 pub mod options;
 
 pub use info::{stage_widths, LowerInfo};
-pub use lower::{lower_design, LoweredDesign, ScheduledDesign, ScheduledLoop};
+pub use lower::{
+    lower_design, LoweredDesign, OwnedScheduledDesign, ScheduledDesign, ScheduledLoop,
+};
 pub use options::{ControlStyle, RtlOptions};
 
 #[cfg(test)]

@@ -25,12 +25,37 @@ pub struct ScheduledLoop {
 }
 
 /// A design plus the schedules of every loop, ready for lowering.
+///
+/// This is a *view*: lowering only reads the scheduled loops, so callers
+/// that share schedule artifacts (e.g. a pass-pipeline cache) can lower
+/// without cloning the design or the schedules. Use
+/// [`OwnedScheduledDesign`] when the pieces have no other home.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledDesign<'a> {
+    /// The design (post any dataflow splitting).
+    pub design: &'a Design,
+    /// `loops[k][l]` is the scheduled form of kernel `k`'s loop `l`.
+    pub loops: &'a [Vec<ScheduledLoop>],
+}
+
+/// Owning variant of [`ScheduledDesign`], for callers that build the
+/// schedule in place (tests, one-shot lowering).
 #[derive(Debug, Clone, PartialEq)]
-pub struct ScheduledDesign {
+pub struct OwnedScheduledDesign {
     /// The design (post any dataflow splitting).
     pub design: Design,
     /// `loops[k][l]` is the scheduled form of kernel `k`'s loop `l`.
     pub loops: Vec<Vec<ScheduledLoop>>,
+}
+
+impl OwnedScheduledDesign {
+    /// The borrowed view [`lower_design`] consumes.
+    pub fn view(&self) -> ScheduledDesign<'_> {
+        ScheduledDesign {
+            design: &self.design,
+            loops: &self.loops,
+        }
+    }
 }
 
 /// The lowering result.
@@ -79,9 +104,9 @@ impl<'a> Ctx<'a> {
 
 /// Kernels that are invoked via `call` (lowered per call site, not
 /// standalone).
-fn called_kernels(sd: &ScheduledDesign) -> HashSet<KernelId> {
+fn called_kernels(sd: &ScheduledDesign<'_>) -> HashSet<KernelId> {
     let mut out = HashSet::new();
-    for sls in &sd.loops {
+    for sls in sd.loops {
         for sl in sls {
             for (_, inst) in sl.looop.body.iter() {
                 if let OpKind::Call(k) = inst.kind {
@@ -103,7 +128,7 @@ fn called_kernels(sd: &ScheduledDesign) -> HashSet<KernelId> {
 /// Panics if `sd.loops` does not match the design's kernels, or if call
 /// nesting exceeds the supported depth.
 pub fn lower_design(
-    sd: &ScheduledDesign,
+    sd: &ScheduledDesign<'_>,
     options: &RtlOptions,
     model: &impl DelayModel,
 ) -> LoweredDesign {
@@ -115,7 +140,7 @@ pub fn lower_design(
     let mut ctx = Ctx {
         nl: Netlist::new(sd.design.name.clone()),
         info: LowerInfo::default(),
-        design: &sd.design,
+        design: sd.design,
         options,
         array_banks: Vec::new(),
         fifo_cells: vec![None; sd.design.fifos.len()],

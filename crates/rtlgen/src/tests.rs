@@ -1,6 +1,6 @@
 //! End-to-end lowering tests.
 
-use crate::lower::{lower_design, ScheduledDesign, ScheduledLoop};
+use crate::lower::{lower_design, OwnedScheduledDesign, ScheduledLoop};
 use crate::options::{ControlStyle, RtlOptions};
 use hlsb_delay::HlsPredictedModel;
 use hlsb_ir::builder::DesignBuilder;
@@ -13,7 +13,7 @@ const CLOCK: f64 = 3.33;
 
 /// Schedules every loop of a design (applying unroll pragmas) with the
 /// predicted model.
-fn schedule_all(design: &Design) -> ScheduledDesign {
+fn schedule_all(design: &Design) -> OwnedScheduledDesign {
     let model = HlsPredictedModel::new();
     let loops = design
         .kernels
@@ -33,7 +33,7 @@ fn schedule_all(design: &Design) -> ScheduledDesign {
                 .collect()
         })
         .collect();
-    ScheduledDesign {
+    OwnedScheduledDesign {
         design: design.clone(),
         loops,
     }
@@ -62,7 +62,11 @@ fn stream_design(depth_ops: usize) -> Design {
 fn stall_broadcast_fans_out_to_all_registers() {
     let d = stream_design(12);
     let sd = schedule_all(&d);
-    let lowered = lower_design(&sd, &RtlOptions::baseline(), &HlsPredictedModel::new());
+    let lowered = lower_design(
+        &sd.view(),
+        &RtlOptions::baseline(),
+        &HlsPredictedModel::new(),
+    );
     lowered.netlist.validate().expect("valid netlist");
     // Every pipeline register hangs off one stall net.
     assert!(
@@ -77,8 +81,16 @@ fn stall_broadcast_fans_out_to_all_registers() {
 fn skid_control_has_small_fanout_and_buffers() {
     let d = stream_design(12);
     let sd = schedule_all(&d);
-    let stall = lower_design(&sd, &RtlOptions::baseline(), &HlsPredictedModel::new());
-    let skid = lower_design(&sd, &RtlOptions::optimized(), &HlsPredictedModel::new());
+    let stall = lower_design(
+        &sd.view(),
+        &RtlOptions::baseline(),
+        &HlsPredictedModel::new(),
+    );
+    let skid = lower_design(
+        &sd.view(),
+        &RtlOptions::optimized(),
+        &HlsPredictedModel::new(),
+    );
     skid.netlist.validate().expect("valid netlist");
     assert!(
         skid.info.max_control_fanout * 3 < stall.info.max_control_fanout,
@@ -94,7 +106,7 @@ fn min_area_skid_never_uses_more_bits() {
     let d = stream_design(20);
     let sd = schedule_all(&d);
     let plain = lower_design(
-        &sd,
+        &sd.view(),
         &RtlOptions {
             control: ControlStyle::Skid { min_area: false },
             sync_pruning: false,
@@ -102,7 +114,7 @@ fn min_area_skid_never_uses_more_bits() {
         &HlsPredictedModel::new(),
     );
     let min = lower_design(
-        &sd,
+        &sd.view(),
         &RtlOptions {
             control: ControlStyle::Skid { min_area: true },
             sync_pruning: false,
@@ -126,7 +138,11 @@ fn large_array_store_creates_memory_broadcast() {
     k.finish();
     let d = b.finish().expect("valid");
     let sd = schedule_all(&d);
-    let lowered = lower_design(&sd, &RtlOptions::baseline(), &HlsPredictedModel::new());
+    let lowered = lower_design(
+        &sd.view(),
+        &RtlOptions::baseline(),
+        &HlsPredictedModel::new(),
+    );
     lowered.netlist.validate().expect("valid");
     // 640 units grouped into bank cells; the store data net hits them all.
     assert!(
@@ -154,11 +170,19 @@ fn mem_plan_stages_shrink_memory_fanout() {
     let mut sd = schedule_all(&d);
     // Plan one extra distribution stage on the store.
     sd.loops[0][0].mem_plan.extra_stages.insert(st, 1);
-    let lowered = lower_design(&sd, &RtlOptions::baseline(), &HlsPredictedModel::new());
+    let lowered = lower_design(
+        &sd.view(),
+        &RtlOptions::baseline(),
+        &HlsPredictedModel::new(),
+    );
     lowered.netlist.validate().expect("valid");
     let direct = {
         let sd2 = schedule_all(&d);
-        lower_design(&sd2, &RtlOptions::baseline(), &HlsPredictedModel::new())
+        lower_design(
+            &sd2.view(),
+            &RtlOptions::baseline(),
+            &HlsPredictedModel::new(),
+        )
     };
     assert!(
         lowered.info.max_memory_fanout < direct.info.max_memory_fanout,
@@ -204,13 +228,17 @@ fn parallel_pe_design(pes: usize) -> Design {
 fn call_sync_reduce_is_generated_and_pruned() {
     let d = parallel_pe_design(8);
     let sd = schedule_all(&d);
-    let full = lower_design(&sd, &RtlOptions::baseline(), &HlsPredictedModel::new());
+    let full = lower_design(
+        &sd.view(),
+        &RtlOptions::baseline(),
+        &HlsPredictedModel::new(),
+    );
     full.netlist.validate().expect("valid");
     assert_eq!(full.info.sync_inputs, 8);
     assert_eq!(full.info.sync_waited, 8);
 
     let pruned = lower_design(
-        &sd,
+        &sd.view(),
         &RtlOptions {
             control: ControlStyle::Stall,
             sync_pruning: true,
@@ -225,7 +253,11 @@ fn call_sync_reduce_is_generated_and_pruned() {
 fn called_kernels_are_inlined_not_duplicated() {
     let d = parallel_pe_design(4);
     let sd = schedule_all(&d);
-    let lowered = lower_design(&sd, &RtlOptions::baseline(), &HlsPredictedModel::new());
+    let lowered = lower_design(
+        &sd.view(),
+        &RtlOptions::baseline(),
+        &HlsPredictedModel::new(),
+    );
     // 4 PEs, each with one multiplier: exactly 4 DSP-bearing cells.
     let dsp_cells = lowered
         .netlist
@@ -240,7 +272,7 @@ fn lowered_netlists_have_no_comb_cycles() {
     for d in [stream_design(5), parallel_pe_design(3)] {
         let sd = schedule_all(&d);
         for opt in [RtlOptions::baseline(), RtlOptions::optimized()] {
-            let lowered = lower_design(&sd, &opt, &HlsPredictedModel::new());
+            let lowered = lower_design(&sd.view(), &opt, &HlsPredictedModel::new());
             lowered.netlist.validate().expect("valid");
             assert!(lowered.netlist.comb_topo_order().is_some());
         }
@@ -263,7 +295,11 @@ fn unrolled_broadcast_appears_in_netlist() {
     k.finish();
     let d = b.finish().expect("valid");
     let sd = schedule_all(&d);
-    let lowered = lower_design(&sd, &RtlOptions::baseline(), &HlsPredictedModel::new());
+    let lowered = lower_design(
+        &sd.view(),
+        &RtlOptions::baseline(),
+        &HlsPredictedModel::new(),
+    );
     // The invariant source register drives a 64-way data broadcast net.
     let max_data_fanout = lowered
         .netlist
@@ -335,7 +371,7 @@ mod properties {
             } else {
                 RtlOptions::baseline()
             };
-            let lowered = lower_design(&sd, &options, &HlsPredictedModel::new());
+            let lowered = lower_design(&sd.view(), &options, &HlsPredictedModel::new());
             assert!(lowered.netlist.validate().is_ok(), "ops {ops:?}");
             assert!(lowered.netlist.comb_topo_order().is_some(), "ops {ops:?}");
             // Resources are nonzero and sane.

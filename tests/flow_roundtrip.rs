@@ -1,7 +1,8 @@
 //! Cross-crate integration: the full flow (IR → schedule → RTL → place →
 //! timing) on small designs, checking end-to-end invariants.
 
-use hlsb::{Flow, FlowError, OptimizationOptions, PlaceEffort};
+use hlsb::{Flow, FlowError, FlowSession, OptimizationOptions, PlaceEffort};
+use hlsb_benchmarks::Benchmark;
 use hlsb_fabric::Device;
 use hlsb_ir::builder::DesignBuilder;
 use hlsb_ir::{DataType, Design};
@@ -103,6 +104,80 @@ fn depth_grows_but_ii_is_preserved_by_broadcast_fix() {
     let d1 = opt.schedule_depths[0];
     assert!(d1 >= d0, "depth must not shrink: {d0} -> {d1}");
     assert!(d1 <= d0 + 4, "depth overhead should be small: {d0} -> {d1}");
+}
+
+/// The three smallest paper benchmarks — enough variety (stall control,
+/// dataflow sync, BRAM scatter) to exercise every pipeline stage while
+/// keeping the equivalence suite fast.
+fn equivalence_benchmarks() -> Vec<Benchmark> {
+    hlsb_benchmarks::all_benchmarks()
+        .into_iter()
+        .filter(|b| ["Stream Buffer", "Pattern Matching", "Face Detection"].contains(&b.name))
+        .collect()
+}
+
+fn equivalence_flows() -> Vec<Flow> {
+    let mut flows = Vec::new();
+    for bench in equivalence_benchmarks() {
+        for opts in [OptimizationOptions::none(), OptimizationOptions::all()] {
+            flows.push(
+                Flow::new(bench.design.clone())
+                    .device(bench.device.clone())
+                    .clock_mhz(bench.clock_mhz)
+                    .options(opts)
+                    .place_effort(PlaceEffort::Fast)
+                    .place_seeds(2)
+                    .seed(11),
+            );
+        }
+    }
+    flows
+}
+
+#[test]
+fn cached_artifacts_do_not_change_results() {
+    // Guarantee: a warm artifact cache produces bit-identical results to
+    // a cold one — caching is purely a time optimization.
+    let flows = equivalence_flows();
+    let warm = FlowSession::with_threads(1);
+    let first: Vec<_> = flows.iter().map(|f| warm.run(f).expect("flow")).collect();
+    let rerun: Vec<_> = flows.iter().map(|f| warm.run(f).expect("flow")).collect();
+    assert!(
+        warm.cache_stats().hits > 0,
+        "the rerun must hit the artifact cache: {:?}",
+        warm.cache_stats()
+    );
+    for ((cold, cached), flow) in first.iter().zip(&rerun).zip(&flows) {
+        assert_eq!(cold, cached, "cached != cold for {:?}", flow);
+    }
+    // And a completely fresh session agrees with both.
+    let fresh = FlowSession::with_threads(1);
+    for (flow, expected) in flows.iter().zip(&first) {
+        assert_eq!(&fresh.run(flow).expect("flow"), expected);
+    }
+}
+
+#[test]
+fn parallel_execution_is_bit_identical_to_sequential() {
+    // Guarantee: thread count never changes results — neither for the
+    // placement trials inside one flow nor for whole flows in run_many.
+    let flows = equivalence_flows();
+    let sequential = FlowSession::with_threads(1).run_many(&flows);
+    let parallel = FlowSession::with_threads(4).run_many(&flows);
+    assert_eq!(sequential.len(), parallel.len());
+    for ((seq, par), flow) in sequential.iter().zip(&parallel).zip(&flows) {
+        let seq = seq.as_ref().expect("flow");
+        let par = par.as_ref().expect("flow");
+        assert_eq!(seq, par, "parallel != sequential for {:?}", flow);
+    }
+    // Single runs with a parallel budget agree too (trial-level threads).
+    let single = FlowSession::with_threads(4);
+    for (flow, seq) in flows.iter().zip(&sequential) {
+        assert_eq!(
+            &single.run(flow).expect("flow"),
+            seq.as_ref().expect("flow")
+        );
+    }
 }
 
 #[test]

@@ -189,6 +189,47 @@ mod tests {
     }
 
     #[test]
+    fn random_front_end_inputs_never_collide() {
+        // 200 fuzzed designs × both split settings → 400 front-end keys.
+        // FNV-1a over the debug form must keep them all distinct: a
+        // collision would silently serve one design's unroll to another.
+        let mut keys = std::collections::HashSet::new();
+        let mut hashes = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            let design = hlsb_sim::random_design(seed);
+            let h = hash_debug(&design);
+            assert!(hashes.insert(h), "design hash collision at seed {seed}");
+            for split in [false, true] {
+                assert!(
+                    keys.insert(front_end_key(h, split)),
+                    "front-end key collision at seed {seed}, split {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clock_sweep_variants_share_front_end_but_not_schedule_keys() {
+        // The clock-independent keying rule: sweeping the clock over one
+        // design must reuse the front-end artifact while producing a
+        // distinct schedule key per clock.
+        let design = hlsb_sim::random_design(1);
+        let h = hash_debug(&design);
+        for split in [false, true] {
+            let fe = front_end_key(h, split);
+            let mut sched_keys = std::collections::HashSet::new();
+            for clock_ns in [2.0f64, 3.0, 3.33, 5.0] {
+                // front_end_key takes no clock at all — the shared key is
+                // the same `fe` for every sweep point by construction.
+                for ba in [false, true] {
+                    sched_keys.insert(schedule_key(fe, clock_ns, ba, 7, 3));
+                }
+            }
+            assert_eq!(sched_keys.len(), 8, "schedules must key per clock");
+        }
+    }
+
+    #[test]
     fn stage_cache_hits_and_seeding() {
         let cache: StageCache<u32> = StageCache::default();
         let mut builds = 0;

@@ -128,6 +128,28 @@ impl Flow {
     > {
         FlowSession::new().run_detailed(self)
     }
+
+    /// Simulates the flow instead of implementing it: the untimed golden
+    /// evaluator differenced against a cycle-accurate run of the
+    /// scheduled design, with this flow's options mapped onto the control
+    /// model. Loops are capped at `iters_cap` iterations. Uses a
+    /// throwaway [`FlowSession`] — to share cached front-end/schedule
+    /// artifacts with implementation runs, call
+    /// [`FlowSession::simulate`] on a shared session instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow::run`] for invalid IR or parameters; trace
+    /// divergence is reported by
+    /// [`SimulationOutcome::check`](crate::SimulationOutcome::check), not
+    /// as a `FlowError`.
+    pub fn simulate(
+        &self,
+        stim: &hlsb_sim::Stimulus,
+        iters_cap: u64,
+    ) -> Result<crate::SimulationOutcome, FlowError> {
+        FlowSession::new().simulate(self, stim, iters_cap)
+    }
 }
 
 #[cfg(test)]
@@ -242,8 +264,47 @@ mod tests {
     #[test]
     fn bad_clock_is_rejected() {
         let d = unrolled_broadcast(2);
-        let err = Flow::new(d).clock_mhz(0.0).run().unwrap_err();
+        let err = Flow::new(d.clone()).clock_mhz(0.0).run().unwrap_err();
         assert!(matches!(err, FlowError::BadParameter { .. }));
+        let stim = hlsb_sim::Stimulus::seeded(&d, 1, 4);
+        let err = Flow::new(d).clock_mhz(0.0).simulate(&stim, 4).unwrap_err();
+        assert!(matches!(err, FlowError::BadParameter { .. }));
+    }
+
+    #[test]
+    fn simulate_checks_out_and_shares_artifacts_across_a_clock_sweep() {
+        let d = unrolled_broadcast(8);
+        let stim = hlsb_sim::Stimulus::seeded(&d, 1, 16);
+        let session = crate::FlowSession::new();
+        for (i, clock) in [250.0, 300.0, 350.0].into_iter().enumerate() {
+            let flow = Flow::new(d.clone())
+                .clock_mhz(clock)
+                .options(OptimizationOptions::all());
+            let sim = session.simulate(&flow, &stim, 16).expect("valid design");
+            sim.check().expect("optimized variant must match golden");
+            assert!(!sim.golden.is_empty());
+            // Clock-independent front-end keying: only the first sweep
+            // point builds the unroll, later ones hit the cache.
+            let expect_hit = u64::from(i > 0);
+            assert_eq!(
+                sim.trace.counter("front-end", "cache-hits"),
+                Some(expect_hit)
+            );
+            assert_eq!(sim.trace.counter("schedule", "executions"), Some(1));
+            assert_eq!(sim.trace.counter("simulate", "trace-match"), Some(1));
+            assert_eq!(sim.trace.counter("simulate", "finished"), Some(1));
+        }
+
+        // Implementing the same variant afterwards re-runs neither
+        // cached stage.
+        let flow = Flow::new(d)
+            .clock_mhz(300.0)
+            .options(OptimizationOptions::all())
+            .place_effort(PlaceEffort::Fast)
+            .place_seeds(1);
+        let r = session.run(&flow).expect("flow succeeds");
+        assert_eq!(r.trace.counter("front-end", "executions"), Some(0));
+        assert_eq!(r.trace.counter("schedule", "executions"), Some(0));
     }
 
     #[test]

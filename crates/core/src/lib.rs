@@ -65,7 +65,7 @@ pub use flow::Flow;
 pub use options::{OptimizationOptions, PlaceEffort};
 pub use passes::{FrontEndArtifact, ScheduleArtifact};
 pub use result::{ImplementationResult, Utilization};
-pub use session::FlowSession;
+pub use session::{FlowSession, SimulationOutcome};
 pub use trace::{PassRecord, PassTrace};
 
 // Re-export the sub-crates for downstream convenience.
@@ -78,5 +78,6 @@ pub use hlsb_netlist as netlist;
 pub use hlsb_place as place;
 pub use hlsb_rtlgen as rtlgen;
 pub use hlsb_sched as sched;
+pub use hlsb_sim as sim;
 pub use hlsb_sync as sync;
 pub use hlsb_timing as timing;

@@ -31,6 +31,40 @@ use crate::flow::Flow;
 use crate::passes::{self, FrontEndArtifact, ScheduleArtifact};
 use crate::result::ImplementationResult;
 use crate::trace::PassTrace;
+use hlsb_sim::{ControlModel, IoTrace, SimOptions, Stimulus, TimedOutcome};
+
+/// The output of [`FlowSession::simulate`]: the untimed golden trace, the
+/// cycle-accurate outcome of the flow's *scheduled* design under the
+/// flow's control model, and the pass trace of the run (front-end and
+/// schedule records mirror [`FlowSession::run_detailed`], so simulation
+/// shares their cached artifacts; the `simulate` record carries the
+/// cycle/stall/gate counters).
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Observable trace of the untimed reference evaluator.
+    pub golden: IoTrace,
+    /// Cycle-accurate run of the scheduled loops.
+    pub timed: TimedOutcome,
+    /// Per-pass wall times and counters for this simulation.
+    pub trace: PassTrace,
+}
+
+impl SimulationOutcome {
+    /// Verifies the run end to end: the timed trace must equal the golden
+    /// trace and the timed latency must be consistent with the schedule
+    /// (see [`hlsb_sim::check_latency`]).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first trace divergence or latency
+    /// inconsistency.
+    pub fn check(&self) -> Result<(), String> {
+        if let Some(diff) = self.timed.trace.diff(&self.golden) {
+            return Err(format!("timed trace diverges from golden: {diff}"));
+        }
+        hlsb_sim::check_latency(&self.timed)
+    }
+}
 
 /// Reusable flow-execution context: stage-artifact cache + thread budget.
 ///
@@ -170,6 +204,130 @@ impl FlowSession {
             .into_iter()
             .map(|s| s.expect("every flow produces a result"))
             .collect()
+    }
+
+    /// Simulates one flow variant instead of implementing it: runs the
+    /// untimed golden evaluator over the flow's front-end output and the
+    /// cycle-accurate simulator over its scheduled loops, with the flow's
+    /// own optimization options mapped onto the simulation (skid-buffer
+    /// options select the skid control model, `sync_pruning` the pruned
+    /// wait set). Loops run at most `iters_cap` iterations each, so
+    /// million-iteration benchmarks stay cheap.
+    ///
+    /// Front-end and schedule artifacts are the *same* cached artifacts
+    /// `run`/`run_detailed` use — simulating after (or before)
+    /// implementing the same flow re-runs neither stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] for invalid IR or a nonsensical clock
+    /// target; divergence between the timed and golden traces is not an
+    /// error here — call [`SimulationOutcome::check`] for the verdict.
+    pub fn simulate(
+        &self,
+        flow: &Flow,
+        stim: &Stimulus,
+        iters_cap: u64,
+    ) -> Result<SimulationOutcome, FlowError> {
+        if !(flow.clock_mhz.is_finite() && flow.clock_mhz > 0.0) {
+            return Err(FlowError::BadParameter {
+                what: format!("clock target {} MHz", flow.clock_mhz),
+            });
+        }
+        verify_design(&flow.design)?;
+        let clock_ns = 1000.0 / flow.clock_mhz;
+        let mut trace = PassTrace::default();
+
+        // Front-end and schedule: identical keying to run_pipeline, so
+        // the artifacts are shared with implementation runs.
+        let timer = trace.start("front-end");
+        let design_hash = cache::hash_debug(&flow.design);
+        let fe_key = cache::front_end_key(design_hash, flow.options.sync_pruning);
+        let (front_end, fe_hit) = self.cache.front_end(fe_key, || {
+            passes::front_end::run(&flow.design, flow.options.sync_pruning)
+        });
+        let unsplit_key = cache::front_end_key(design_hash, false);
+        if flow.options.sync_pruning && !front_end.split_changed() {
+            self.cache
+                .seed_front_end(unsplit_key, Arc::clone(&front_end));
+        }
+        timer.done(
+            &mut trace,
+            vec![
+                ("executions", u64::from(!fe_hit)),
+                ("cache-hits", u64::from(fe_hit)),
+            ],
+        );
+
+        let design = front_end.design(&flow.design);
+        let timer = trace.start("schedule");
+        let device_hash = cache::hash_debug(&flow.device);
+        let content_fe_key = if front_end.split_changed() {
+            fe_key
+        } else {
+            unsplit_key
+        };
+        let sched_key = cache::schedule_key(
+            content_fe_key,
+            clock_ns,
+            flow.options.broadcast_aware,
+            device_hash,
+            flow.seed,
+        );
+        let (schedule, sched_hit) = self.cache.schedule(sched_key, || {
+            passes::schedule::run(
+                &front_end,
+                design,
+                &flow.device,
+                clock_ns,
+                flow.options.broadcast_aware,
+                flow.seed,
+            )
+        });
+        timer.done(
+            &mut trace,
+            vec![
+                ("executions", u64::from(!sched_hit)),
+                ("cache-hits", u64::from(sched_hit)),
+            ],
+        );
+
+        // Simulate: untimed reference, then the scheduled design cycle by
+        // cycle under the flow's control model.
+        let timer = trace.start("simulate");
+        let golden = hlsb_sim::golden_trace(design, &front_end.unrolled, stim, iters_cap);
+        let opts = SimOptions {
+            control: if flow.options.skid_buffer {
+                ControlModel::skid()
+            } else {
+                ControlModel::Stall
+            },
+            sync_pruning: flow.options.sync_pruning,
+            iters_cap,
+            ..SimOptions::default()
+        };
+        let timed = hlsb_sim::simulate_design(design, &schedule.loops, stim, &opts);
+        let stall_cycles: u64 = timed.per_loop.iter().map(|r| r.stall_cycles).sum();
+        let gated_cycles: u64 = timed.per_loop.iter().map(|r| r.gated_cycles).sum();
+        timer.done(
+            &mut trace,
+            vec![
+                ("cycles", timed.cycles),
+                ("stall-cycles", stall_cycles),
+                ("gated-cycles", gated_cycles),
+                ("values", golden.len() as u64),
+                (
+                    "trace-match",
+                    u64::from(timed.trace.diff(&golden).is_none()),
+                ),
+                ("finished", u64::from(timed.finished)),
+            ],
+        );
+        Ok(SimulationOutcome {
+            golden,
+            timed,
+            trace,
+        })
     }
 
     /// The staged pipeline for one flow. `implement_threads` caps the

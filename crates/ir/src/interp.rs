@@ -94,7 +94,18 @@ impl<'a> Interpreter<'a> {
         }
     }
 
-    fn run_iteration(&self, lp: &Loop, iteration: u64, io: &mut LoopIo) {
+    /// Runs a single iteration of a loop at the given iteration index.
+    ///
+    /// [`run_loop`](Interpreter::run_loop) is `run_iteration` over
+    /// `0..iters`; cycle-accurate simulators call this directly so the
+    /// *timing* of an iteration (issue cycle, stalls) can be modelled
+    /// separately from its *values*, while both backends share one
+    /// evaluation code path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loop references entities missing from the design.
+    pub fn run_iteration(&self, lp: &Loop, iteration: u64, io: &mut LoopIo) {
         let dfg = &lp.body;
         let mut values: Vec<i64> = Vec::with_capacity(dfg.len());
         for (id, inst) in dfg.iter() {

@@ -163,6 +163,39 @@ mod tests {
     }
 
     #[test]
+    fn derived_streams_show_no_cross_stream_prefix_correlation() {
+        // Generators seeded from sibling streams of one base seed must
+        // behave as independent sequences: over 10k draws, no positional
+        // collisions between any stream pair (chance ≈ 10k · 2⁻⁶⁴), and
+        // no stream's opening values reappear as a contiguous window of
+        // another — i.e. streams are not lagged copies of each other.
+        const DRAWS: usize = 10_000;
+        let base = 0xD1F_F00Du64;
+        let streams: Vec<Vec<u64>> = (0..4u64)
+            .map(|s| {
+                let mut rng = Rng::seed_from_u64(derive_seed(base, s));
+                (0..DRAWS).map(|_| rng.next_u64()).collect()
+            })
+            .collect();
+        for a in 0..streams.len() {
+            for b in (a + 1)..streams.len() {
+                let positional = streams[a]
+                    .iter()
+                    .zip(&streams[b])
+                    .filter(|(x, y)| x == y)
+                    .count();
+                assert_eq!(positional, 0, "streams {a}/{b} agree positionally");
+                let prefix: &[u64] = &streams[b][..8];
+                assert!(
+                    !streams[a].windows(prefix.len()).any(|w| w == prefix),
+                    "stream {a} contains stream {b}'s opening draws: \
+                     the streams are lagged copies"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let mut a = Rng::seed_from_u64(7);
         let mut b = Rng::seed_from_u64(7);

@@ -11,6 +11,13 @@ use hlsb_sync::prune::{prune_sync, ModuleSync};
 /// Fan-in per level of status/done reduce trees.
 const REDUCE_FANIN: usize = 6;
 
+/// Cycles of feedback latency in the registered skid front gate (the two
+/// `gate_p1`/`gate_p2` registers of Fig. 11's control path). Every skid
+/// buffer carries this many extra slots of in-flight slack on top of the
+/// paper's `N + 1` bound, and the cycle-accurate simulator
+/// (`hlsb-sim`) budgets its credit gate with the same constant.
+pub const GATE_PIPELINE: u64 = 2;
+
 /// Builds a combinational reduce tree over 1-bit drivers, returning the
 /// root cell. Single drivers are returned as-is.
 pub(crate) fn reduce_tree(ctx: &mut Ctx<'_>, drivers: &[CellId], name: &str) -> CellId {
@@ -112,10 +119,8 @@ fn attach_skid(ctx: &mut Ctx<'_>, sl: &ScheduledLoop, art: &LoopArtifacts, min_a
         vec![]
     };
 
-    // The gate feedback is registered (see below), which costs two extra
-    // cycles of in-flight slack per buffer.
-    const GATE_PIPELINE: u64 = 2;
-
+    // The gate feedback is registered (see below), which costs
+    // GATE_PIPELINE extra cycles of in-flight slack per buffer.
     let mut status_ffs = Vec::new();
     let mut prev_cut = 0usize;
     for (ci, &cut) in cuts.iter().enumerate() {

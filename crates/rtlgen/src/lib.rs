@@ -30,6 +30,7 @@ pub mod lower;
 pub mod memory;
 pub mod options;
 
+pub use control::GATE_PIPELINE;
 pub use info::{stage_widths, LowerInfo};
 pub use lower::{
     lower_design, LoweredDesign, OwnedScheduledDesign, ScheduledDesign, ScheduledLoop,

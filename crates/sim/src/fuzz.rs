@@ -1,0 +1,434 @@
+//! Seeded random design generation (and shrinking) for differential
+//! testing.
+//!
+//! [`random_design`] builds small, always-valid [`Design`]s spanning the
+//! feature space the optimizations operate on: sequential and dataflow
+//! concurrency, pipelined and sequential loops, unrolling, shared arrays,
+//! internal FIFO chains, and parallel PE calls with static latencies.
+//! Generation obeys the structural invariants the simulators assume:
+//!
+//! * in dataflow designs every FIFO has at most one writer loop and at
+//!   most one reader loop, the writer strictly preceding the reader in
+//!   flat (kernel, loop) order — concurrent loops never interleave on one
+//!   stream and FIFO dependencies are acyclic (sequential designs may
+//!   share FIFOs freely: execution order equals program order there);
+//! * arrays are shared only within one kernel, or across kernels of a
+//!   *sequential* design (concurrent array sharing is unsynchronized in
+//!   real HLS too);
+//! * `output` names are globally unique;
+//! * PE kernels read only their formal inputs and carry a static latency.
+//!
+//! [`shrink_design`] produces strictly smaller variants by dropping one
+//! sink (and the now-dead cone feeding it) at a time — enough to minimize
+//! a failing differential case in a loop.
+
+use hlsb_ir::builder::{DesignBuilder, LoopBuilder};
+use hlsb_ir::{CmpPred, DataType, Design, FifoId, InstId, Loop, OpKind};
+use hlsb_rng::{derive_seed, Rng};
+
+/// Generates a small random valid design from a seed.
+///
+/// The same seed always yields the same design; different seeds explore
+/// different shapes (1–3 kernels, 1–2 loops each, 3–12 random body ops,
+/// unroll factors {1, 2, 4}, trip counts 4–16, dataflow FIFO chains,
+/// parallel PE calls).
+///
+/// # Panics
+///
+/// Never for any seed — generated designs pass `verify_design` by
+/// construction.
+pub fn random_design(seed: u64) -> Design {
+    let mut rng = Rng::seed_from_u64(derive_seed(seed, 0xF022));
+    let dataflow = rng.gen_bool(0.4);
+    let mut b = DesignBuilder::new(format!("fuzz{seed}"));
+    if dataflow {
+        b.dataflow();
+    }
+
+    let n_kernels = 1 + rng.gen_index(3);
+    let loops_per_kernel: Vec<usize> = (0..n_kernels)
+        .map(|_| {
+            if dataflow && n_kernels > 1 {
+                1
+            } else {
+                1 + rng.gen_index(2)
+            }
+        })
+        .collect();
+    let total_loops: usize = loops_per_kernel.iter().sum();
+
+    // A PE kernel (with static latency) for call-synchronization designs.
+    let with_pe = rng.gen_bool(0.35);
+    let pe_id = with_pe.then(|| {
+        let mut pe = b.kernel("pe");
+        pe.set_static_latency(2 + rng.gen_index(9) as u64);
+        let mut l = pe.pipelined_loop("pe_body", 1, 1);
+        let x = l.varying_input("pe_x", DataType::Int(32));
+        let y = l.varying_input("pe_y", DataType::Int(32));
+        let m = l.mul(x, y);
+        let s = l.add(m, x);
+        l.output("pe_out", s);
+        l.finish();
+        pe.finish()
+    });
+
+    // Arrays: shared freely in sequential designs, single-kernel only in
+    // dataflow designs (loops of one kernel still run sequentially).
+    let arrays: Vec<_> = (0..rng.gen_index(3))
+        .map(|i| {
+            b.array(
+                format!("arr{i}"),
+                DataType::Int(32),
+                8 << rng.gen_index(3),
+                hlsb_ir::Partition::None,
+            )
+        })
+        .collect();
+    let arrays_ok = !arrays.is_empty() && (!dataflow || n_kernels == 1);
+
+    // FIFO wiring, decided up front. Sequential designs draw from shared
+    // pools; dataflow loops get dedicated endpoints (single writer AND
+    // single reader per FIFO — concurrent cursors must not interleave).
+    let mut ins_per_loop: Vec<Vec<FifoId>> = Vec::with_capacity(total_loops);
+    let mut outs_per_loop: Vec<Vec<FifoId>> = Vec::with_capacity(total_loops);
+    if dataflow {
+        for fl in 0..total_loops {
+            ins_per_loop.push(
+                (0..1 + rng.gen_index(2))
+                    .map(|j| {
+                        b.fifo(
+                            format!("in{fl}_{j}"),
+                            DataType::Int(32),
+                            2 + rng.gen_index(3),
+                        )
+                    })
+                    .collect(),
+            );
+            outs_per_loop.push(vec![b.fifo(
+                format!("out{fl}"),
+                DataType::Int(32),
+                2 + rng.gen_index(3),
+            )]);
+        }
+    } else {
+        let pool_in: Vec<FifoId> = (0..1 + rng.gen_index(3))
+            .map(|i| b.fifo(format!("in{i}"), DataType::Int(32), 2 + rng.gen_index(3)))
+            .collect();
+        let pool_out: Vec<FifoId> = (0..1 + rng.gen_index(3))
+            .map(|i| b.fifo(format!("out{i}"), DataType::Int(32), 2 + rng.gen_index(3)))
+            .collect();
+        for _ in 0..total_loops {
+            ins_per_loop.push(
+                (0..1 + rng.gen_index(2))
+                    .map(|_| pool_in[rng.gen_index(pool_in.len())])
+                    .collect(),
+            );
+            outs_per_loop.push(vec![pool_out[rng.gen_index(pool_out.len())]]);
+        }
+    }
+
+    // Internal edges (dataflow only): writer strictly before reader in
+    // flat loop order, one writer and one reader per channel.
+    let n_internal = if dataflow && total_loops > 1 {
+        rng.gen_index(total_loops)
+    } else {
+        0
+    };
+    let internal: Vec<(FifoId, usize, usize)> = (0..n_internal)
+        .map(|i| {
+            let writer = rng.gen_index(total_loops - 1);
+            let reader = writer + 1 + rng.gen_index(total_loops - writer - 1);
+            let f = b.fifo(format!("ch{i}"), DataType::Int(32), 2 + rng.gen_index(3));
+            (f, writer, reader)
+        })
+        .collect();
+
+    let mut flat = 0usize;
+    for (k, &n_loops) in loops_per_kernel.iter().enumerate() {
+        let mut kb = b.kernel(format!("k{k}"));
+        for li in 0..n_loops {
+            let trip = 4 + rng.gen_index(13) as u64;
+            let name = format!("k{k}l{li}");
+            let mut lb = if rng.gen_bool(0.8) {
+                kb.pipelined_loop(&name, trip, 1 + rng.gen_index(2) as u32)
+            } else {
+                kb.sequential_loop(&name, trip)
+            };
+            if rng.gen_bool(0.3) {
+                lb.set_unroll([2u32, 4][rng.gen_index(2)]);
+            }
+
+            // Sources.
+            let mut vals: Vec<InstId> = vec![lb.indvar(&format!("i_{name}"))];
+            if rng.gen_bool(0.5) {
+                vals.push(lb.constant(&format!("c_{name}"), DataType::Int(32)));
+            }
+            if rng.gen_bool(0.4) {
+                vals.push(lb.invariant_input(&format!("inv_{name}"), DataType::Int(32)));
+            }
+            if rng.gen_bool(0.4) {
+                vals.push(lb.varying_input(&format!("var_{name}"), DataType::Int(32)));
+            }
+            for &f in &ins_per_loop[flat] {
+                vals.push(lb.fifo_read(f, DataType::Int(32)));
+            }
+            for &(f, _, reader) in &internal {
+                if reader == flat {
+                    vals.push(lb.fifo_read(f, DataType::Int(32)));
+                }
+            }
+            if arrays_ok && rng.gen_bool(0.5) {
+                let a = arrays[rng.gen_index(arrays.len())];
+                let idx = vals[rng.gen_index(vals.len())];
+                vals.push(lb.load(a, idx, DataType::Int(32)));
+            }
+
+            // Random op soup.
+            for _ in 0..3 + rng.gen_index(10) {
+                let x = vals[rng.gen_index(vals.len())];
+                let y = vals[rng.gen_index(vals.len())];
+                let v = random_op(&mut lb, &mut rng, x, y);
+                vals.push(v);
+            }
+
+            // Parallel PE calls (sync fan-in) — 2..=4 calls when enabled.
+            if let Some(pe) = pe_id {
+                if rng.gen_bool(0.5) {
+                    let mut results = Vec::new();
+                    for _ in 0..2 + rng.gen_index(3) {
+                        let x = vals[rng.gen_index(vals.len())];
+                        let y = vals[rng.gen_index(vals.len())];
+                        results.push(lb.call(pe, vec![x, y], DataType::Int(32)));
+                    }
+                    let mut acc = results[0];
+                    for &r in &results[1..] {
+                        acc = lb.add(acc, r);
+                    }
+                    vals.push(acc);
+                }
+            }
+
+            // Sinks.
+            if arrays_ok && rng.gen_bool(0.4) {
+                let a = arrays[rng.gen_index(arrays.len())];
+                let idx = vals[rng.gen_index(vals.len())];
+                let v = vals[rng.gen_index(vals.len())];
+                lb.store(a, idx, v);
+            }
+            for &(f, writer, _) in &internal {
+                if writer == flat {
+                    let v = vals[rng.gen_index(vals.len())];
+                    lb.fifo_write(f, v);
+                }
+            }
+            for &f in &outs_per_loop[flat] {
+                let v = vals[rng.gen_index(vals.len())];
+                lb.fifo_write(f, v);
+            }
+            if rng.gen_bool(0.4) {
+                let v = vals[rng.gen_index(vals.len())];
+                lb.output(&format!("o_{name}"), v);
+            }
+            lb.finish();
+            flat += 1;
+        }
+        kb.finish();
+    }
+
+    b.finish().expect("generated design must verify")
+}
+
+/// One random arithmetic/logic instruction over two existing values.
+fn random_op(lb: &mut LoopBuilder<'_, '_>, rng: &mut Rng, x: InstId, y: InstId) -> InstId {
+    match rng.gen_index(14) {
+        0 => lb.add(x, y),
+        1 => lb.sub(x, y),
+        2 => lb.mul(x, y),
+        3 => lb.div(x, y),
+        4 => lb.and(x, y),
+        5 => lb.or(x, y),
+        6 => lb.xor(x, y),
+        7 => lb.shl(x, y),
+        8 => lb.shr(x, y),
+        9 => lb.min(x, y),
+        10 => lb.max(x, y),
+        11 => lb.abs(x),
+        12 => {
+            let c = lb.cmp(CmpPred::Lt, x, y);
+            lb.select(c, x, y)
+        }
+        _ => lb.reg(x),
+    }
+}
+
+/// All one-step shrinks of a design: each drops one user-less sink
+/// instruction (`output`, `fifo.write` or `store`) from one loop and
+/// dead-code-eliminates the cone that fed only it. Shrinks that would
+/// empty a loop are skipped, so every result stays a valid design with
+/// the original loop/kernel numbering (no `call` retargeting needed).
+pub fn shrink_design(design: &Design) -> Vec<Design> {
+    let mut shrinks = Vec::new();
+    for (ki, kernel) in design.kernels.iter().enumerate() {
+        for (li, lp) in kernel.loops.iter().enumerate() {
+            let sinks: Vec<InstId> = lp
+                .body
+                .iter()
+                .filter(|&(id, i)| {
+                    matches!(
+                        i.kind,
+                        OpKind::Output | OpKind::FifoWrite(_) | OpKind::Store(_)
+                    ) && lp.body.users(id).is_empty()
+                })
+                .map(|(id, _)| id)
+                .collect();
+            for sink in sinks {
+                let body = drop_inst(&lp.body, sink);
+                if body.is_empty() {
+                    continue;
+                }
+                let mut d = design.clone();
+                d.kernels[ki].loops[li] = Loop { body, ..lp.clone() };
+                shrinks.push(d);
+            }
+        }
+    }
+    shrinks
+}
+
+/// Rebuilds a body without `drop` and without the instructions that
+/// became dead once it was gone.
+fn drop_inst(body: &hlsb_ir::Dfg, drop: InstId) -> hlsb_ir::Dfg {
+    let mut pruned = hlsb_ir::Dfg::new();
+    let mut map: Vec<Option<InstId>> = vec![None; body.len()];
+    for (id, inst) in body.iter() {
+        if id == drop {
+            continue;
+        }
+        let mut cl = inst.clone();
+        cl.operands = inst
+            .operands
+            .iter()
+            .map(|op| map[op.index()].expect("operands precede users"))
+            .collect();
+        map[id.index()] = Some(pruned.push_inst(cl));
+    }
+    let (clean, _) = pruned.eliminate_dead();
+    clean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_ir::verify::verify_design;
+
+    #[test]
+    fn generated_designs_always_verify() {
+        for seed in 0..200 {
+            let d = random_design(seed);
+            verify_design(&d).unwrap_or_else(|e| panic!("seed {seed}: {e:?}\n{d}"));
+            assert!(d.inst_count() > 0, "seed {seed} generated an empty design");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        assert_eq!(random_design(11), random_design(11));
+        let designs: Vec<_> = (0..32).map(random_design).collect();
+        let distinct = designs.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(distinct >= 24, "only {distinct}/31 adjacent pairs differ");
+    }
+
+    #[test]
+    fn feature_space_is_covered() {
+        let mut dataflow = 0;
+        let mut calls = 0;
+        let mut unrolled = 0;
+        let mut multi_kernel = 0;
+        for seed in 0..100 {
+            let d = random_design(seed);
+            dataflow += usize::from(d.concurrency == hlsb_ir::Concurrency::Dataflow);
+            multi_kernel += usize::from(d.kernels.len() > 1);
+            let has_call = d.kernels.iter().any(|k| {
+                k.loops.iter().any(|l| {
+                    l.body
+                        .iter()
+                        .any(|(_, i)| matches!(i.kind, OpKind::Call(_)))
+                })
+            });
+            calls += usize::from(has_call);
+            unrolled += usize::from(
+                d.kernels
+                    .iter()
+                    .any(|k| k.loops.iter().any(|l| l.unroll > 1)),
+            );
+        }
+        assert!(dataflow >= 15, "dataflow designs: {dataflow}/100");
+        assert!(calls >= 10, "call designs: {calls}/100");
+        assert!(unrolled >= 10, "unrolled designs: {unrolled}/100");
+        assert!(
+            multi_kernel >= 30,
+            "multi-kernel designs: {multi_kernel}/100"
+        );
+    }
+
+    #[test]
+    fn dataflow_fifos_have_single_reader_and_writer() {
+        for seed in 0..100 {
+            let d = random_design(seed);
+            if d.concurrency != hlsb_ir::Concurrency::Dataflow {
+                continue;
+            }
+            let mut readers = vec![0usize; d.fifos.len()];
+            let mut writers = vec![0usize; d.fifos.len()];
+            for k in &d.kernels {
+                for lp in &k.loops {
+                    let mut r = std::collections::HashSet::new();
+                    let mut w = std::collections::HashSet::new();
+                    for (_, i) in lp.body.iter() {
+                        match i.kind {
+                            OpKind::FifoRead(f) => {
+                                r.insert(f.index());
+                            }
+                            OpKind::FifoWrite(f) => {
+                                w.insert(f.index());
+                            }
+                            _ => {}
+                        }
+                    }
+                    for f in r {
+                        readers[f] += 1;
+                    }
+                    for f in w {
+                        writers[f] += 1;
+                    }
+                }
+            }
+            for f in 0..d.fifos.len() {
+                assert!(
+                    readers[f] <= 1,
+                    "seed {seed}: fifo {f} has {} readers",
+                    readers[f]
+                );
+                assert!(
+                    writers[f] <= 1,
+                    "seed {seed}: fifo {f} has {} writers",
+                    writers[f]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_are_valid_and_smaller() {
+        let mut checked = 0;
+        for seed in 0..20 {
+            let d = random_design(seed);
+            for s in shrink_design(&d) {
+                verify_design(&s).unwrap_or_else(|e| panic!("seed {seed}: {e:?}\n{s}"));
+                assert!(s.inst_count() < d.inst_count(), "seed {seed}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 20, "shrinking produced too few candidates");
+    }
+}

@@ -1,0 +1,54 @@
+//! Every `examples/` binary must keep building and running — examples
+//! are the first code a reader tries, and nothing else exercises them.
+//!
+//! Uses the `cargo` that is running this test (so toolchain pinning is
+//! respected) and the release profile, which tier-1 CI has already
+//! built; the marginal cost here is running the binaries, not compiling
+//! the workspace twice.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 6] = [
+    "broadcast_lint",
+    "dataflow_pruning",
+    "genome_unroll",
+    "quickstart",
+    "skid_buffer_sizing",
+    "stream_buffer",
+];
+
+#[test]
+fn all_examples_build_and_run() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+
+    // The list above must stay in sync with the directory.
+    let mut on_disk: Vec<String> = std::fs::read_dir(Path::new(manifest_dir).join("examples"))
+        .expect("examples/ exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk, EXAMPLES, "examples/ changed: update this test");
+
+    for example in EXAMPLES {
+        let output = Command::new(env!("CARGO"))
+            .args(["run", "--release", "--example", example])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} printed nothing"
+        );
+    }
+}

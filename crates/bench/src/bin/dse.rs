@@ -1,0 +1,243 @@
+//! `dse` — Pareto design-space exploration over the broadcast-optimization
+//! knobs of the flow (see the `hlsb-dse` crate).
+//!
+//! ```text
+//! dse [--design <name>|all] [--strategy grid|random|halving]
+//!     [--clocks <mhz>[,<mhz>...]] [--budget <n>] [--seed <n>]
+//!     [--seeds <n>[,<n>...]] [--efforts fast|normal|both]
+//!     [--store <path>] [--format table|jsonl] [--verify-iters <n>] [--list]
+//! ```
+//!
+//! For every selected benchmark the explorer searches the paper's 4-bit
+//! optimization cube (optionally widened with placement seeds/efforts)
+//! over the given clock targets, reports the Pareto frontier over
+//! (fmax, latency cycles, register+LUT area), and differentially
+//! simulates every frontier configuration against the untimed golden
+//! evaluator. `--budget` caps *full-flow* (place-and-route) evaluations;
+//! with `halving`, cheap front-end/schedule/lint probes rank the whole
+//! space first and only the survivors are placed. `--store` persists
+//! results as JSONL keyed by the flow's config key — re-running with the
+//! same store resumes an interrupted sweep without re-placing anything.
+//!
+//! Exit status is 2 on usage errors, 1 if any frontier configuration
+//! fails its differential-simulation check, 0 otherwise.
+
+use hlsb::{FlowSession, PlaceEffort};
+use hlsb_benchmarks::{all_benchmarks, Benchmark};
+use hlsb_dse::{report, Explorer, KnobSpace, ResultStore, Strategy, DEFAULT_VERIFY_ITERS};
+use std::process::ExitCode;
+
+struct Args {
+    design: String,
+    strategy: Strategy,
+    clocks_mhz: Option<Vec<f64>>,
+    budget: usize,
+    seed: u64,
+    place_seeds: Vec<u32>,
+    efforts: Vec<PlaceEffort>,
+    store: Option<String>,
+    format: Format,
+    verify_iters: u64,
+    list: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Table,
+    Jsonl,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: dse [--design <name>|all] [--strategy grid|random|halving]\n\
+         \x20          [--clocks <mhz>[,<mhz>...]] [--budget <n>] [--seed <n>]\n\
+         \x20          [--seeds <n>[,<n>...]] [--efforts fast|normal|both]\n\
+         \x20          [--store <path>] [--format table|jsonl]\n\
+         \x20          [--verify-iters <n>] [--list]"
+    );
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, String> {
+    s.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse()
+                .map_err(|_| format!("bad {what} `{tok}`"))
+        })
+        .collect()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        design: "all".into(),
+        strategy: Strategy::Grid,
+        clocks_mhz: None,
+        budget: usize::MAX,
+        seed: hlsb_bench::SEED,
+        place_seeds: vec![1],
+        efforts: vec![PlaceEffort::Fast],
+        store: None,
+        format: Format::Table,
+        verify_iters: DEFAULT_VERIFY_ITERS,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--design" => args.design = it.next().ok_or("--design needs a value")?,
+            "--strategy" => {
+                let s = it.next().ok_or("--strategy needs a value")?;
+                args.strategy = Strategy::from_name(&s).ok_or(format!("unknown strategy `{s}`"))?;
+            }
+            "--clocks" => {
+                let c = it.next().ok_or("--clocks needs a value")?;
+                let clocks: Vec<f64> = parse_list(&c, "clock")?;
+                if clocks.iter().any(|m| !(m.is_finite() && *m > 0.0)) {
+                    return Err(format!("bad clocks `{c}`"));
+                }
+                args.clocks_mhz = Some(clocks);
+            }
+            "--budget" => {
+                let b = it.next().ok_or("--budget needs a value")?;
+                args.budget = b.parse().map_err(|_| format!("bad budget `{b}`"))?;
+                if args.budget == 0 {
+                    return Err("budget must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                let s = it.next().ok_or("--seed needs a value")?;
+                args.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            }
+            "--seeds" => {
+                let s = it.next().ok_or("--seeds needs a value")?;
+                args.place_seeds = parse_list(&s, "seed count")?;
+                if args.place_seeds.is_empty() || args.place_seeds.contains(&0) {
+                    return Err(format!("bad seed counts `{s}`"));
+                }
+            }
+            "--efforts" => {
+                args.efforts = match it.next().ok_or("--efforts needs a value")?.as_str() {
+                    "fast" => vec![PlaceEffort::Fast],
+                    "normal" => vec![PlaceEffort::Normal],
+                    "both" => vec![PlaceEffort::Fast, PlaceEffort::Normal],
+                    e => return Err(format!("unknown efforts `{e}`")),
+                };
+            }
+            "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
+            "--format" => {
+                args.format = match it.next().ok_or("--format needs a value")?.as_str() {
+                    "table" => Format::Table,
+                    "jsonl" => Format::Jsonl,
+                    f => return Err(format!("unknown format `{f}`")),
+                };
+            }
+            "--verify-iters" => {
+                let v = it.next().ok_or("--verify-iters needs a value")?;
+                args.verify_iters = v.parse().map_err(|_| format!("bad verify-iters `{v}`"))?;
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            f => return Err(format!("unknown flag `{f}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn explore(bench: &Benchmark, args: &Args, session: &FlowSession) -> std::io::Result<bool> {
+    let clocks = args
+        .clocks_mhz
+        .clone()
+        .unwrap_or_else(|| vec![bench.clock_mhz]);
+    let space = KnobSpace {
+        place_seeds: args.place_seeds.clone(),
+        efforts: args.efforts.clone(),
+        ..KnobSpace::optimization_cube(clocks)
+    };
+    let store = match &args.store {
+        // One store file can serve several benchmarks: the config key
+        // covers the design, so entries never collide.
+        Some(path) => ResultStore::open(path)?,
+        None => ResultStore::in_memory(),
+    };
+    let report = Explorer::new(&bench.design, &bench.device)
+        .space(space)
+        .strategy(args.strategy)
+        .budget(args.budget)
+        .seed(args.seed)
+        .store(store)
+        .verify_iters(args.verify_iters)
+        .run(session)?;
+
+    match args.format {
+        Format::Table => {
+            println!("== {} ({}) ==", bench.name, bench.device.name);
+            print!("{}", report::frontier_table(&report));
+            println!("{}", report::summary_line(&report));
+            println!();
+        }
+        Format::Jsonl => print!("{}", report::frontier_jsonl(&report, &bench.design.name)),
+    }
+    Ok(report.frontier_semantics_ok())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("dse: {e}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    let benches = all_benchmarks();
+    if args.list {
+        for b in &benches {
+            println!(
+                "{:<16} {:>6.0} MHz  {}",
+                b.design.name, b.clock_mhz, b.device.name
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&Benchmark> = if args.design == "all" {
+        benches.iter().collect()
+    } else {
+        benches
+            .iter()
+            .filter(|b| b.design.name == args.design)
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "dse: no benchmark named `{}` (try --list; one of: {})",
+            args.design,
+            benches
+                .iter()
+                .map(|b| b.design.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    }
+
+    let session = FlowSession::new();
+    let mut semantics_ok = true;
+    for bench in selected {
+        match explore(bench, &args, &session) {
+            Ok(ok) => semantics_ok &= ok,
+            Err(e) => {
+                eprintln!("dse: store I/O failed for {}: {e}", bench.name);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !semantics_ok {
+        eprintln!("dse: a frontier configuration FAILED its differential simulation");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,5 +1,9 @@
 //! Differential simulation check over the Table-1 benchmarks.
 //!
+//! ```text
+//! simcheck [--json]
+//! ```
+//!
 //! For every benchmark and every point of the optimization cube
 //! (broadcast-aware × sync-pruning × skid-buffer), runs the untimed
 //! golden evaluator against the cycle-accurate simulator of the
@@ -7,10 +11,16 @@
 //! (`hlsb::sim::check_latency`). This is the fast semantics gate: it
 //! exercises the whole front-end + scheduler without placement, so all
 //! 72 variant runs finish in seconds.
+//!
+//! `--json` emits one JSON line per variant (and a final `summary` line)
+//! instead of the table, for machine consumption in CI. In both modes the
+//! exit status is 1 when any variant fails its check, 0 otherwise.
 
+use hlsb::lint::render::json_escape;
 use hlsb::sim::Stimulus;
 use hlsb::{Flow, FlowSession, OptimizationOptions};
 use hlsb_benchmarks::all_benchmarks;
+use std::process::ExitCode;
 
 /// Iterations simulated per loop (trip counts are capped to this).
 const ITERS_CAP: u64 = 48;
@@ -35,15 +45,27 @@ fn combos() -> Vec<(String, OptimizationOptions)> {
     out
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let json = match std::env::args().nth(1).as_deref() {
+        None => false,
+        Some("--json") => true,
+        Some(_) => {
+            eprintln!("usage: simcheck [--json]");
+            return ExitCode::from(2);
+        }
+    };
+
     let session = FlowSession::new();
-    println!("simcheck: golden vs cycle-accurate over the optimization cube");
-    println!(
-        "{:<28} {:>5} {:>8} {:>8} {:>8} {:>7}  verdict",
-        "benchmark / combo", "vals", "cycles", "stalls", "gated", "match"
-    );
-    println!("{:-<80}", "");
+    if !json {
+        println!("simcheck: golden vs cycle-accurate over the optimization cube");
+        println!(
+            "{:<28} {:>5} {:>8} {:>8} {:>8} {:>7}  verdict",
+            "benchmark / combo", "vals", "cycles", "stalls", "gated", "match"
+        );
+        println!("{:-<80}", "");
+    }
     let mut failures = 0usize;
+    let mut variants = 0usize;
     for bench in all_benchmarks() {
         let stim = Stimulus::seeded(&bench.design, 1, ITERS_CAP as usize);
         for (name, opts) in combos() {
@@ -57,37 +79,67 @@ fn main() {
             let verdict = sim.check();
             let stalls: u64 = sim.timed.per_loop.iter().map(|r| r.stall_cycles).sum();
             let gated: u64 = sim.timed.per_loop.iter().map(|r| r.gated_cycles).sum();
-            println!(
-                "{:<28} {:>5} {:>8} {:>8} {:>8} {:>7}  {}",
-                format!("{} [{}]", bench.name, name),
-                sim.golden.len(),
-                sim.timed.cycles,
-                stalls,
-                gated,
-                if sim.timed.trace.diff(&sim.golden).is_none() {
-                    "yes"
-                } else {
-                    "NO"
-                },
-                match &verdict {
-                    Ok(()) => "ok".to_string(),
-                    Err(e) => format!("FAIL: {e}"),
-                }
-            );
+            let trace_match = sim.timed.trace.diff(&sim.golden).is_none();
+            if json {
+                println!(
+                    "{{\"benchmark\":\"{}\",\"combo\":\"{name}\",\"values\":{},\
+                     \"cycles\":{},\"stalls\":{stalls},\"gated\":{gated},\
+                     \"trace_match\":{trace_match},\"ok\":{},\"verdict\":\"{}\"}}",
+                    json_escape(bench.name),
+                    sim.golden.len(),
+                    sim.timed.cycles,
+                    verdict.is_ok(),
+                    json_escape(&verdict.as_ref().err().cloned().unwrap_or_default()),
+                );
+            } else {
+                println!(
+                    "{:<28} {:>5} {:>8} {:>8} {:>8} {:>7}  {}",
+                    format!("{} [{}]", bench.name, name),
+                    sim.golden.len(),
+                    sim.timed.cycles,
+                    stalls,
+                    gated,
+                    if trace_match { "yes" } else { "NO" },
+                    match &verdict {
+                        Ok(()) => "ok".to_string(),
+                        Err(e) => format!("FAIL: {e}"),
+                    }
+                );
+            }
+            variants += 1;
             if verdict.is_err() {
                 failures += 1;
             }
         }
     }
-    println!("{:-<80}", "");
-    let stats = session.cache_stats();
-    println!(
-        "cache: {} hits / {} misses (variants share front-end + baseline schedules)",
-        stats.hits, stats.misses
-    );
+    let stats = session.cache_stats_by_stage();
+    if json {
+        println!(
+            "{{\"summary\":true,\"variants\":{variants},\"failures\":{failures},\
+             \"front_end_cache_hits\":{},\"front_end_cache_misses\":{},\
+             \"schedule_cache_hits\":{},\"schedule_cache_misses\":{}}}",
+            stats.front_end.hits,
+            stats.front_end.misses,
+            stats.schedule.hits,
+            stats.schedule.misses,
+        );
+    } else {
+        println!("{:-<80}", "");
+        println!(
+            "cache: front-end {} hits / {} misses, schedule {} hits / {} misses \
+             (variants share front-end + baseline schedules)",
+            stats.front_end.hits,
+            stats.front_end.misses,
+            stats.schedule.hits,
+            stats.schedule.misses,
+        );
+    }
     if failures > 0 {
         eprintln!("simcheck: {failures} variant(s) FAILED");
-        std::process::exit(1);
+        return ExitCode::FAILURE;
     }
-    println!("simcheck: all variants semantics-preserving");
+    if !json {
+        println!("simcheck: all variants semantics-preserving");
+    }
+    ExitCode::SUCCESS
 }

@@ -73,19 +73,25 @@ pub fn expect_all(
 
 /// Where-the-time-went footer for an experiment binary: per-pass wall
 /// times and counters accumulated over all runs, plus the session's
-/// cache hit rate.
+/// per-stage cache hit rates (front-end reuse is what makes variant
+/// sweeps cheap, so it is reported separately from schedule reuse).
 pub fn pass_summary(results: &[ImplementationResult], session: &hlsb::FlowSession) -> String {
     let mut total = PassTrace::default();
     for r in results {
         total.merge(&r.trace);
     }
-    let stats = session.cache_stats();
+    let stats = session.cache_stats_by_stage();
     format!(
-        "pass totals over {} runs ({} threads, artifact cache {} hits / {} misses):\n{total}",
+        "pass totals over {} runs ({} threads; cache: front-end {} hits / {} misses ({:.0}%), \
+         schedule {} hits / {} misses ({:.0}%)):\n{total}",
         results.len(),
         session.threads(),
-        stats.hits,
-        stats.misses
+        stats.front_end.hits,
+        stats.front_end.misses,
+        stats.front_end.hit_rate() * 100.0,
+        stats.schedule.hits,
+        stats.schedule.misses,
+        stats.schedule.hit_rate() * 100.0,
     )
 }
 

@@ -86,6 +86,39 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 1.0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-stage hit/miss totals of a session's cache, so sweeps (and the
+/// DSE driver) can see exactly how much front-end vs schedule work a
+/// variant batch actually recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCacheStats {
+    /// Front-end (verify/split/unroll/DCE) artifact requests.
+    pub front_end: CacheStats,
+    /// Schedule artifact requests.
+    pub schedule: CacheStats,
+}
+
+impl StageCacheStats {
+    /// Both stages summed (the legacy single-number view).
+    pub fn total(&self) -> CacheStats {
+        CacheStats {
+            hits: self.front_end.hits + self.schedule.hits,
+            misses: self.front_end.misses + self.schedule.misses,
+        }
+    }
+}
+
 /// One stage's keyed artifact store.
 struct StageCache<T> {
     map: Mutex<HashMap<u64, Arc<T>>>,
@@ -158,11 +191,19 @@ impl ArtifactCache {
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.front_ends.hits.load(Ordering::Relaxed)
-                + self.schedules.hits.load(Ordering::Relaxed),
-            misses: self.front_ends.misses.load(Ordering::Relaxed)
-                + self.schedules.misses.load(Ordering::Relaxed),
+        self.stats_by_stage().total()
+    }
+
+    pub(crate) fn stats_by_stage(&self) -> StageCacheStats {
+        StageCacheStats {
+            front_end: CacheStats {
+                hits: self.front_ends.hits.load(Ordering::Relaxed),
+                misses: self.front_ends.misses.load(Ordering::Relaxed),
+            },
+            schedule: CacheStats {
+                hits: self.schedules.hits.load(Ordering::Relaxed),
+                misses: self.schedules.misses.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -256,5 +297,20 @@ mod tests {
         assert_eq!(builds, 1);
         assert_eq!(cache.hits.load(Ordering::Relaxed), 2);
         assert_eq!(cache.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn per_stage_stats_split_hits_by_stage() {
+        let cache = ArtifactCache::default();
+        let design = hlsb_sim::random_design(3);
+        let fe = || crate::passes::front_end::run(&design, false);
+        cache.front_end(1, fe);
+        cache.front_end(1, fe);
+        let by_stage = cache.stats_by_stage();
+        assert_eq!(by_stage.front_end, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(by_stage.schedule, CacheStats::default());
+        assert_eq!(by_stage.total(), cache.stats());
+        assert!((by_stage.front_end.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(by_stage.schedule.hit_rate(), 1.0, "empty cache rate is 1");
     }
 }

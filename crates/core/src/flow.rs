@@ -100,6 +100,26 @@ impl Flow {
         self
     }
 
+    /// Content-addressed key of this flow's full configuration: design,
+    /// device, clock target, optimization options, seed, placement effort
+    /// and trial count. Two flows with equal keys produce identical
+    /// [`ImplementationResult`]s (the pipeline is deterministic), so the
+    /// key is safe to use for result deduplication and persistent stores
+    /// — `hlsb-dse` keys its JSONL result store with it. Stable across
+    /// processes and platforms (FNV-1a over the configuration's `Debug`
+    /// form, like the session's stage-artifact cache).
+    pub fn config_key(&self) -> u64 {
+        crate::cache::combine(&[
+            crate::cache::hash_debug(&self.design),
+            crate::cache::hash_debug(&self.device),
+            self.clock_mhz.to_bits(),
+            crate::cache::hash_debug(&self.options),
+            self.seed,
+            crate::cache::hash_debug(&self.effort),
+            u64::from(self.place_seeds),
+        ])
+    }
+
     /// Runs the flow.
     ///
     /// # Errors
@@ -305,6 +325,61 @@ mod tests {
         let r = session.run(&flow).expect("flow succeeds");
         assert_eq!(r.trace.counter("front-end", "executions"), Some(0));
         assert_eq!(r.trace.counter("schedule", "executions"), Some(0));
+    }
+
+    #[test]
+    fn config_key_distinguishes_every_knob() {
+        let d = unrolled_broadcast(4);
+        let base = Flow::new(d.clone());
+        let mut keys = std::collections::HashSet::new();
+        assert!(keys.insert(base.config_key()));
+        assert!(keys.insert(base.clone().clock_mhz(350.0).config_key()));
+        assert!(keys.insert(
+            base.clone()
+                .options(OptimizationOptions::all())
+                .config_key()
+        ));
+        assert!(keys.insert(base.clone().seed(2).config_key()));
+        assert!(keys.insert(base.clone().place_effort(PlaceEffort::Fast).config_key()));
+        assert!(keys.insert(base.clone().place_seeds(1).config_key()));
+        assert!(keys.insert(Flow::new(unrolled_broadcast(8)).config_key()));
+        // ... and is stable for an identical configuration.
+        assert_eq!(base.config_key(), Flow::new(d).config_key());
+    }
+
+    #[test]
+    fn probe_shares_artifacts_with_full_runs_and_reports_latency() {
+        let d = unrolled_broadcast(16);
+        let session = crate::FlowSession::new();
+        let flow = Flow::new(d)
+            .options(OptimizationOptions::all())
+            .place_effort(PlaceEffort::Fast)
+            .place_seeds(1)
+            .lint(true);
+
+        let probe = session.probe(&flow).expect("valid design");
+        assert_eq!(probe.trace.counter("front-end", "executions"), Some(1));
+        assert!(probe.latency_cycles > 0);
+        assert!(probe.instructions > 0);
+        assert!(!probe.schedule_depths.is_empty());
+        assert!(probe.lint.is_some(), "probe honours Flow::lint");
+        // No back-end stages ran.
+        assert!(probe.trace.records.iter().all(|r| r.pass != "implement"));
+
+        // The full run hits every artifact the probe built.
+        let r = session.run(&flow).expect("flow succeeds");
+        assert_eq!(r.trace.counter("front-end", "executions"), Some(0));
+        assert_eq!(r.trace.counter("schedule", "executions"), Some(0));
+        // The probe's static latency is the full run's latency.
+        assert_eq!(probe.latency_cycles, r.latency_cycles);
+        assert_eq!(probe.schedule_depths, r.schedule_depths);
+        assert_eq!(probe.inserted_regs, r.inserted_regs);
+
+        // Per-stage cache stats are consistent with the totals.
+        let by_stage = session.cache_stats_by_stage();
+        assert_eq!(by_stage.total(), session.cache_stats());
+        assert!(by_stage.front_end.hits >= 1);
+        assert!(by_stage.schedule.hits >= 1);
     }
 
     #[test]

@@ -59,13 +59,13 @@ pub mod trace;
 
 mod cache;
 
-pub use cache::CacheStats;
+pub use cache::{CacheStats, StageCacheStats};
 pub use error::FlowError;
 pub use flow::Flow;
 pub use options::{OptimizationOptions, PlaceEffort};
 pub use passes::{FrontEndArtifact, ScheduleArtifact};
 pub use result::{ImplementationResult, Utilization};
-pub use session::{FlowSession, SimulationOutcome};
+pub use session::{FlowSession, ProbeOutcome, SimulationOutcome};
 pub use trace::{PassRecord, PassTrace};
 
 // Re-export the sub-crates for downstream convenience.

@@ -24,6 +24,41 @@ pub struct ScheduleArtifact {
     pub inserted_regs: usize,
 }
 
+impl ScheduleArtifact {
+    /// Static latency estimate of the whole design, in cycles: per loop
+    /// `depth.max(1) + (trip − 1) · II` (the schedule's promised minimum,
+    /// the same bound [`hlsb_sim::check_latency`] enforces), summed over
+    /// a kernel's sequential loops. Kernels overlap under dataflow, so
+    /// the design latency is the slowest kernel there and the sum of all
+    /// kernels under a sequential top level.
+    pub fn latency_cycles(&self, concurrency: hlsb_ir::Concurrency) -> u64 {
+        let per_kernel = self.loops.iter().map(|kernel| {
+            kernel
+                .iter()
+                .map(|sl| {
+                    let trip = sl.looop.trip_count.max(1);
+                    u64::from(sl.schedule.depth.max(1))
+                        + (trip - 1) * u64::from(sl.schedule.ii.max(1))
+                })
+                .sum::<u64>()
+        });
+        match concurrency {
+            hlsb_ir::Concurrency::Dataflow => per_kernel.max().unwrap_or(0),
+            hlsb_ir::Concurrency::Sequential => per_kernel.sum(),
+        }
+    }
+
+    /// Total count of scheduling violations (single-op delays that exceed
+    /// the clock budget even at a fresh cycle boundary) across all loops.
+    pub fn violations(&self) -> usize {
+        self.loops
+            .iter()
+            .flatten()
+            .map(|sl| sl.schedule.violations.len())
+            .sum()
+    }
+}
+
 /// Schedules every loop of the front-end artifact. With
 /// `broadcast_aware`, delays come from the device- and seed-calibrated
 /// tables and registers are inserted on over-threshold broadcasts;

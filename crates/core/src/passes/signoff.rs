@@ -16,6 +16,7 @@ use crate::trace::PassTrace;
 pub(crate) fn assemble(
     device: &Device,
     schedule: &ScheduleArtifact,
+    concurrency: hlsb_ir::Concurrency,
     lower_info: LowerInfo,
     imp: ImplementOutput,
     lint: Option<hlsb_lint::LintReport>,
@@ -54,6 +55,7 @@ pub(crate) fn assemble(
         timing,
         lower_info,
         schedule_depths: schedule.depths.clone(),
+        latency_cycles: schedule.latency_cycles(concurrency),
         inserted_regs: schedule.inserted_regs,
         duplicated_regs: fanout.duplicated_registers,
         retime_moves: retime.moves,

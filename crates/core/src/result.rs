@@ -53,6 +53,11 @@ pub struct ImplementationResult {
     pub lower_info: LowerInfo,
     /// Pipeline depth of each lowered loop, in cycles.
     pub schedule_depths: Vec<u32>,
+    /// Static latency estimate of the whole design, in cycles (see
+    /// [`ScheduleArtifact::latency_cycles`](crate::ScheduleArtifact::latency_cycles)):
+    /// the schedule's promised minimum for the full trip counts, with
+    /// kernels overlapped under dataflow.
+    pub latency_cycles: u64,
     /// Registers inserted by broadcast-aware scheduling.
     pub inserted_regs: usize,
     /// Registers duplicated by physical fanout optimization.
@@ -78,6 +83,7 @@ impl PartialEq for ImplementationResult {
             && self.timing == other.timing
             && self.lower_info == other.lower_info
             && self.schedule_depths == other.schedule_depths
+            && self.latency_cycles == other.latency_cycles
             && self.inserted_regs == other.inserted_regs
             && self.duplicated_regs == other.duplicated_regs
             && self.retime_moves == other.retime_moves
@@ -122,6 +128,7 @@ mod tests {
             },
             lower_info: LowerInfo::default(),
             schedule_depths: vec![],
+            latency_cycles: 0,
             inserted_regs: 0,
             duplicated_regs: 0,
             retime_moves: 0,

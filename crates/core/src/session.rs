@@ -25,13 +25,41 @@ use hlsb_ir::verify::verify_design;
 use hlsb_lint::{FrontEndSnapshot, SnapshotLoop};
 use std::borrow::Cow;
 
-use crate::cache::{self, ArtifactCache, CacheStats};
+use crate::cache::{self, ArtifactCache, CacheStats, StageCacheStats};
 use crate::error::FlowError;
 use crate::flow::Flow;
 use crate::passes::{self, FrontEndArtifact, ScheduleArtifact};
 use crate::result::ImplementationResult;
 use crate::trace::PassTrace;
 use hlsb_sim::{ControlModel, IoTrace, SimOptions, Stimulus, TimedOutcome};
+
+/// The output of [`FlowSession::probe`]: the cheap front half of the
+/// pipeline (front-end + schedule, plus the lint pre-pass when the flow
+/// enables it) without RTL lowering, placement or timing. Design-space
+/// exploration uses these numbers as a low-cost fitness proxy before
+/// paying for a full implementation run.
+#[derive(Debug, Clone)]
+pub struct ProbeOutcome {
+    /// Pipeline depth of each scheduled loop, flattened in kernel-loop
+    /// order.
+    pub schedule_depths: Vec<u32>,
+    /// Static latency estimate in cycles — the same number a full run
+    /// reports in [`ImplementationResult::latency_cycles`].
+    pub latency_cycles: u64,
+    /// Registers inserted by broadcast-aware scheduling.
+    pub inserted_regs: usize,
+    /// Scheduling violations (single-op delays over the clock budget).
+    pub schedule_violations: usize,
+    /// Instruction count of the effective (split + unrolled) design.
+    pub instructions: usize,
+    /// Static broadcast lint report, when the flow enables
+    /// [`Flow::lint`].
+    pub lint: Option<hlsb_lint::LintReport>,
+    /// Per-pass wall times and counters for this probe (front-end and
+    /// schedule records mirror [`FlowSession::run_detailed`], so probes
+    /// share cached artifacts with full runs).
+    pub trace: PassTrace,
+}
 
 /// The output of [`FlowSession::simulate`]: the untimed golden trace, the
 /// cycle-accurate outcome of the flow's *scheduled* design under the
@@ -127,6 +155,13 @@ impl FlowSession {
     /// Cache hit/miss totals so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Cache hit/miss totals broken down by stage (front-end vs
+    /// schedule) — the sweep-level view of how much a variant batch
+    /// actually recomputed.
+    pub fn cache_stats_by_stage(&self) -> StageCacheStats {
+        self.cache.stats_by_stage()
     }
 
     /// Runs one flow through the pipeline.
@@ -235,62 +270,9 @@ impl FlowSession {
             });
         }
         verify_design(&flow.design)?;
-        let clock_ns = 1000.0 / flow.clock_mhz;
         let mut trace = PassTrace::default();
-
-        // Front-end and schedule: identical keying to run_pipeline, so
-        // the artifacts are shared with implementation runs.
-        let timer = trace.start("front-end");
-        let design_hash = cache::hash_debug(&flow.design);
-        let fe_key = cache::front_end_key(design_hash, flow.options.sync_pruning);
-        let (front_end, fe_hit) = self.cache.front_end(fe_key, || {
-            passes::front_end::run(&flow.design, flow.options.sync_pruning)
-        });
-        let unsplit_key = cache::front_end_key(design_hash, false);
-        if flow.options.sync_pruning && !front_end.split_changed() {
-            self.cache
-                .seed_front_end(unsplit_key, Arc::clone(&front_end));
-        }
-        timer.done(
-            &mut trace,
-            vec![
-                ("executions", u64::from(!fe_hit)),
-                ("cache-hits", u64::from(fe_hit)),
-            ],
-        );
-
+        let (front_end, schedule, _lint) = self.stage_front_end_and_schedule(flow, &mut trace);
         let design = front_end.design(&flow.design);
-        let timer = trace.start("schedule");
-        let device_hash = cache::hash_debug(&flow.device);
-        let content_fe_key = if front_end.split_changed() {
-            fe_key
-        } else {
-            unsplit_key
-        };
-        let sched_key = cache::schedule_key(
-            content_fe_key,
-            clock_ns,
-            flow.options.broadcast_aware,
-            device_hash,
-            flow.seed,
-        );
-        let (schedule, sched_hit) = self.cache.schedule(sched_key, || {
-            passes::schedule::run(
-                &front_end,
-                design,
-                &flow.device,
-                clock_ns,
-                flow.options.broadcast_aware,
-                flow.seed,
-            )
-        });
-        timer.done(
-            &mut trace,
-            vec![
-                ("executions", u64::from(!sched_hit)),
-                ("cache-hits", u64::from(sched_hit)),
-            ],
-        );
 
         // Simulate: untimed reference, then the scheduled design cycle by
         // cycle under the flow's control model.
@@ -330,31 +312,62 @@ impl FlowSession {
         })
     }
 
-    /// The staged pipeline for one flow. `implement_threads` caps the
-    /// placement-trial parallelism (run_many sets it to 1 when flows
-    /// already run concurrently).
-    fn run_pipeline(
-        &self,
-        flow: &Flow,
-        implement_threads: usize,
-    ) -> Result<
-        (
-            ImplementationResult,
-            hlsb_netlist::Netlist,
-            hlsb_place::Placement,
-        ),
-        FlowError,
-    > {
+    /// Runs only the cheap front half of the pipeline — front-end +
+    /// schedule (and the lint pre-pass when the flow enables
+    /// [`Flow::lint`]) — and reports schedule-derived metrics without
+    /// lowering, placing or timing anything.
+    ///
+    /// Probes use the *same* cache keys as [`run`](FlowSession::run) and
+    /// [`simulate`](FlowSession::simulate): probing a configuration and
+    /// then implementing it re-runs neither stage. This is the low-cost
+    /// proxy stage of design-space exploration (`hlsb-dse`): a probe
+    /// costs front-end + schedule only, typically orders of magnitude
+    /// less than multi-seed placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] for invalid IR or a nonsensical clock
+    /// target.
+    pub fn probe(&self, flow: &Flow) -> Result<ProbeOutcome, FlowError> {
         if !(flow.clock_mhz.is_finite() && flow.clock_mhz > 0.0) {
             return Err(FlowError::BadParameter {
                 what: format!("clock target {} MHz", flow.clock_mhz),
             });
         }
-        // Verification runs per flow, outside the cache: a cache hit must
-        // never mask an invalid design.
         verify_design(&flow.design)?;
-        let clock_ns = 1000.0 / flow.clock_mhz;
         let mut trace = PassTrace::default();
+        let (front_end, schedule, lint) = self.stage_front_end_and_schedule(flow, &mut trace);
+        let design = front_end.design(&flow.design);
+        let instructions = design.kernels.iter().map(|k| k.inst_count()).sum();
+        Ok(ProbeOutcome {
+            schedule_depths: schedule.depths.clone(),
+            latency_cycles: schedule.latency_cycles(design.concurrency),
+            inserted_regs: schedule.inserted_regs,
+            schedule_violations: schedule.violations(),
+            instructions,
+            lint,
+            trace,
+        })
+    }
+
+    /// The cached front half shared by [`run_detailed`]
+    /// (via `run_pipeline`), [`simulate`](FlowSession::simulate) and
+    /// [`probe`](FlowSession::probe): front-end (clock-independent key),
+    /// schedule (content-keyed), and the lint pre-pass borrowing both
+    /// when the flow enables it. All three entry points therefore address
+    /// identical artifacts.
+    ///
+    /// [`run_detailed`]: FlowSession::run_detailed
+    fn stage_front_end_and_schedule(
+        &self,
+        flow: &Flow,
+        trace: &mut PassTrace,
+    ) -> (
+        Arc<FrontEndArtifact>,
+        Arc<ScheduleArtifact>,
+        Option<hlsb_lint::LintReport>,
+    ) {
+        let clock_ns = 1000.0 / flow.clock_mhz;
 
         // Front-end (cached, clock-independent).
         let timer = trace.start("front-end");
@@ -396,7 +409,7 @@ impl FlowSession {
             }
         });
         timer.done(
-            &mut trace,
+            trace,
             vec![("executions", executions), ("cache-hits", hits)],
         );
 
@@ -457,7 +470,7 @@ impl FlowSession {
                 (fe, baseline)
             });
         timer.done(
-            &mut trace,
+            trace,
             vec![("executions", executions), ("cache-hits", hits)],
         );
 
@@ -493,7 +506,7 @@ impl FlowSession {
                 snapshot,
             );
             timer.done(
-                &mut trace,
+                trace,
                 vec![
                     ("front-end-reused", 1),
                     ("diagnostics", report.diagnostics.len() as u64),
@@ -501,6 +514,36 @@ impl FlowSession {
             );
             report
         });
+
+        (front_end, schedule, lint)
+    }
+
+    /// The staged pipeline for one flow. `implement_threads` caps the
+    /// placement-trial parallelism (run_many sets it to 1 when flows
+    /// already run concurrently).
+    fn run_pipeline(
+        &self,
+        flow: &Flow,
+        implement_threads: usize,
+    ) -> Result<
+        (
+            ImplementationResult,
+            hlsb_netlist::Netlist,
+            hlsb_place::Placement,
+        ),
+        FlowError,
+    > {
+        if !(flow.clock_mhz.is_finite() && flow.clock_mhz > 0.0) {
+            return Err(FlowError::BadParameter {
+                what: format!("clock target {} MHz", flow.clock_mhz),
+            });
+        }
+        // Verification runs per flow, outside the cache: a cache hit must
+        // never mask an invalid design.
+        verify_design(&flow.design)?;
+        let mut trace = PassTrace::default();
+        let (front_end, schedule, lint) = self.stage_front_end_and_schedule(flow, &mut trace);
+        let design = front_end.design(&flow.design);
 
         // Lower: RTL generation + capacity check.
         let timer = trace.start("lower");
@@ -527,8 +570,14 @@ impl FlowSession {
 
         // Sign-off: assemble the result.
         let timer = trace.start("sign-off");
-        let (mut result, netlist, placement) =
-            passes::signoff::assemble(&flow.device, &schedule, lowered.info, imp, lint);
+        let (mut result, netlist, placement) = passes::signoff::assemble(
+            &flow.device,
+            &schedule,
+            design.concurrency,
+            lowered.info,
+            imp,
+            lint,
+        );
         timer.done(
             &mut trace,
             vec![("critical-cells", result.critical_cells.len() as u64)],

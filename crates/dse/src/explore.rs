@@ -1,0 +1,353 @@
+//! The exploration driver: candidate selection, batched evaluation,
+//! persistence, frontier extraction and semantics verification.
+
+use std::time::Instant;
+
+use hlsb::{CacheStats, Flow, FlowSession, PassRecord, PassTrace, StageCacheStats};
+use hlsb_fabric::Device;
+use hlsb_ir::Design;
+use hlsb_sim::Stimulus;
+
+use crate::objective::{pareto_indices, pareto_ranks, Metrics};
+use crate::space::{DseConfig, KnobSpace};
+use crate::store::{Record, ResultStore};
+use crate::strategy::{proxy_metrics, Strategy};
+
+/// Default iteration cap for the differential-simulation check of
+/// frontier configurations.
+pub const DEFAULT_VERIFY_ITERS: u64 = 32;
+
+/// One fully evaluated configuration in a [`DseReport`].
+#[derive(Debug, Clone)]
+pub struct EvaluatedPoint {
+    /// The configuration.
+    pub config: DseConfig,
+    /// Its [`Flow::config_key`].
+    pub key: u64,
+    /// Measured objectives (from the store or a fresh run — identical
+    /// either way, the pipeline is deterministic).
+    pub metrics: Metrics,
+    /// Whether the metrics were served from the persistent store.
+    pub from_store: bool,
+    /// Differential-simulation verdict, set for Pareto-optimal points
+    /// when verification is enabled: `Ok(())` when the cycle-accurate
+    /// trace matches the golden reference and the latency is consistent.
+    pub sim_check: Option<Result<(), String>>,
+}
+
+/// The outcome of one exploration run.
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// Strategy name (`grid` / `random` / `halving`).
+    pub strategy: &'static str,
+    /// Every configuration with full metrics, in evaluation order.
+    pub points: Vec<EvaluatedPoint>,
+    /// Indices into [`points`](DseReport::points) of the Pareto-optimal
+    /// configurations, fastest first.
+    pub frontier: Vec<usize>,
+    /// Cheap probe evaluations spent (successive halving only).
+    pub probe_evals: usize,
+    /// Full place-and-route evaluations spent.
+    pub full_evals: usize,
+    /// Configurations served from the persistent store.
+    pub store_hits: usize,
+    /// Candidates whose flow failed (e.g. the design does not fit the
+    /// device at that configuration) — excluded from the frontier.
+    pub infeasible: usize,
+    /// Candidates dropped because the budget was smaller than the
+    /// candidate set.
+    pub budget_dropped: usize,
+    /// Per-pass wall times and counters accumulated over every probe and
+    /// full run, plus a `dse` record with the evaluation counts and the
+    /// session cache hit/miss deltas of this exploration.
+    pub trace: PassTrace,
+    /// Front-end/schedule cache activity caused by this run.
+    pub cache_delta: StageCacheStats,
+}
+
+impl DseReport {
+    /// The Pareto-optimal points, fastest first.
+    pub fn frontier_points(&self) -> impl Iterator<Item = &EvaluatedPoint> {
+        self.frontier.iter().map(|&i| &self.points[i])
+    }
+
+    /// Whether every verified frontier point passed its differential
+    /// simulation (vacuously true when verification was disabled).
+    pub fn frontier_semantics_ok(&self) -> bool {
+        self.frontier_points()
+            .all(|p| !matches!(p.sim_check, Some(Err(_))))
+    }
+}
+
+/// Pareto design-space explorer over the broadcast-optimization knobs of
+/// one design/device pair.
+///
+/// ```no_run
+/// use hlsb::FlowSession;
+/// use hlsb_dse::{Explorer, KnobSpace, Strategy};
+/// # let bench = hlsb_benchmarks::all_benchmarks().remove(0);
+/// let session = FlowSession::new();
+/// let report = Explorer::new(&bench.design, &bench.device)
+///     .space(KnobSpace::optimization_cube(vec![250.0, 300.0]))
+///     .strategy(Strategy::SuccessiveHalving)
+///     .budget(8)
+///     .run(&session)
+///     .expect("store I/O");
+/// for p in report.frontier_points() {
+///     println!("{} {:.0} MHz", p.config.label(), p.metrics.fmax_mhz);
+/// }
+/// ```
+pub struct Explorer<'a> {
+    design: &'a Design,
+    device: &'a Device,
+    space: KnobSpace,
+    strategy: Strategy,
+    budget: usize,
+    seed: u64,
+    store: ResultStore,
+    verify_iters: u64,
+}
+
+impl<'a> Explorer<'a> {
+    /// An explorer over the default space (the optimization cube at
+    /// 300 MHz), grid strategy, unbounded budget, in-memory store.
+    pub fn new(design: &'a Design, device: &'a Device) -> Self {
+        Explorer {
+            design,
+            device,
+            space: KnobSpace::optimization_cube(vec![300.0]),
+            strategy: Strategy::Grid,
+            budget: usize::MAX,
+            seed: 1,
+            store: ResultStore::in_memory(),
+            verify_iters: DEFAULT_VERIFY_ITERS,
+        }
+    }
+
+    /// Sets the knob space to search.
+    pub fn space(mut self, space: KnobSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Sets the search strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Caps the number of *full-flow* evaluations (place-and-route runs).
+    /// Cheap probes are not budgeted — they are the point of the proxy
+    /// stage.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = budget.max(1);
+        self
+    }
+
+    /// Sets the base seed (sampling, placement noise streams).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches a result store (e.g. [`ResultStore::open`] on a JSONL
+    /// path) for dedup and resume-after-interrupt.
+    pub fn store(mut self, store: ResultStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Iteration cap for the differential-simulation check of frontier
+    /// configurations; `0` disables verification.
+    pub fn verify_iters(mut self, iters: u64) -> Self {
+        self.verify_iters = iters;
+        self
+    }
+
+    fn flow(&self, cfg: &DseConfig) -> Flow {
+        cfg.flow(self.design, self.device, self.seed)
+    }
+
+    /// Runs the search: selects candidates per the strategy, evaluates
+    /// them (store first, then batched [`FlowSession::run_many`]),
+    /// extracts the Pareto frontier and differentially simulates every
+    /// frontier configuration.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors of the persistent store. Per-candidate flow failures
+    /// are not errors — they are counted as
+    /// [`infeasible`](DseReport::infeasible) and skipped.
+    pub fn run(&mut self, session: &FlowSession) -> std::io::Result<DseReport> {
+        let t0 = Instant::now();
+        let stats0 = session.cache_stats_by_stage();
+        let mut trace = PassTrace::default();
+        let mut probe_evals = 0usize;
+        let mut budget_dropped = 0usize;
+
+        // Candidate selection.
+        let candidates: Vec<DseConfig> = match self.strategy {
+            Strategy::Grid => {
+                let mut all = self.space.enumerate();
+                if all.len() > self.budget {
+                    budget_dropped = all.len() - self.budget;
+                    all.truncate(self.budget);
+                }
+                all
+            }
+            Strategy::Random => self.space.sample_distinct(self.budget, self.seed),
+            Strategy::SuccessiveHalving => {
+                let all = self.space.enumerate();
+                let survivors = self.budget.min(all.len().div_ceil(2));
+                let mut ranked: Vec<(usize, Metrics)> = Vec::with_capacity(all.len());
+                for (i, cfg) in all.iter().enumerate() {
+                    // The probe is the cheap stage: front-end + schedule
+                    // + lint, no placement. Lint feeds the fmax proxy.
+                    let flow = self.flow(cfg).lint(true);
+                    match session.probe(&flow) {
+                        Ok(probe) => {
+                            probe_evals += 1;
+                            trace.merge(&probe.trace);
+                            ranked.push((i, proxy_metrics(cfg, &probe)));
+                        }
+                        Err(_) => {
+                            // Leave it to the full stage to classify; an
+                            // unprobeable candidate is simply not ranked.
+                        }
+                    }
+                }
+                let metrics: Vec<Metrics> = ranked.iter().map(|(_, m)| *m).collect();
+                let ranks = pareto_ranks(&metrics);
+                let mut order: Vec<usize> = (0..ranked.len()).collect();
+                order.sort_by(|&a, &b| {
+                    ranks[a]
+                        .cmp(&ranks[b])
+                        .then(metrics[a].report_order(&metrics[b]))
+                        .then(ranked[a].0.cmp(&ranked[b].0))
+                });
+                budget_dropped = ranked.len() - survivors.min(ranked.len());
+                order
+                    .into_iter()
+                    .take(survivors)
+                    .map(|i| all[ranked[i].0])
+                    .collect()
+            }
+        };
+
+        // Evaluation: the store answers first, the session runs the rest
+        // in one parallel batch.
+        let mut points: Vec<EvaluatedPoint> = Vec::with_capacity(candidates.len());
+        let mut fresh: Vec<(DseConfig, u64, Flow)> = Vec::new();
+        let mut store_hits = 0usize;
+        for cfg in &candidates {
+            let flow = self.flow(cfg);
+            let key = flow.config_key();
+            if let Some(rec) = self.store.get(key) {
+                store_hits += 1;
+                points.push(EvaluatedPoint {
+                    config: *cfg,
+                    key,
+                    metrics: rec.metrics,
+                    from_store: true,
+                    sim_check: None,
+                });
+            } else {
+                fresh.push((*cfg, key, flow));
+            }
+        }
+        let flows: Vec<Flow> = fresh.iter().map(|(_, _, f)| f.clone()).collect();
+        let results = session.run_many(&flows);
+        let mut full_evals = 0usize;
+        let mut infeasible = 0usize;
+        for ((cfg, key, _), result) in fresh.into_iter().zip(results) {
+            match result {
+                Ok(r) => {
+                    full_evals += 1;
+                    trace.merge(&r.trace);
+                    let metrics = Metrics::from_result(&r);
+                    self.store.insert(Record {
+                        key,
+                        design: self.design.name.clone(),
+                        config: cfg,
+                        metrics,
+                    })?;
+                    points.push(EvaluatedPoint {
+                        config: cfg,
+                        key,
+                        metrics,
+                        from_store: false,
+                        sim_check: None,
+                    });
+                }
+                Err(_) => infeasible += 1,
+            }
+        }
+
+        // Frontier extraction + differential simulation of every winner.
+        let metrics: Vec<Metrics> = points.iter().map(|p| p.metrics).collect();
+        let frontier = pareto_indices(&metrics);
+        let mut sim_checked = 0u64;
+        let mut sim_failed = 0u64;
+        if self.verify_iters > 0 {
+            let stim = Stimulus::seeded(self.design, 1, self.verify_iters as usize);
+            for &i in &frontier {
+                let flow = self.flow(&points[i].config);
+                let verdict = match session.simulate(&flow, &stim, self.verify_iters) {
+                    Ok(sim) => {
+                        trace.merge(&sim.trace);
+                        sim.check()
+                    }
+                    Err(e) => Err(e.to_string()),
+                };
+                sim_checked += 1;
+                if verdict.is_err() {
+                    sim_failed += 1;
+                }
+                points[i].sim_check = Some(verdict);
+            }
+        }
+
+        let stats1 = session.cache_stats_by_stage();
+        let cache_delta = StageCacheStats {
+            front_end: CacheStats {
+                hits: stats1.front_end.hits - stats0.front_end.hits,
+                misses: stats1.front_end.misses - stats0.front_end.misses,
+            },
+            schedule: CacheStats {
+                hits: stats1.schedule.hits - stats0.schedule.hits,
+                misses: stats1.schedule.misses - stats0.schedule.misses,
+            },
+        };
+        trace.records.push(PassRecord {
+            pass: "dse",
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            counters: vec![
+                ("probe-evals", probe_evals as u64),
+                ("full-evals", full_evals as u64),
+                ("store-hits", store_hits as u64),
+                ("infeasible", infeasible as u64),
+                ("budget-dropped", budget_dropped as u64),
+                ("frontier", frontier.len() as u64),
+                ("sim-checked", sim_checked),
+                ("sim-failed", sim_failed),
+                ("fe-cache-hits", cache_delta.front_end.hits),
+                ("fe-cache-misses", cache_delta.front_end.misses),
+                ("sched-cache-hits", cache_delta.schedule.hits),
+                ("sched-cache-misses", cache_delta.schedule.misses),
+            ],
+        });
+
+        Ok(DseReport {
+            strategy: self.strategy.name(),
+            points,
+            frontier,
+            probe_evals,
+            full_evals,
+            store_hits,
+            infeasible,
+            budget_dropped,
+            trace,
+            cache_delta,
+        })
+    }
+}

@@ -1,0 +1,92 @@
+//! Renderers for [`DseReport`]: a human-readable frontier table and a
+//! machine-readable JSONL stream.
+
+use crate::explore::{DseReport, EvaluatedPoint};
+use crate::store::Record;
+
+fn sim_tag(p: &EvaluatedPoint) -> &'static str {
+    match &p.sim_check {
+        None => "-",
+        Some(Ok(())) => "ok",
+        Some(Err(_)) => "FAIL",
+    }
+}
+
+/// The Pareto frontier as a fixed-width table, one row per non-dominated
+/// configuration, fastest first:
+///
+/// ```text
+/// config               fmax MHz   latency   area  src    sim
+/// BSKM @300 ×1 fast      312.5       1047  23456  run    ok
+/// ```
+pub fn frontier_table(report: &DseReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>9} {:>9} {:>7}  {:<5}  {}\n",
+        "config", "fmax MHz", "latency", "area", "src", "sim"
+    ));
+    for p in report.frontier_points() {
+        out.push_str(&format!(
+            "{:<20} {:>9.1} {:>9} {:>7}  {:<5}  {}\n",
+            p.config.label(),
+            p.metrics.fmax_mhz,
+            p.metrics.latency_cycles,
+            p.metrics.area_cells,
+            if p.from_store { "store" } else { "run" },
+            sim_tag(p),
+        ));
+    }
+    out
+}
+
+/// The frontier as JSON lines — the same flat schema as the persistent
+/// store, extended with `"pareto":true` and the simulation verdict.
+pub fn frontier_jsonl(report: &DseReport, design: &str) -> String {
+    let mut out = String::new();
+    for p in report.frontier_points() {
+        let rec = Record {
+            key: p.key,
+            design: design.to_string(),
+            config: p.config,
+            metrics: p.metrics,
+        };
+        let line = rec.to_json();
+        // Splice the extra fields before the closing brace.
+        let body = line.strip_suffix('}').unwrap_or(&line);
+        out.push_str(&format!(
+            "{body},\"pareto\":true,\"from_store\":{},\"sim\":\"{}\"}}\n",
+            p.from_store,
+            sim_tag(p),
+        ));
+    }
+    out
+}
+
+/// One-paragraph summary of the search effort: strategy, evaluation
+/// counts, store/cache reuse, frontier size and semantics verdict.
+pub fn summary_line(report: &DseReport) -> String {
+    format!(
+        "strategy={} points={} frontier={} probe-evals={} full-evals={} \
+         store-hits={} infeasible={} budget-dropped={} \
+         fe-cache={}/{} ({:.0}% hit) sched-cache={}/{} ({:.0}% hit) sim={}",
+        report.strategy,
+        report.points.len(),
+        report.frontier.len(),
+        report.probe_evals,
+        report.full_evals,
+        report.store_hits,
+        report.infeasible,
+        report.budget_dropped,
+        report.cache_delta.front_end.hits,
+        report.cache_delta.front_end.hits + report.cache_delta.front_end.misses,
+        report.cache_delta.front_end.hit_rate() * 100.0,
+        report.cache_delta.schedule.hits,
+        report.cache_delta.schedule.hits + report.cache_delta.schedule.misses,
+        report.cache_delta.schedule.hit_rate() * 100.0,
+        if report.frontier_semantics_ok() {
+            "ok"
+        } else {
+            "FAIL"
+        },
+    )
+}

@@ -1,0 +1,291 @@
+//! Persistent JSONL result store with dedup-by-config-key.
+//!
+//! Every full-flow evaluation appends one self-contained JSON line:
+//! the [`Flow::config_key`](hlsb::Flow::config_key) (which covers the
+//! design, device and every knob), the human-readable configuration, and
+//! the measured objectives. Reopening the store resumes an interrupted
+//! search: configurations whose key is already present are served from
+//! the store instead of re-running place-and-route, so a killed sweep
+//! continues where it stopped and converges to the same frontier as an
+//! uninterrupted run.
+//!
+//! The format is hand-rolled JSON (the workspace builds offline, no
+//! serde): floats are written in Rust's shortest round-trip notation, so
+//! a record read back is bit-identical to the one written. A trailing
+//! half-written line (from a kill mid-append) is skipped on load.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use hlsb::{OptimizationOptions, PlaceEffort};
+
+use crate::objective::Metrics;
+use crate::space::DseConfig;
+
+/// One persisted evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// [`Flow::config_key`](hlsb::Flow::config_key) of the evaluated
+    /// flow.
+    pub key: u64,
+    /// Design name (informational; the key is authoritative).
+    pub design: String,
+    /// The configuration.
+    pub config: DseConfig,
+    /// The measured objectives.
+    pub metrics: Metrics,
+}
+
+impl Record {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let o = &self.config.options;
+        format!(
+            "{{\"key\":{},\"design\":\"{}\",\"label\":\"{}\",\
+             \"broadcast_aware\":{},\"sync_pruning\":{},\"skid_buffer\":{},\"min_area_skid\":{},\
+             \"clock_mhz\":{:?},\"place_seeds\":{},\"effort\":\"{}\",\
+             \"fmax_mhz\":{:?},\"latency_cycles\":{},\"area_cells\":{}}}",
+            self.key,
+            hlsb_lint::render::json_escape(&self.design),
+            hlsb_lint::render::json_escape(&self.config.label()),
+            o.broadcast_aware,
+            o.sync_pruning,
+            o.skid_buffer,
+            o.min_area_skid,
+            self.config.clock_mhz,
+            self.config.place_seeds,
+            match self.config.effort {
+                PlaceEffort::Fast => "fast",
+                PlaceEffort::Normal => "normal",
+            },
+            self.metrics.fmax_mhz,
+            self.metrics.latency_cycles,
+            self.metrics.area_cells,
+        )
+    }
+
+    /// Parses one JSON line written by [`to_json`](Record::to_json).
+    /// Returns `None` for malformed input (e.g. a half-written trailing
+    /// line after a kill).
+    pub fn from_json(line: &str) -> Option<Record> {
+        let line = line.trim();
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return None;
+        }
+        let effort = match raw_field(line, "effort")? {
+            "\"fast\"" => PlaceEffort::Fast,
+            "\"normal\"" => PlaceEffort::Normal,
+            _ => return None,
+        };
+        Some(Record {
+            key: raw_field(line, "key")?.parse().ok()?,
+            design: string_field(line, "design")?,
+            config: DseConfig {
+                options: OptimizationOptions {
+                    broadcast_aware: bool_field(line, "broadcast_aware")?,
+                    sync_pruning: bool_field(line, "sync_pruning")?,
+                    skid_buffer: bool_field(line, "skid_buffer")?,
+                    min_area_skid: bool_field(line, "min_area_skid")?,
+                },
+                clock_mhz: raw_field(line, "clock_mhz")?.parse().ok()?,
+                place_seeds: raw_field(line, "place_seeds")?.parse().ok()?,
+                effort,
+            },
+            metrics: Metrics {
+                fmax_mhz: raw_field(line, "fmax_mhz")?.parse().ok()?,
+                latency_cycles: raw_field(line, "latency_cycles")?.parse().ok()?,
+                area_cells: raw_field(line, "area_cells")?.parse().ok()?,
+            },
+        })
+    }
+}
+
+/// The raw token of `"name":<token>` up to the next `,` or the closing
+/// `}` — sufficient for the flat records this store writes (string
+/// values contain no commas by construction of the labels).
+fn raw_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(&rest[..end])
+}
+
+fn bool_field(line: &str, name: &str) -> Option<bool> {
+    match raw_field(line, name)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+fn string_field(line: &str, name: &str) -> Option<String> {
+    let raw = raw_field(line, name)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Keyed store of evaluation records, optionally backed by a JSONL file.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    path: Option<PathBuf>,
+    file: Option<File>,
+    records: HashMap<u64, Record>,
+    /// Insertion order of keys (load order, then append order).
+    order: Vec<u64>,
+}
+
+impl ResultStore {
+    /// An unbacked store: dedup within one process, nothing persisted.
+    pub fn in_memory() -> Self {
+        ResultStore::default()
+    }
+
+    /// Opens (or creates) a file-backed store and loads every parseable
+    /// record. Later duplicates of a key win, matching append semantics.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or reading the file.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut store = ResultStore {
+            file: None,
+            records: HashMap::new(),
+            order: Vec::new(),
+            path: Some(path.clone()),
+        };
+        if path.exists() {
+            for line in BufReader::new(File::open(&path)?).lines() {
+                if let Some(rec) = Record::from_json(&line?) {
+                    store.remember(rec);
+                }
+            }
+        }
+        store.file = Some(OpenOptions::new().create(true).append(true).open(&path)?);
+        Ok(store)
+    }
+
+    /// The backing path, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of distinct configurations stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record for a configuration key, if present.
+    pub fn get(&self, key: u64) -> Option<&Record> {
+        self.records.get(&key)
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.order.iter().filter_map(|k| self.records.get(k))
+    }
+
+    /// Inserts a record, appending it to the backing file (flushed per
+    /// record, so a kill loses at most the line being written). A record
+    /// whose key is already present replaces the in-memory entry but is
+    /// still appended — the file is a log; loads keep the latest.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending to the backing file.
+    pub fn insert(&mut self, rec: Record) -> std::io::Result<()> {
+        if let Some(file) = &mut self.file {
+            writeln!(file, "{}", rec.to_json())?;
+            file.flush()?;
+        }
+        self.remember(rec);
+        Ok(())
+    }
+
+    fn remember(&mut self, rec: Record) {
+        if self.records.insert(rec.key, rec.clone()).is_none() {
+            self.order.push(rec.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(key: u64, fmax: f64) -> Record {
+        Record {
+            key,
+            design: "bench \"x\"".into(),
+            config: DseConfig {
+                options: OptimizationOptions::all(),
+                clock_mhz: 333.25,
+                place_seeds: 2,
+                effort: PlaceEffort::Fast,
+            },
+            metrics: Metrics {
+                fmax_mhz: fmax,
+                latency_cycles: 1047,
+                area_cells: 23456,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let rec = record(0xDEAD_BEEF_0BAD_F00D, 341.229_999_999_7);
+        let line = rec.to_json();
+        let back = Record::from_json(&line).expect("parses");
+        assert_eq!(back, rec, "round trip must be bit-exact:\n{line}");
+        assert!(Record::from_json("{\"key\":1").is_none(), "truncated line");
+        assert!(Record::from_json("").is_none());
+    }
+
+    #[test]
+    fn file_store_resumes_and_dedups() {
+        let dir = std::env::temp_dir().join("hlsb_dse_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("store_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = ResultStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        store.insert(record(1, 300.0)).unwrap();
+        store.insert(record(2, 250.0)).unwrap();
+        // Later write for the same key wins.
+        store.insert(record(1, 310.0)).unwrap();
+        assert_eq!(store.len(), 2);
+        drop(store);
+
+        // Simulate a kill mid-append: a trailing half-written line.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"key\":3,\"design\"").unwrap();
+        }
+
+        let resumed = ResultStore::open(&path).unwrap();
+        assert_eq!(resumed.len(), 2, "partial line skipped");
+        assert_eq!(resumed.get(1).unwrap().metrics.fmax_mhz, 310.0);
+        assert_eq!(resumed.get(2).unwrap().metrics.fmax_mhz, 250.0);
+        let keys: Vec<u64> = resumed.records().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_store_never_touches_disk() {
+        let mut store = ResultStore::in_memory();
+        store.insert(record(9, 200.0)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.path().is_none());
+    }
+}

@@ -147,6 +147,32 @@ impl LintReport {
         self.diagnostics.is_empty()
     }
 
+    /// Total estimated broadcast penalty across all findings, ns — the
+    /// report's scalar "broadcast score". Design-space exploration uses
+    /// it as a cheap fitness proxy: a configuration whose remaining
+    /// broadcasts carry less penalty is likelier to close timing.
+    pub fn total_penalty_ns(&self) -> f64 {
+        self.penalty_where(|_| true)
+    }
+
+    /// Total estimated penalty of findings from one rule id, ns.
+    pub fn penalty_for_rule(&self, id: &str) -> f64 {
+        self.penalty_where(|r| r == id)
+    }
+
+    /// Total estimated penalty of the findings whose rule id the
+    /// predicate selects, ns. The DSE proxy passes the rules a candidate
+    /// configuration does *not* remedy (BA01/BA02 ↔ broadcast-aware
+    /// scheduling, PC01 ↔ skid buffers, SY01 ↔ sync pruning), yielding
+    /// the residual penalty that configuration would still pay.
+    pub fn penalty_where(&self, select: impl Fn(&str) -> bool) -> f64 {
+        self.diagnostics
+            .iter()
+            .filter(|d| select(d.rule))
+            .map(|d| d.est_penalty_ns)
+            .sum()
+    }
+
     /// Renders the human-readable table.
     pub fn to_table(&self) -> String {
         crate::render::render_table(self)
@@ -219,5 +245,25 @@ mod tests {
         assert_eq!(r.count(Severity::Error), 1);
         assert_eq!(r.max_severity(), Some(Severity::Error));
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn penalty_scores_aggregate_per_rule() {
+        let r = LintReport {
+            design: "d".into(),
+            device: "dev".into(),
+            clock_mhz: 300.0,
+            diagnostics: vec![
+                diag("BA01", Severity::Warning),
+                diag("BA01", Severity::Warning),
+                diag("PC01", Severity::Error),
+            ],
+        };
+        assert!((r.total_penalty_ns() - 0.3).abs() < 1e-12);
+        assert!((r.penalty_for_rule("BA01") - 0.2).abs() < 1e-12);
+        assert!((r.penalty_for_rule("SY01")).abs() < 1e-12);
+        // Residual after remedying the data rules: only PC01 remains.
+        let residual = r.penalty_where(|rule| rule != "BA01" && rule != "BA02");
+        assert!((residual - 0.1).abs() < 1e-12);
     }
 }

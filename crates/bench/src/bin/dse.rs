@@ -5,7 +5,8 @@
 //! dse [--design <name>|all] [--strategy grid|random|halving]
 //!     [--clocks <mhz>[,<mhz>...]] [--budget <n>] [--seed <n>]
 //!     [--seeds <n>[,<n>...]] [--efforts fast|normal|both]
-//!     [--store <path>] [--format table|jsonl] [--verify-iters <n>] [--list]
+//!     [--store <path>] [--format table|jsonl] [--verify-iters <n>]
+//!     [--trace-out <path>] [--list]
 //! ```
 //!
 //! For every selected benchmark the explorer searches the paper's 4-bit
@@ -18,6 +19,9 @@
 //! space first and only the survivors are placed. `--store` persists
 //! results as JSONL keyed by the flow's config key — re-running with the
 //! same store resumes an interrupted sweep without re-placing anything.
+//! `--trace-out` enables span tracing on every fresh full evaluation and
+//! writes the collected trees as Chrome trace-event JSON (one process
+//! per evaluated configuration; load in Perfetto).
 //!
 //! Exit status is 2 on usage errors, 1 if any frontier configuration
 //! fails its differential-simulation check, 0 otherwise.
@@ -38,6 +42,7 @@ struct Args {
     store: Option<String>,
     format: Format,
     verify_iters: u64,
+    trace_out: Option<String>,
     list: bool,
 }
 
@@ -53,7 +58,7 @@ fn usage() {
          \x20          [--clocks <mhz>[,<mhz>...]] [--budget <n>] [--seed <n>]\n\
          \x20          [--seeds <n>[,<n>...]] [--efforts fast|normal|both]\n\
          \x20          [--store <path>] [--format table|jsonl]\n\
-         \x20          [--verify-iters <n>] [--list]"
+         \x20          [--verify-iters <n>] [--trace-out <path>] [--list]"
     );
 }
 
@@ -79,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         store: None,
         format: Format::Table,
         verify_iters: DEFAULT_VERIFY_ITERS,
+        trace_out: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -135,6 +141,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--verify-iters needs a value")?;
                 args.verify_iters = v.parse().map_err(|_| format!("bad verify-iters `{v}`"))?;
             }
+            "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             f => return Err(format!("unknown flag `{f}`")),
@@ -143,7 +150,11 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn explore(bench: &Benchmark, args: &Args, session: &FlowSession) -> std::io::Result<bool> {
+fn explore(
+    bench: &Benchmark,
+    args: &Args,
+    session: &FlowSession,
+) -> std::io::Result<(bool, Vec<(String, hlsb::TraceTree)>)> {
     let clocks = args
         .clocks_mhz
         .clone()
@@ -159,13 +170,14 @@ fn explore(bench: &Benchmark, args: &Args, session: &FlowSession) -> std::io::Re
         Some(path) => ResultStore::open(path)?,
         None => ResultStore::in_memory(),
     };
-    let report = Explorer::new(&bench.design, &bench.device)
+    let mut report = Explorer::new(&bench.design, &bench.device)
         .space(space)
         .strategy(args.strategy)
         .budget(args.budget)
         .seed(args.seed)
         .store(store)
         .verify_iters(args.verify_iters)
+        .trace(args.trace_out.is_some())
         .run(session)?;
 
     match args.format {
@@ -177,7 +189,11 @@ fn explore(bench: &Benchmark, args: &Args, session: &FlowSession) -> std::io::Re
         }
         Format::Jsonl => print!("{}", report::frontier_jsonl(&report, &bench.design.name)),
     }
-    Ok(report.frontier_semantics_ok())
+    let trees = std::mem::take(&mut report.span_trees)
+        .into_iter()
+        .map(|(label, tree)| (format!("{} {label}", bench.design.name), tree))
+        .collect();
+    Ok((report.frontier_semantics_ok(), trees))
 }
 
 fn main() -> ExitCode {
@@ -226,14 +242,32 @@ fn main() -> ExitCode {
 
     let session = FlowSession::new();
     let mut semantics_ok = true;
+    let mut traces: Vec<(String, hlsb::TraceTree)> = Vec::new();
     for bench in selected {
         match explore(bench, &args, &session) {
-            Ok(ok) => semantics_ok &= ok,
+            Ok((ok, trees)) => {
+                semantics_ok &= ok;
+                traces.extend(trees);
+            }
             Err(e) => {
                 eprintln!("dse: store I/O failed for {}: {e}", bench.name);
                 return ExitCode::from(2);
             }
         }
+    }
+    if let Some(path) = &args.trace_out {
+        let runs: Vec<(&str, &hlsb::TraceTree)> = traces
+            .iter()
+            .map(|(label, t)| (label.as_str(), t))
+            .collect();
+        if let Err(e) = std::fs::write(path, hlsb::chrome_trace(&runs)) {
+            eprintln!("dse: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote Chrome trace for {} evaluations to {path}",
+            runs.len()
+        );
     }
     if !semantics_ok {
         eprintln!("dse: a frontier configuration FAILED its differential simulation");

@@ -1,13 +1,14 @@
 //! Diagnostic tool: prints the critical path of a benchmark under a given
-//! optimization setting.
+//! optimization setting, plus the run's span trace with the decision
+//! provenance (which chains were split, what was pruned, where skid
+//! buffers landed).
 //!
 //! ```text
 //! explain <benchmark-name-substring> [none|data|skid|all]
 //! ```
 
 use hlsb::{Flow, OptimizationOptions};
-use hlsb_bench::SEED;
-use hlsb_benchmarks::all_benchmarks;
+use hlsb_bench::{find_benchmark, SEED};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,20 +21,7 @@ fn main() {
         _ => OptimizationOptions::none(),
     };
 
-    let bench = if name.contains("dotscale") {
-        hlsb_benchmarks::Benchmark {
-            name: "dot-scale 512",
-            broadcast_type: "Pipe. Ctrl.",
-            design: hlsb_benchmarks::vector_arith::dot_scale_pipeline(512),
-            device: hlsb::fabric::Device::ultrascale_plus_vu9p(),
-            clock_mhz: 333.0,
-        }
-    } else {
-        all_benchmarks()
-            .into_iter()
-            .find(|b| b.name.to_lowercase().contains(&name.to_lowercase()))
-            .unwrap_or_else(|| panic!("no benchmark matching '{name}'"))
-    };
+    let bench = find_benchmark(name).unwrap_or_else(|| panic!("no benchmark matching '{name}'"));
     println!("== {} ({level}) on {} ==", bench.name, bench.device);
 
     let (result, netlist, placement) = Flow::new(bench.design.clone())
@@ -41,6 +29,7 @@ fn main() {
         .clock_mhz(bench.clock_mhz)
         .options(options)
         .seed(SEED)
+        .trace(true)
         .run_detailed()
         .expect("flow");
 
@@ -63,4 +52,13 @@ fn main() {
     let wire = hlsb::fabric::WireModel::for_device(&bench.device);
     print!("{}", result.timing.path_text(&netlist, &placement, &wire));
     println!("stats: {}", result.stats);
+
+    let tree = result.trace_tree().expect("flow ran with tracing enabled");
+    println!();
+    println!("decision provenance:");
+    print!("{}", tree.render());
+    if !tree.metrics.is_empty() {
+        println!();
+        print!("{}", tree.metrics.render());
+    }
 }

@@ -123,26 +123,25 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let selected: Vec<&Benchmark> = if args.design == "all" {
-        benches.iter().collect()
-    } else {
+    let selected: Vec<Benchmark> = if args.design == "all" {
         benches
-            .iter()
-            .filter(|b| b.design.name == args.design)
-            .collect()
+    } else {
+        match hlsb_bench::find_benchmark(&args.design) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!(
+                    "lint: no benchmark matching `{}` (try --list; one of: {})",
+                    args.design,
+                    benches
+                        .iter()
+                        .map(|b| b.design.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
     };
-    if selected.is_empty() {
-        eprintln!(
-            "lint: no benchmark named `{}` (try --list; one of: {})",
-            args.design,
-            benches
-                .iter()
-                .map(|b| b.design.name.as_str())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-        return ExitCode::from(2);
-    }
 
     let reports: Vec<LintReport> = selected.iter().map(|b| lint_benchmark(b, &args)).collect();
     match args.format {

@@ -1,7 +1,7 @@
 //! Differential simulation check over the Table-1 benchmarks.
 //!
 //! ```text
-//! simcheck [--json]
+//! simcheck [--json] [--design <name-substring>] [--trace-out <path>]
 //! ```
 //!
 //! For every benchmark and every point of the optimization cube
@@ -13,12 +13,15 @@
 //! 72 variant runs finish in seconds.
 //!
 //! `--json` emits one JSON line per variant (and a final `summary` line)
-//! instead of the table, for machine consumption in CI. In both modes the
+//! instead of the table, for machine consumption in CI. `--design`
+//! restricts the sweep to one benchmark (substring match, same resolver
+//! as `explain`/`sweep`). `--trace-out` records a span trace per variant
+//! and writes the batch as Chrome trace-event JSON. In all modes the
 //! exit status is 1 when any variant fails its check, 0 otherwise.
 
 use hlsb::lint::render::json_escape;
 use hlsb::sim::Stimulus;
-use hlsb::{Flow, FlowSession, OptimizationOptions};
+use hlsb::{chrome_trace, Flow, FlowSession, OptimizationOptions, TraceTree};
 use hlsb_benchmarks::all_benchmarks;
 use std::process::ExitCode;
 
@@ -46,13 +49,42 @@ fn combos() -> Vec<(String, OptimizationOptions)> {
 }
 
 fn main() -> ExitCode {
-    let json = match std::env::args().nth(1).as_deref() {
-        None => false,
-        Some("--json") => true,
-        Some(_) => {
-            eprintln!("usage: simcheck [--json]");
-            return ExitCode::from(2);
+    let mut json = false;
+    let mut design: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--design" => match it.next() {
+                Some(d) => design = Some(d),
+                None => {
+                    eprintln!("simcheck: --design needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p),
+                None => {
+                    eprintln!("simcheck: --trace-out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: simcheck [--json] [--design <name>] [--trace-out <path>]");
+                return ExitCode::from(2);
+            }
         }
+    }
+    let benches = match &design {
+        Some(name) => match hlsb_bench::find_benchmark(name) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("simcheck: no benchmark matching `{name}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => all_benchmarks(),
     };
 
     let session = FlowSession::new();
@@ -66,16 +98,21 @@ fn main() -> ExitCode {
     }
     let mut failures = 0usize;
     let mut variants = 0usize;
-    for bench in all_benchmarks() {
+    let mut traces: Vec<(String, TraceTree)> = Vec::new();
+    for bench in benches {
         let stim = Stimulus::seeded(&bench.design, 1, ITERS_CAP as usize);
         for (name, opts) in combos() {
             let flow = Flow::new(bench.design.clone())
                 .device(bench.device.clone())
                 .clock_mhz(bench.clock_mhz)
-                .options(opts);
-            let sim = session
+                .options(opts)
+                .trace(trace_out.is_some());
+            let mut sim = session
                 .simulate(&flow, &stim, ITERS_CAP)
                 .expect("benchmark designs are valid");
+            if let Some(tree) = sim.span_tree.take() {
+                traces.push((format!("{} [{name}]", bench.name), tree));
+            }
             let verdict = sim.check();
             let stalls: u64 = sim.timed.per_loop.iter().map(|r| r.stall_cycles).sum();
             let gated: u64 = sim.timed.per_loop.iter().map(|r| r.gated_cycles).sum();
@@ -133,6 +170,17 @@ fn main() -> ExitCode {
             stats.schedule.hits,
             stats.schedule.misses,
         );
+    }
+    if let Some(path) = trace_out {
+        let runs: Vec<(&str, &TraceTree)> = traces
+            .iter()
+            .map(|(label, t)| (label.as_str(), t))
+            .collect();
+        if let Err(e) = std::fs::write(&path, chrome_trace(&runs)) {
+            eprintln!("simcheck: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote Chrome trace for {} variants to {path}", runs.len());
     }
     if failures > 0 {
         eprintln!("simcheck: {failures} variant(s) FAILED");

@@ -3,33 +3,45 @@
 //! the physical fabric has the last word).
 //!
 //! ```text
-//! sweep <benchmark-name-substring> [none|data|skid|all]
+//! sweep <benchmark-name-substring> [none|data|skid|all] [--trace-out <path>]
 //! ```
 //!
 //! The targets run through one [`hlsb::FlowSession`]: the front-end
 //! artifact is clock-independent, so all seven flows unroll once and the
 //! sweep parallelizes across clock targets up to the thread budget.
+//! `--trace-out` records a span trace per target and writes the batch as
+//! Chrome trace-event JSON (one process per clock target; load in
+//! Perfetto or `chrome://tracing`).
 
-use hlsb::{Flow, FlowSession, OptimizationOptions};
-use hlsb_bench::{expect_all, pass_summary, SEED};
-use hlsb_benchmarks::all_benchmarks;
+use hlsb::{chrome_trace, Flow, FlowSession, OptimizationOptions};
+use hlsb_bench::{expect_all, find_benchmark, pass_summary, SEED};
 
 const TARGETS: [f64; 7] = [150.0, 200.0, 250.0, 300.0, 333.0, 400.0, 500.0];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map(String::as_str).unwrap_or("genome");
-    let level = args.get(2).map(String::as_str).unwrap_or("all");
+    let mut positional: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("sweep: --trace-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let name = positional.first().map(String::as_str).unwrap_or("genome");
+    let level = positional.get(1).map(String::as_str).unwrap_or("all");
     let options = match level {
         "all" => OptimizationOptions::all(),
         "data" => OptimizationOptions::data_only(),
         "skid" => OptimizationOptions::skid_plain(),
         _ => OptimizationOptions::none(),
     };
-    let bench = all_benchmarks()
-        .into_iter()
-        .find(|b| b.name.to_lowercase().contains(&name.to_lowercase()))
-        .unwrap_or_else(|| panic!("no benchmark matching '{name}'"));
+    let bench = find_benchmark(name).unwrap_or_else(|| panic!("no benchmark matching '{name}'"));
 
     println!("clock-target sweep: {} ({level})", bench.name);
     println!(
@@ -44,6 +56,7 @@ fn main() {
                 .clock_mhz(target)
                 .options(options)
                 .seed(SEED)
+                .trace(trace_out.is_some())
         })
         .collect();
     let labels: Vec<String> = TARGETS
@@ -63,4 +76,17 @@ fn main() {
     }
     println!();
     println!("{}", pass_summary(&results, &session));
+
+    if let Some(path) = trace_out {
+        let runs: Vec<(&str, &hlsb::TraceTree)> = labels
+            .iter()
+            .zip(&results)
+            .filter_map(|(label, r)| r.span_tree.as_ref().map(|t| (label.as_str(), t)))
+            .collect();
+        std::fs::write(&path, chrome_trace(&runs)).unwrap_or_else(|e| {
+            eprintln!("sweep: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote Chrome trace for {} runs to {path}", runs.len());
+    }
 }

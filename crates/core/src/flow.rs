@@ -28,6 +28,7 @@ pub struct Flow {
     pub(crate) effort: PlaceEffort,
     pub(crate) place_seeds: u32,
     pub(crate) lint: bool,
+    pub(crate) trace: bool,
 }
 
 impl Flow {
@@ -43,6 +44,7 @@ impl Flow {
             effort: PlaceEffort::Normal,
             place_seeds: 3,
             lint: false,
+            trace: false,
         }
     }
 
@@ -97,6 +99,25 @@ impl Flow {
     /// [`ImplementationResult::trace`].
     pub fn lint(mut self, enabled: bool) -> Self {
         self.lint = enabled;
+        self
+    }
+
+    /// Enables hierarchical span tracing with decision provenance
+    /// ([`hlsb_trace`]): the run records a span per pipeline stage (and
+    /// per placement trial) plus the individual optimization decisions —
+    /// chain splits, done-signal pruning, skid-buffer placement — and
+    /// attaches the tree to
+    /// [`ImplementationResult::span_tree`](crate::ImplementationResult::span_tree)
+    /// (also [`SimulationOutcome`](crate::SimulationOutcome) and
+    /// [`ProbeOutcome`](crate::ProbeOutcome)). The flat
+    /// [`PassTrace`](crate::PassTrace) is then *derived* from the tree, so
+    /// the two views cannot drift. Off by default: the disabled collector
+    /// reads no clock and allocates nothing, and tracing never affects
+    /// the implementation result (it is excluded from [`config_key`]).
+    ///
+    /// [`config_key`]: Flow::config_key
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
         self
     }
 

@@ -63,10 +63,15 @@ pub use cache::{CacheStats, StageCacheStats};
 pub use error::FlowError;
 pub use flow::Flow;
 pub use options::{OptimizationOptions, PlaceEffort};
-pub use passes::{FrontEndArtifact, ScheduleArtifact};
+pub use passes::{FrontEndArtifact, LoopFrontEndInfo, LoopScheduleTrace, ScheduleArtifact};
 pub use result::{ImplementationResult, Utilization};
 pub use session::{FlowSession, ProbeOutcome, SimulationOutcome};
 pub use trace::{PassRecord, PassTrace};
+
+// The span-tracing surface (crate `hlsb-trace`), re-exported so flow
+// consumers can inspect [`ImplementationResult::span_tree`] and export
+// traces without naming the sub-crate.
+pub use hlsb_trace::{chrome_trace, MetricsRegistry, TraceTree, Tracer};
 
 // Re-export the sub-crates for downstream convenience.
 pub use hlsb_ctrl as ctrl;
@@ -81,3 +86,4 @@ pub use hlsb_sched as sched;
 pub use hlsb_sim as sim;
 pub use hlsb_sync as sync;
 pub use hlsb_timing as timing;
+pub use hlsb_trace as spantrace;

@@ -5,6 +5,23 @@ use hlsb_ir::unroll::unroll_loop;
 use hlsb_ir::{Design, Loop};
 use hlsb_sync::split_dataflow_design;
 
+/// Per-loop front-end provenance: what the unroller and DCE actually did.
+/// Stored in the (cached) artifact, so the decision events replayed into
+/// the span tracer are identical for cold and cache-hit runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopFrontEndInfo {
+    /// Kernel name.
+    pub kernel: String,
+    /// Loop name.
+    pub looop: String,
+    /// Applied unroll factor (1 = untouched).
+    pub unroll: u32,
+    /// Instruction count after unrolling, before DCE.
+    pub insts_unrolled: usize,
+    /// Instructions removed by dead-code elimination.
+    pub dce_removed: usize,
+}
+
 /// The front-end's output: the effective design plus every loop body
 /// after unrolling and DCE, in `unrolled[kernel][loop]` order.
 ///
@@ -21,6 +38,11 @@ pub struct FrontEndArtifact {
     /// Unrolled + dead-code-eliminated loop bodies of the effective
     /// design.
     pub unrolled: Vec<Vec<Loop>>,
+    /// Number of loops the dataflow splitter split (0 when splitting was
+    /// off or changed nothing).
+    pub loops_split: usize,
+    /// Per-loop unroll/DCE provenance, in `unrolled` order (flattened).
+    pub loop_info: Vec<LoopFrontEndInfo>,
 }
 
 impl FrontEndArtifact {
@@ -40,13 +62,18 @@ impl FrontEndArtifact {
 /// splitting) before unrolling. Infallible: the session verifies the
 /// design before calling (cache hits must not skip verification errors).
 pub(crate) fn run(design: &Design, split: bool) -> FrontEndArtifact {
-    let split_design = if split {
+    let (split_design, loops_split) = if split {
         let (out, report) = split_dataflow_design(design);
-        (report.loops_split > 0).then_some(out)
+        if report.loops_split > 0 {
+            (Some(out), report.loops_split)
+        } else {
+            (None, 0)
+        }
     } else {
-        None
+        (None, 0)
     };
     let effective = split_design.as_ref().unwrap_or(design);
+    let mut loop_info = Vec::new();
     let unrolled = effective
         .kernels
         .iter()
@@ -56,8 +83,16 @@ pub(crate) fn run(design: &Design, split: bool) -> FrontEndArtifact {
                 .iter()
                 .map(|lp| {
                     let mut unrolled = unroll_loop(lp).looop;
+                    let before = unrolled.body.len();
                     // Dead code elimination, as any HLS front-end performs.
                     let (body, _) = unrolled.body.eliminate_dead();
+                    loop_info.push(LoopFrontEndInfo {
+                        kernel: kernel.name.clone(),
+                        looop: lp.name.clone(),
+                        unroll: lp.unroll.max(1),
+                        insts_unrolled: before,
+                        dce_removed: before - body.len(),
+                    });
                     unrolled.body = body;
                     unrolled
                 })
@@ -67,5 +102,7 @@ pub(crate) fn run(design: &Design, split: bool) -> FrontEndArtifact {
     FrontEndArtifact {
         split_design,
         unrolled,
+        loops_split,
+        loop_info,
     }
 }

@@ -24,9 +24,27 @@ pub(crate) struct ImplementOutput {
     pub retime: RetimeReport,
 }
 
+/// Deterministic per-trial provenance, captured inside the worker that
+/// ran the trial. The timing window (`start_us`/`dur_us`, relative to the
+/// session tracer's epoch) is informational only — everything else is a
+/// pure function of the netlist and seed, so trial spans built from these
+/// summaries are identical for sequential and parallel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TrialSummary {
+    pub idx: u32,
+    pub seed: u64,
+    pub period_ns: f64,
+    pub fmax_mhz: f64,
+    pub duplicated_regs: usize,
+    pub retime_moves: usize,
+    pub start_us: f64,
+    pub dur_us: f64,
+}
+
 struct TrialOutcome {
     idx: u32,
     out: ImplementOutput,
+    summary: TrialSummary,
 }
 
 /// Sequential selection order: a later trial wins only on strictly
@@ -45,13 +63,25 @@ fn run_trial(
     wire: &WireModel,
     anneal: AnnealConfig,
     base_seed: u64,
+    tracer: &hlsb_trace::Tracer,
 ) -> TrialOutcome {
+    let start_us = tracer.now_us();
     let seed = hlsb_rng::derive_seed(base_seed, u64::from(idx));
     let mut placement = place_with(&nl, device, seed, anneal);
     let fanout = optimize_fanout(&mut nl, &mut placement, FanoutOptions::default());
     let (rt, _) = retime(&mut nl, &mut placement, wire, RetimeOptions::default());
     // Timing-driven refinement, as physical synthesis would run.
     let (_refine, timing) = refine_critical(&nl, &mut placement, wire, RefineOptions::default());
+    let summary = TrialSummary {
+        idx,
+        seed,
+        period_ns: timing.period_ns,
+        fmax_mhz: timing.fmax_mhz,
+        duplicated_regs: fanout.duplicated_registers,
+        retime_moves: rt.moves,
+        start_us,
+        dur_us: tracer.now_us() - start_us,
+    };
     TrialOutcome {
         idx,
         out: ImplementOutput {
@@ -61,6 +91,7 @@ fn run_trial(
             fanout,
             retime: rt,
         },
+        summary,
     }
 }
 
@@ -69,6 +100,9 @@ fn run_trial(
 /// itself) and keeps the best-timing result. Trials run on up to
 /// `threads` scoped threads; a single trial consumes the netlist without
 /// cloning.
+///
+/// Returns the winning output plus every trial's summary (sorted by
+/// trial index) and the winner's index, for span-trace emission.
 pub(crate) fn run(
     netlist: Netlist,
     device: &Device,
@@ -76,7 +110,8 @@ pub(crate) fn run(
     effort: PlaceEffort,
     place_seeds: u32,
     threads: usize,
-) -> ImplementOutput {
+    tracer: &hlsb_trace::Tracer,
+) -> (ImplementOutput, Vec<TrialSummary>, u32) {
     let anneal = match effort {
         PlaceEffort::Fast => AnnealConfig {
             moves_per_cell: 12,
@@ -91,37 +126,50 @@ pub(crate) fn run(
     let trials = place_seeds.max(1);
 
     if trials == 1 {
-        return run_trial(netlist, 0, device, &wire, anneal, seed).out;
+        let t = run_trial(netlist, 0, device, &wire, anneal, seed, tracer);
+        return (t.out, vec![t.summary], 0);
     }
 
     let workers = threads.clamp(1, trials as usize);
-    let best = if workers == 1 {
+    let (best, mut summaries) = if workers == 1 {
         let mut best: Option<TrialOutcome> = None;
+        let mut summaries = Vec::with_capacity(trials as usize);
         for idx in 0..trials {
-            let t = run_trial(netlist.clone(), idx, device, &wire, anneal, seed);
+            let t = run_trial(netlist.clone(), idx, device, &wire, anneal, seed, tracer);
+            summaries.push(t.summary.clone());
             if best.as_ref().is_none_or(|b| better(&t, b)) {
                 best = Some(t);
             }
         }
-        best
+        (best, summaries)
     } else {
         let next = AtomicU32::new(0);
-        let worker_bests: Vec<Option<TrialOutcome>> = thread::scope(|s| {
+        let per_worker: Vec<(Option<TrialOutcome>, Vec<TrialSummary>)> = thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
                         let mut best: Option<TrialOutcome> = None;
+                        let mut summaries = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= trials {
                                 break;
                             }
-                            let t = run_trial(netlist.clone(), idx, device, &wire, anneal, seed);
+                            let t = run_trial(
+                                netlist.clone(),
+                                idx,
+                                device,
+                                &wire,
+                                anneal,
+                                seed,
+                                tracer,
+                            );
+                            summaries.push(t.summary.clone());
                             if best.as_ref().is_none_or(|b| better(&t, b)) {
                                 best = Some(t);
                             }
                         }
-                        best
+                        (best, summaries)
                     })
                 })
                 .collect();
@@ -130,10 +178,20 @@ pub(crate) fn run(
                 .map(|h| h.join().expect("placement trial panicked"))
                 .collect()
         });
-        worker_bests
-            .into_iter()
-            .flatten()
-            .reduce(|a, b| if better(&b, &a) { b } else { a })
+        let mut best: Option<TrialOutcome> = None;
+        let mut summaries = Vec::with_capacity(trials as usize);
+        for (wb, ws) in per_worker {
+            summaries.extend(ws);
+            if let Some(t) = wb {
+                if best.as_ref().is_none_or(|b| better(&t, b)) {
+                    best = Some(t);
+                }
+            }
+        }
+        (best, summaries)
     };
-    best.expect("at least one placement trial").out
+    // Deterministic emission order regardless of worker interleaving.
+    summaries.sort_by_key(|s| s.idx);
+    let best = best.expect("at least one placement trial");
+    (best.out, summaries, best.idx)
 }

@@ -22,5 +22,5 @@ pub(crate) mod lower;
 pub(crate) mod schedule;
 pub(crate) mod signoff;
 
-pub use front_end::FrontEndArtifact;
-pub use schedule::ScheduleArtifact;
+pub use front_end::{FrontEndArtifact, LoopFrontEndInfo};
+pub use schedule::{LoopScheduleTrace, ScheduleArtifact};

@@ -4,10 +4,35 @@
 use hlsb_delay::{CalibratedModel, HlsPredictedModel};
 use hlsb_fabric::Device;
 use hlsb_rtlgen::ScheduledLoop;
-use hlsb_sched::{schedule_loop, MemAccessPlan};
+use hlsb_sched::{schedule_loop, MemAccessPlan, SplitDecision};
 
 use crate::passes::FrontEndArtifact;
 use hlsb_ir::Design;
+
+/// Per-loop schedule provenance. Stored in the (cached) artifact so the
+/// decision events replayed into the span tracer are identical for cold
+/// and cache-hit runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopScheduleTrace {
+    /// Kernel name (effective design).
+    pub kernel: String,
+    /// Loop name.
+    pub looop: String,
+    /// Final pipeline depth, cycles.
+    pub depth: u32,
+    /// Final initiation interval.
+    pub ii: u32,
+    /// Broadcast-aware fix-point rounds (0 for the baseline scheduler).
+    pub rounds: usize,
+    /// Chain-split decisions, in decision order (empty for the baseline).
+    pub splits: Vec<SplitDecision>,
+    /// Violations left to physical optimization after all fixes.
+    pub residual: usize,
+    /// Extra memory pipeline stages: `(instruction index, stages)`,
+    /// sorted by instruction for determinism (the underlying plan is a
+    /// `HashMap`).
+    pub mem_stages: Vec<(u32, u32)>,
+}
 
 /// The schedule pass output: every loop scheduled, plus the summary
 /// numbers the final result reports.
@@ -22,6 +47,8 @@ pub struct ScheduleArtifact {
     /// Registers inserted by broadcast-aware scheduling (0 for the
     /// baseline).
     pub inserted_regs: usize,
+    /// Per-loop provenance, flattened in kernel-loop order.
+    pub loop_traces: Vec<LoopScheduleTrace>,
 }
 
 impl ScheduleArtifact {
@@ -76,26 +103,61 @@ pub(crate) fn run(
 
     let mut inserted_regs = 0usize;
     let mut depths = Vec::new();
+    let mut loop_traces = Vec::new();
     let mut loops = Vec::with_capacity(front_end.unrolled.len());
-    for kernel_loops in &front_end.unrolled {
+    for (ki, kernel_loops) in front_end.unrolled.iter().enumerate() {
+        let kernel_name = design
+            .kernels
+            .get(ki)
+            .map(|k| k.name.clone())
+            .unwrap_or_default();
         let mut ks = Vec::with_capacity(kernel_loops.len());
         for unrolled in kernel_loops {
-            let sl = if let Some(cal) = &calibrated {
+            let (sl, rounds, splits, residual) = if let Some(cal) = &calibrated {
                 let out = hlsb_sched::broadcast_aware(unrolled, design, &predicted, cal, clock_ns);
                 inserted_regs += out.inserted_regs;
-                ScheduledLoop {
-                    looop: out.looop,
-                    schedule: out.schedule,
-                    mem_plan: out.mem_plan,
-                }
+                let residual = out.residual_violations.len();
+                (
+                    ScheduledLoop {
+                        looop: out.looop,
+                        schedule: out.schedule,
+                        mem_plan: out.mem_plan,
+                    },
+                    out.rounds,
+                    out.splits,
+                    residual,
+                )
             } else {
                 let schedule = schedule_loop(unrolled, design, &predicted, clock_ns);
-                ScheduledLoop {
-                    looop: unrolled.clone(),
-                    schedule,
-                    mem_plan: MemAccessPlan::default(),
-                }
+                let residual = schedule.violations.len();
+                (
+                    ScheduledLoop {
+                        looop: unrolled.clone(),
+                        schedule,
+                        mem_plan: MemAccessPlan::default(),
+                    },
+                    0,
+                    Vec::<SplitDecision>::new(),
+                    residual,
+                )
             };
+            let mut mem_stages: Vec<(u32, u32)> = sl
+                .mem_plan
+                .extra_stages
+                .iter()
+                .map(|(id, stages)| (id.0, *stages))
+                .collect();
+            mem_stages.sort_unstable();
+            loop_traces.push(LoopScheduleTrace {
+                kernel: kernel_name.clone(),
+                looop: sl.looop.name.clone(),
+                depth: sl.schedule.depth,
+                ii: sl.schedule.ii,
+                rounds,
+                splits,
+                residual,
+                mem_stages,
+            });
             depths.push(sl.schedule.depth);
             ks.push(sl);
         }
@@ -105,5 +167,6 @@ pub(crate) fn run(
         loops,
         depths,
         inserted_regs,
+        loop_traces,
     }
 }

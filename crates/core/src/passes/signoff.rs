@@ -62,6 +62,7 @@ pub(crate) fn assemble(
         critical_cells,
         lint,
         trace: PassTrace::default(),
+        span_tree: None,
     };
     (result, netlist, placement)
 }

@@ -72,6 +72,11 @@ pub struct ImplementationResult {
     /// Per-pass wall times and counters for this run. Excluded from
     /// equality.
     pub trace: PassTrace,
+    /// Full hierarchical span trace with decision provenance, present
+    /// when the flow ran with [`Flow::trace`](crate::Flow::trace)
+    /// enabled. Excluded from equality (compare
+    /// [`hlsb_trace::TraceTree::normalized`] views instead).
+    pub span_tree: Option<hlsb_trace::TraceTree>,
 }
 
 impl PartialEq for ImplementationResult {
@@ -97,6 +102,11 @@ impl ImplementationResult {
     /// (percentage difference of Fmax).
     pub fn gain_over(&self, baseline: &ImplementationResult) -> f64 {
         100.0 * (self.fmax_mhz - baseline.fmax_mhz) / baseline.fmax_mhz
+    }
+
+    /// The hierarchical span trace, if the flow ran with tracing enabled.
+    pub fn trace_tree(&self) -> Option<&hlsb_trace::TraceTree> {
+        self.span_tree.as_ref()
     }
 }
 
@@ -135,6 +145,7 @@ mod tests {
             critical_cells: vec![],
             lint: None,
             trace: PassTrace::default(),
+            span_tree: None,
         }
     }
 

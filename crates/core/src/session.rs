@@ -13,6 +13,15 @@
 //!   in [`run_many`](FlowSession::run_many), run on scoped threads. The
 //!   reductions are order-independent, so results are bit-identical to a
 //!   single-threaded run.
+//! * **Observability.** With [`Flow::trace`] enabled, every run records
+//!   a hierarchical span tree ([`hlsb_trace`]) with one span per stage
+//!   and per placement trial, plus *decision events* — the individual
+//!   chain splits, done-signal prunings and skid-buffer placements the
+//!   optimizations perform. Decision payloads are replayed from data
+//!   stored in the (cached) stage artifacts, so cached and cold runs
+//!   produce equal trees under [`hlsb_trace::TraceTree::normalized`]
+//!   equality, and trial spans are emitted post-hoc in trial order so
+//!   parallel and sequential runs do too.
 //!
 //! Thread budget precedence: [`FlowSession::with_threads`] > the
 //! `HLSB_THREADS` environment variable > [`std::thread::available_parallelism`].
@@ -23,15 +32,69 @@ use std::thread;
 
 use hlsb_ir::verify::verify_design;
 use hlsb_lint::{FrontEndSnapshot, SnapshotLoop};
+use hlsb_trace::{SpanGuard, TraceTree, Tracer, Value};
 use std::borrow::Cow;
 
 use crate::cache::{self, ArtifactCache, CacheStats, StageCacheStats};
 use crate::error::FlowError;
 use crate::flow::Flow;
+use crate::options::{OptimizationOptions, PlaceEffort};
 use crate::passes::{self, FrontEndArtifact, ScheduleArtifact};
 use crate::result::ImplementationResult;
 use crate::trace::PassTrace;
 use hlsb_sim::{ControlModel, IoTrace, SimOptions, Stimulus, TimedOutcome};
+
+/// Histogram bucket bounds for the broadcast-factor distribution
+/// (`metrics.histogram("broadcast-factor")`): powers of two, the natural
+/// scale of unroll-driven fanout.
+const BROADCAST_FACTOR_BOUNDS: [f64; 8] = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Histogram bucket bounds for per-trial slack (`clock period − achieved
+/// period`, ns; negative = the trial missed the target).
+const SLACK_NS_BOUNDS: [f64; 8] = [-4.0, -2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0];
+
+/// Human-readable label of an option set, for the root span.
+fn options_label(o: &OptimizationOptions) -> String {
+    let mut parts = Vec::new();
+    if o.broadcast_aware {
+        parts.push("broadcast-aware");
+    }
+    if o.sync_pruning {
+        parts.push("sync-pruning");
+    }
+    if o.skid_buffer {
+        parts.push(if o.min_area_skid {
+            "skid-min-area"
+        } else {
+            "skid"
+        });
+    }
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join("+")
+    }
+}
+
+/// Copies stage counters onto the stage span as unsigned attributes, in
+/// counter order, so the [`PassTrace`] derived from the span tree
+/// ([`PassTrace::from_span_tree`]) is identical to the one the
+/// `PassTimer` path builds. Execution/cache-hit counts legitimately
+/// differ between cold and cached runs, so they are marked volatile:
+/// normalized trace equality (the cached ≡ cold guarantee) skips them,
+/// while the flat `PassRecord` view still reports them as counters.
+fn stage_counters(span: &SpanGuard, counters: &[(String, u64)]) {
+    if !span.is_enabled() {
+        return;
+    }
+    for (key, v) in counters {
+        if key == "executions" || key == "cache-hits" {
+            span.attr_volatile(key, *v);
+        } else {
+            span.attr(key, *v);
+        }
+    }
+}
 
 /// The output of [`FlowSession::probe`]: the cheap front half of the
 /// pipeline (front-end + schedule, plus the lint pre-pass when the flow
@@ -59,6 +122,15 @@ pub struct ProbeOutcome {
     /// schedule records mirror [`FlowSession::run_detailed`], so probes
     /// share cached artifacts with full runs).
     pub trace: PassTrace,
+    /// Hierarchical span trace, when the flow enables [`Flow::trace`].
+    pub span_tree: Option<TraceTree>,
+}
+
+impl ProbeOutcome {
+    /// The hierarchical span trace, if the flow ran with tracing enabled.
+    pub fn trace_tree(&self) -> Option<&TraceTree> {
+        self.span_tree.as_ref()
+    }
 }
 
 /// The output of [`FlowSession::simulate`]: the untimed golden trace, the
@@ -75,6 +147,8 @@ pub struct SimulationOutcome {
     pub timed: TimedOutcome,
     /// Per-pass wall times and counters for this simulation.
     pub trace: PassTrace,
+    /// Hierarchical span trace, when the flow enables [`Flow::trace`].
+    pub span_tree: Option<TraceTree>,
 }
 
 impl SimulationOutcome {
@@ -91,6 +165,11 @@ impl SimulationOutcome {
             return Err(format!("timed trace diverges from golden: {diff}"));
         }
         hlsb_sim::check_latency(&self.timed)
+    }
+
+    /// The hierarchical span trace, if the flow ran with tracing enabled.
+    pub fn trace_tree(&self) -> Option<&TraceTree> {
+        self.span_tree.as_ref()
     }
 }
 
@@ -241,6 +320,31 @@ impl FlowSession {
             .collect()
     }
 
+    /// Opens the root `flow` span for one run and stamps the flow's
+    /// configuration on it. The thread budget is volatile: it changes
+    /// with `HLSB_THREADS` but never the decisions, and normalized trace
+    /// equality must hold across thread counts.
+    fn flow_root(&self, tracer: &Tracer, flow: &Flow, mode: &str) -> SpanGuard {
+        let root = tracer.root("flow");
+        if root.is_enabled() {
+            root.attr("design", flow.design.name.as_str());
+            root.attr("mode", mode);
+            root.attr("clock-mhz", flow.clock_mhz);
+            root.attr("seed", flow.seed);
+            root.attr("options", options_label(&flow.options));
+            root.attr(
+                "effort",
+                match flow.effort {
+                    PlaceEffort::Fast => "fast",
+                    PlaceEffort::Normal => "normal",
+                },
+            );
+            root.attr("place-seeds", u64::from(flow.place_seeds));
+            root.attr_volatile("threads", self.threads as u64);
+        }
+        root
+    }
+
     /// Simulates one flow variant instead of implementing it: runs the
     /// untimed golden evaluator over the flow's front-end output and the
     /// cycle-accurate simulator over its scheduled loops, with the flow's
@@ -270,13 +374,21 @@ impl FlowSession {
             });
         }
         verify_design(&flow.design)?;
+        let tracer = if flow.trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let root = self.flow_root(&tracer, flow, "simulate");
         let mut trace = PassTrace::default();
-        let (front_end, schedule, _lint) = self.stage_front_end_and_schedule(flow, &mut trace);
+        let (front_end, schedule, _lint) =
+            self.stage_front_end_and_schedule(flow, &mut trace, &root);
         let design = front_end.design(&flow.design);
 
         // Simulate: untimed reference, then the scheduled design cycle by
         // cycle under the flow's control model.
         let timer = trace.start("simulate");
+        let span = root.child("simulate");
         let golden = hlsb_sim::golden_trace(design, &front_end.unrolled, stim, iters_cap);
         let opts = SimOptions {
             control: if flow.options.skid_buffer {
@@ -291,24 +403,33 @@ impl FlowSession {
         let timed = hlsb_sim::simulate_design(design, &schedule.loops, stim, &opts);
         let stall_cycles: u64 = timed.per_loop.iter().map(|r| r.stall_cycles).sum();
         let gated_cycles: u64 = timed.per_loop.iter().map(|r| r.gated_cycles).sum();
-        timer.done(
-            &mut trace,
-            vec![
-                ("cycles", timed.cycles),
-                ("stall-cycles", stall_cycles),
-                ("gated-cycles", gated_cycles),
-                ("values", golden.len() as u64),
-                (
-                    "trace-match",
-                    u64::from(timed.trace.diff(&golden).is_none()),
-                ),
-                ("finished", u64::from(timed.finished)),
-            ],
-        );
+        let counters = vec![
+            ("cycles".to_string(), timed.cycles),
+            ("stall-cycles".to_string(), stall_cycles),
+            ("gated-cycles".to_string(), gated_cycles),
+            ("values".to_string(), golden.len() as u64),
+            (
+                "trace-match".to_string(),
+                u64::from(timed.trace.diff(&golden).is_none()),
+            ),
+            ("finished".to_string(), u64::from(timed.finished)),
+        ];
+        stage_counters(&span, &counters);
+        span.finish();
+        timer.done(&mut trace, counters);
+        let span_tree = if flow.trace {
+            root.finish();
+            let tree = tracer.take_tree();
+            trace = PassTrace::from_span_tree(&tree);
+            Some(tree)
+        } else {
+            None
+        };
         Ok(SimulationOutcome {
             golden,
             timed,
             trace,
+            span_tree,
         })
     }
 
@@ -335,10 +456,25 @@ impl FlowSession {
             });
         }
         verify_design(&flow.design)?;
+        let tracer = if flow.trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let root = self.flow_root(&tracer, flow, "probe");
         let mut trace = PassTrace::default();
-        let (front_end, schedule, lint) = self.stage_front_end_and_schedule(flow, &mut trace);
+        let (front_end, schedule, lint) =
+            self.stage_front_end_and_schedule(flow, &mut trace, &root);
         let design = front_end.design(&flow.design);
         let instructions = design.kernels.iter().map(|k| k.inst_count()).sum();
+        let span_tree = if flow.trace {
+            root.finish();
+            let tree = tracer.take_tree();
+            trace = PassTrace::from_span_tree(&tree);
+            Some(tree)
+        } else {
+            None
+        };
         Ok(ProbeOutcome {
             schedule_depths: schedule.depths.clone(),
             latency_cycles: schedule.latency_cycles(design.concurrency),
@@ -347,6 +483,7 @@ impl FlowSession {
             instructions,
             lint,
             trace,
+            span_tree,
         })
     }
 
@@ -357,11 +494,18 @@ impl FlowSession {
     /// when the flow enables it. All three entry points therefore address
     /// identical artifacts.
     ///
+    /// Stage spans go under `root`; decision events are replayed from the
+    /// provenance stored in the artifacts
+    /// ([`FrontEndArtifact::loop_info`],
+    /// [`ScheduleArtifact::loop_traces`]), so a cache hit emits the same
+    /// events as the run that built the artifact.
+    ///
     /// [`run_detailed`]: FlowSession::run_detailed
     fn stage_front_end_and_schedule(
         &self,
         flow: &Flow,
         trace: &mut PassTrace,
+        root: &SpanGuard,
     ) -> (
         Arc<FrontEndArtifact>,
         Arc<ScheduleArtifact>,
@@ -371,6 +515,7 @@ impl FlowSession {
 
         // Front-end (cached, clock-independent).
         let timer = trace.start("front-end");
+        let span = root.child("front-end");
         let design_hash = cache::hash_debug(&flow.design);
         let fe_key = cache::front_end_key(design_hash, flow.options.sync_pruning);
         let mut executions = 0u64;
@@ -408,15 +553,47 @@ impl FlowSession {
                 Arc::clone(&front_end)
             }
         });
-        timer.done(
-            trace,
-            vec![("executions", executions), ("cache-hits", hits)],
-        );
+        let dce_removed: u64 = front_end
+            .loop_info
+            .iter()
+            .map(|l| l.dce_removed as u64)
+            .sum();
+        let counters = vec![
+            ("executions".to_string(), executions),
+            ("cache-hits".to_string(), hits),
+            ("loops-split".to_string(), front_end.loops_split as u64),
+            ("dce-removed".to_string(), dce_removed),
+        ];
+        stage_counters(&span, &counters);
+        if span.is_enabled() {
+            if front_end.loops_split > 0 {
+                hlsb_trace::event!(span, "front-end.split",
+                    "loops-split" => front_end.loops_split as u64);
+            }
+            for info in &front_end.loop_info {
+                if info.unroll > 1 {
+                    hlsb_trace::event!(span, "front-end.unroll",
+                        "kernel" => info.kernel.as_str(),
+                        "loop" => info.looop.as_str(),
+                        "factor" => u64::from(info.unroll),
+                        "insts" => info.insts_unrolled as u64);
+                }
+                if info.dce_removed > 0 {
+                    hlsb_trace::event!(span, "front-end.dce",
+                        "kernel" => info.kernel.as_str(),
+                        "loop" => info.looop.as_str(),
+                        "removed" => info.dce_removed as u64);
+                }
+            }
+        }
+        span.finish();
+        timer.done(trace, counters);
 
         // Schedule (cached). Keyed by front-end *content*: an identity
         // split shares schedules with the unsplit variants.
         let design = front_end.design(&flow.design);
         let timer = trace.start("schedule");
+        let span = root.child("schedule");
         let device_hash = cache::hash_debug(&flow.device);
         let content_fe_key = if front_end.split_changed() {
             fe_key
@@ -469,15 +646,68 @@ impl FlowSession {
                 }
                 (fe, baseline)
             });
-        timer.done(
-            trace,
-            vec![("executions", executions), ("cache-hits", hits)],
-        );
+        let splits: u64 = schedule
+            .loop_traces
+            .iter()
+            .map(|lt| lt.splits.len() as u64)
+            .sum();
+        let residual: u64 = schedule
+            .loop_traces
+            .iter()
+            .map(|lt| lt.residual as u64)
+            .sum();
+        let counters = vec![
+            ("executions".to_string(), executions),
+            ("cache-hits".to_string(), hits),
+            ("inserted-regs".to_string(), schedule.inserted_regs as u64),
+            ("splits".to_string(), splits),
+            ("residual-violations".to_string(), residual),
+        ];
+        stage_counters(&span, &counters);
+        if span.is_enabled() {
+            for lt in &schedule.loop_traces {
+                for s in &lt.splits {
+                    hlsb_trace::event!(span, "schedule.split",
+                        "kernel" => lt.kernel.as_str(),
+                        "loop" => lt.looop.as_str(),
+                        "round" => s.round as u64,
+                        "violator" => u64::from(s.violator.0),
+                        "op" => s.op.to_string(),
+                        "cut" => u64::from(s.cut.0),
+                        "broadcast-factor" => s.broadcast_factor as u64,
+                        "excess-ns" => s.excess_ns,
+                        "calibrated-ns" => s.calibrated_ns,
+                        "predicted-ns" => s.predicted_ns);
+                    span.count("decisions.schedule.split", 1);
+                    span.observe(
+                        "broadcast-factor",
+                        &BROADCAST_FACTOR_BOUNDS,
+                        s.broadcast_factor as f64,
+                    );
+                }
+                for &(inst, stages) in &lt.mem_stages {
+                    hlsb_trace::event!(span, "schedule.mem-stages",
+                        "kernel" => lt.kernel.as_str(),
+                        "loop" => lt.looop.as_str(),
+                        "inst" => u64::from(inst),
+                        "stages" => u64::from(stages));
+                }
+                if lt.residual > 0 {
+                    hlsb_trace::event!(span, "schedule.residual",
+                        "kernel" => lt.kernel.as_str(),
+                        "loop" => lt.looop.as_str(),
+                        "count" => lt.residual as u64);
+                }
+            }
+        }
+        span.finish();
+        timer.done(trace, counters);
 
         // Lint pre-pass: report-only, borrowing the front-end artifacts
         // instead of re-deriving them.
         let lint = lint_inputs.map(|(fe, baseline)| {
             let timer = trace.start("lint");
+            let span = root.child("lint");
             let snapshot = FrontEndSnapshot {
                 loops: fe
                     .unrolled
@@ -505,13 +735,13 @@ impl FlowSession {
                 },
                 snapshot,
             );
-            timer.done(
-                trace,
-                vec![
-                    ("front-end-reused", 1),
-                    ("diagnostics", report.diagnostics.len() as u64),
-                ],
-            );
+            let counters = vec![
+                ("front-end-reused".to_string(), 1),
+                ("diagnostics".to_string(), report.diagnostics.len() as u64),
+            ];
+            stage_counters(&span, &counters);
+            span.finish();
+            timer.done(trace, counters);
             report
         });
 
@@ -541,35 +771,124 @@ impl FlowSession {
         // Verification runs per flow, outside the cache: a cache hit must
         // never mask an invalid design.
         verify_design(&flow.design)?;
+        let tracer = if flow.trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let root = self.flow_root(&tracer, flow, "implement");
         let mut trace = PassTrace::default();
-        let (front_end, schedule, lint) = self.stage_front_end_and_schedule(flow, &mut trace);
+        let (front_end, schedule, lint) =
+            self.stage_front_end_and_schedule(flow, &mut trace, &root);
         let design = front_end.design(&flow.design);
 
         // Lower: RTL generation + capacity check.
         let timer = trace.start("lower");
+        let span = root.child("lower");
         let lowered = passes::lower::run(design, &schedule, &flow.options, &flow.device)?;
-        timer.done(
-            &mut trace,
-            vec![("cells", lowered.netlist.cell_count() as u64)],
-        );
+        let sync_pruned = lowered
+            .info
+            .sync_decisions
+            .iter()
+            .filter(|d| !d.waited)
+            .count();
+        let counters = vec![
+            ("cells".to_string(), lowered.netlist.cell_count() as u64),
+            (
+                "skid-cuts".to_string(),
+                lowered.info.skid_decisions.len() as u64,
+            ),
+            ("sync-pruned".to_string(), sync_pruned as u64),
+        ];
+        stage_counters(&span, &counters);
+        if span.is_enabled() {
+            for d in &lowered.info.skid_decisions {
+                hlsb_trace::event!(span, "skid.buffer",
+                    "loop" => d.looop.as_str(),
+                    "cut-stage" => d.cut_stage as u64,
+                    "depth-slots" => d.depth_slots,
+                    "width-bits" => d.width_bits,
+                    "bits" => d.bits,
+                    "storage" => d.storage.label(),
+                    "min-area" => d.min_area);
+                span.count("decisions.skid.buffer", 1);
+            }
+            for d in &lowered.info.sync_decisions {
+                let mut attrs: Vec<(&str, Value)> = vec![
+                    ("loop", d.looop.as_str().into()),
+                    ("module", d.module.as_str().into()),
+                ];
+                if let Some(l) = d.latency {
+                    attrs.push(("latency", l.into()));
+                }
+                if let Some(c) = d.cover_latency {
+                    attrs.push(("cover-latency", c.into()));
+                }
+                if d.waited {
+                    span.event("sync.keep", attrs);
+                    span.count("decisions.sync.keep", 1);
+                } else {
+                    span.event("sync.prune", attrs);
+                    span.count("decisions.sync.prune", 1);
+                }
+            }
+            // The capacity check the lower pass just passed, as evidence:
+            // used vs available per resource class.
+            let stats = lowered.netlist.stats();
+            let res = flow.device.resources;
+            for (resource, used, cap) in [
+                ("lut", stats.luts, res.luts),
+                ("ff", stats.ffs, res.ffs),
+                ("bram", stats.brams, res.brams),
+                ("dsp", stats.dsps, res.dsps),
+            ] {
+                hlsb_trace::event!(span, "lower.capacity",
+                    "resource" => resource,
+                    "used" => used,
+                    "cap" => cap);
+            }
+        }
+        span.finish();
+        timer.done(&mut trace, counters);
 
         // Implement: multi-seed place/optimize, best timing wins.
         let timer = trace.start("implement");
-        let imp = passes::implement::run(
+        let span = root.child("implement");
+        let (imp, trials, winner) = passes::implement::run(
             lowered.netlist,
             &flow.device,
             flow.seed,
             flow.effort,
             flow.place_seeds,
             implement_threads,
+            &tracer,
         );
-        timer.done(
-            &mut trace,
-            vec![("trials", u64::from(flow.place_seeds.max(1)))],
-        );
+        let counters = vec![("trials".to_string(), u64::from(flow.place_seeds.max(1)))];
+        stage_counters(&span, &counters);
+        if span.is_enabled() {
+            // Trial spans are emitted post-hoc in trial order with their
+            // worker-measured time windows, so the tree shape is the same
+            // for sequential and parallel execution.
+            let clock_ns = 1000.0 / flow.clock_mhz;
+            for t in &trials {
+                let ts = span.child(&format!("trial-{}", t.idx));
+                ts.set_track(t.idx + 1);
+                ts.attr("seed", t.seed);
+                ts.attr("period-ns", t.period_ns);
+                ts.attr("fmax-mhz", t.fmax_mhz);
+                ts.attr("duplicated-regs", t.duplicated_regs as u64);
+                ts.attr("retime-moves", t.retime_moves as u64);
+                ts.attr("winner", t.idx == winner);
+                ts.observe("slack-ns", &SLACK_NS_BOUNDS, clock_ns - t.period_ns);
+                ts.set_window(t.start_us, t.dur_us);
+            }
+        }
+        span.finish();
+        timer.done(&mut trace, counters);
 
         // Sign-off: assemble the result.
         let timer = trace.start("sign-off");
+        let span = root.child("sign-off");
         let (mut result, netlist, placement) = passes::signoff::assemble(
             &flow.device,
             &schedule,
@@ -578,11 +897,23 @@ impl FlowSession {
             imp,
             lint,
         );
-        timer.done(
-            &mut trace,
-            vec![("critical-cells", result.critical_cells.len() as u64)],
-        );
+        let counters = vec![(
+            "critical-cells".to_string(),
+            result.critical_cells.len() as u64,
+        )];
+        stage_counters(&span, &counters);
+        span.finish();
+        timer.done(&mut trace, counters);
         result.trace = trace;
+        if flow.trace {
+            root.finish();
+            let tree = tracer.take_tree();
+            // The flat PassTrace becomes a *view* of the span tree, so the
+            // two layers cannot drift (same counters either way — the
+            // stage spans carry exactly the PassTimer counters).
+            result.trace = PassTrace::from_span_tree(&tree);
+            result.span_tree = Some(tree);
+        }
         Ok((result, netlist, placement))
     }
 }

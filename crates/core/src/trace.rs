@@ -3,9 +3,15 @@
 //! Every pipeline stage ([`crate::passes`]) appends one [`PassRecord`] to
 //! the run's [`PassTrace`], which lands on
 //! [`ImplementationResult::trace`](crate::ImplementationResult::trace).
-//! This is the flow's first observability layer: sweeps can report where
+//! This is the flow's flat observability layer: sweeps can report where
 //! the time goes, and tests can assert structural properties such as "the
 //! lint pre-pass reused the front-end instead of re-running it".
+//!
+//! Since the span tracer landed ([`hlsb_trace`]), `PassTrace` is the
+//! *compatibility view*: when tracing is enabled the session derives it
+//! from the span tree via [`PassTrace::from_span_tree`] — each depth-1
+//! stage span becomes one record, its unsigned attributes become the
+//! counters — so the two layers cannot drift apart.
 
 use std::fmt;
 use std::time::Instant;
@@ -15,11 +21,11 @@ use std::time::Instant;
 pub struct PassRecord {
     /// Stage name (`front-end`, `schedule`, `lower`, `implement`,
     /// `sign-off`, `lint`).
-    pub pass: &'static str,
+    pub pass: String,
     /// Wall-clock time spent in the stage, milliseconds.
     pub wall_ms: f64,
     /// Stage counters, e.g. `("executions", 1)` or `("cache-hits", 1)`.
-    pub counters: Vec<(&'static str, u64)>,
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Structural equality: wall times vary run to run and machine to machine,
@@ -41,20 +47,49 @@ pub struct PassTrace {
 
 impl PassTrace {
     /// Starts timing a pass; finish with [`PassTimer::done`].
-    pub(crate) fn start(&mut self, pass: &'static str) -> PassTimer {
+    pub(crate) fn start(&mut self, pass: &str) -> PassTimer {
         PassTimer {
-            pass,
+            pass: pass.to_string(),
             t0: Instant::now(),
         }
     }
 
-    /// The value of `counter` in the first record of `pass`, if any.
+    /// The compatibility view of a span tree: each depth-1 span under the
+    /// root becomes one record (wall time from the span, counters from its
+    /// unsigned-integer attributes, insertion order preserved).
+    pub fn from_span_tree(tree: &hlsb_trace::TraceTree) -> PassTrace {
+        let mut trace = PassTrace::default();
+        let Some(root) = tree.root() else {
+            return trace;
+        };
+        for span in tree.children(root.id) {
+            trace.records.push(PassRecord {
+                pass: span.name.clone(),
+                wall_ms: span.dur_us / 1000.0,
+                counters: span
+                    .attrs
+                    .iter()
+                    .filter_map(|a| a.value.as_u64().map(|v| (a.key.clone(), v)))
+                    .collect(),
+            });
+        }
+        trace
+    }
+
+    /// The total of `counter` across **all** records of `pass` (`None` if
+    /// no record of the pass carries the counter). Batch runs
+    /// (`run_many`, DSE) append one record per flow per stage, so a
+    /// single-record lookup would silently undercount.
     pub fn counter(&self, pass: &str, counter: &str) -> Option<u64> {
-        self.records
-            .iter()
-            .find(|r| r.pass == pass)
-            .and_then(|r| r.counters.iter().find(|(n, _)| *n == counter))
-            .map(|(_, v)| *v)
+        let mut total = None;
+        for rec in self.records.iter().filter(|r| r.pass == pass) {
+            for (name, v) in &rec.counters {
+                if name == counter {
+                    *total.get_or_insert(0) += v;
+                }
+            }
+        }
+        total
     }
 
     /// Total wall time across all recorded passes, milliseconds.
@@ -72,7 +107,7 @@ impl PassTrace {
                     if let Some((_, mv)) = mine.counters.iter_mut().find(|(n, _)| n == name) {
                         *mv += v;
                     } else {
-                        mine.counters.push((name, *v));
+                        mine.counters.push((name.clone(), *v));
                     }
                 }
             } else {
@@ -100,13 +135,13 @@ impl fmt::Display for PassTrace {
 
 /// In-flight pass timing, created by [`PassTrace::start`].
 pub(crate) struct PassTimer {
-    pass: &'static str,
+    pass: String,
     t0: Instant,
 }
 
 impl PassTimer {
     /// Stops the clock and appends the record.
-    pub(crate) fn done(self, trace: &mut PassTrace, counters: Vec<(&'static str, u64)>) {
+    pub(crate) fn done(self, trace: &mut PassTrace, counters: Vec<(String, u64)>) {
         trace.records.push(PassRecord {
             pass: self.pass,
             wall_ms: self.t0.elapsed().as_secs_f64() * 1e3,
@@ -119,11 +154,14 @@ impl PassTimer {
 mod tests {
     use super::*;
 
-    fn rec(pass: &'static str, ms: f64, counters: Vec<(&'static str, u64)>) -> PassRecord {
+    fn rec(pass: &str, ms: f64, counters: Vec<(&str, u64)>) -> PassRecord {
         PassRecord {
-            pass,
+            pass: pass.to_string(),
             wall_ms: ms,
-            counters,
+            counters: counters
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
         }
     }
 
@@ -140,12 +178,29 @@ mod tests {
     fn counter_lookup_and_total() {
         let mut t = PassTrace::default();
         let timer = t.start("lower");
-        timer.done(&mut t, vec![("cells", 42)]);
+        timer.done(&mut t, vec![("cells".to_string(), 42)]);
         assert_eq!(t.counter("lower", "cells"), Some(42));
         assert_eq!(t.counter("lower", "nope"), None);
         assert_eq!(t.counter("nope", "cells"), None);
         assert!(t.total_ms() >= 0.0);
         assert!(t.to_string().contains("lower"));
+    }
+
+    #[test]
+    fn counter_total_sums_across_repeated_records() {
+        // run_many / DSE append one record per flow per stage; the lookup
+        // must total them, not read only the first.
+        let t = PassTrace {
+            records: vec![
+                rec("implement", 1.0, vec![("trials", 3)]),
+                rec("schedule", 0.5, vec![("executions", 1)]),
+                rec("implement", 2.0, vec![("trials", 5)]),
+                rec("implement", 1.0, vec![]),
+            ],
+        };
+        assert_eq!(t.counter("implement", "trials"), Some(8));
+        // A pass present without the counter still reports None.
+        assert_eq!(t.counter("schedule", "trials"), None);
     }
 
     #[test]
@@ -164,5 +219,27 @@ mod tests {
         assert_eq!(a.counter("front-end", "cache-hits"), Some(1));
         assert_eq!(a.counter("lower", "cells"), Some(7));
         assert!((a.total_ms() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_span_tree_mirrors_stage_spans() {
+        let tracer = hlsb_trace::Tracer::enabled();
+        let root = tracer.root("flow");
+        {
+            let fe = root.child("front-end");
+            fe.attr("executions", 1u64);
+            fe.attr_volatile("cache-hits", 0u64);
+            fe.attr("clock-ns", 3.0); // non-integer attrs are not counters
+                                      // Depth-2 spans (e.g. placement trials) are not records.
+            let _inner = fe.child("sub");
+        }
+        root.finish();
+        let trace = PassTrace::from_span_tree(&tracer.take_tree());
+        assert_eq!(trace.records.len(), 1);
+        assert_eq!(trace.records[0].pass, "front-end");
+        assert_eq!(
+            trace.records[0].counters,
+            vec![("executions".to_string(), 1), ("cache-hits".to_string(), 0)]
+        );
     }
 }

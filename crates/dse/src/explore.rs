@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use hlsb::{CacheStats, Flow, FlowSession, PassRecord, PassTrace, StageCacheStats};
+use hlsb::{CacheStats, Flow, FlowSession, PassRecord, PassTrace, StageCacheStats, TraceTree};
 use hlsb_fabric::Device;
 use hlsb_ir::Design;
 use hlsb_sim::Stimulus;
@@ -63,6 +63,12 @@ pub struct DseReport {
     pub trace: PassTrace,
     /// Front-end/schedule cache activity caused by this run.
     pub cache_delta: StageCacheStats,
+    /// Span trace of every fresh full evaluation, labelled by
+    /// configuration ([`DseConfig::label`]), when the explorer ran with
+    /// [`Explorer::trace`] enabled. Ready for
+    /// [`hlsb::chrome_trace`] — one Chrome-trace process per
+    /// configuration.
+    pub span_trees: Vec<(String, TraceTree)>,
 }
 
 impl DseReport {
@@ -106,6 +112,7 @@ pub struct Explorer<'a> {
     seed: u64,
     store: ResultStore,
     verify_iters: u64,
+    trace_spans: bool,
 }
 
 impl<'a> Explorer<'a> {
@@ -121,6 +128,7 @@ impl<'a> Explorer<'a> {
             seed: 1,
             store: ResultStore::in_memory(),
             verify_iters: DEFAULT_VERIFY_ITERS,
+            trace_spans: false,
         }
     }
 
@@ -164,8 +172,18 @@ impl<'a> Explorer<'a> {
         self
     }
 
+    /// Enables span tracing ([`Flow::trace`]) on every evaluated flow.
+    /// Fresh full evaluations land in [`DseReport::span_trees`]; probes
+    /// and store hits carry no tree (probes for cost, store hits because
+    /// nothing ran).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace_spans = enabled;
+        self
+    }
+
     fn flow(&self, cfg: &DseConfig) -> Flow {
         cfg.flow(self.design, self.device, self.seed)
+            .trace(self.trace_spans)
     }
 
     /// Runs the search: selects candidates per the strategy, evaluates
@@ -259,11 +277,15 @@ impl<'a> Explorer<'a> {
         let results = session.run_many(&flows);
         let mut full_evals = 0usize;
         let mut infeasible = 0usize;
+        let mut span_trees: Vec<(String, TraceTree)> = Vec::new();
         for ((cfg, key, _), result) in fresh.into_iter().zip(results) {
             match result {
-                Ok(r) => {
+                Ok(mut r) => {
                     full_evals += 1;
                     trace.merge(&r.trace);
+                    if let Some(tree) = r.span_tree.take() {
+                        span_trees.push((cfg.label(), tree));
+                    }
                     let metrics = Metrics::from_result(&r);
                     self.store.insert(Record {
                         key,
@@ -319,9 +341,9 @@ impl<'a> Explorer<'a> {
             },
         };
         trace.records.push(PassRecord {
-            pass: "dse",
+            pass: "dse".to_string(),
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-            counters: vec![
+            counters: [
                 ("probe-evals", probe_evals as u64),
                 ("full-evals", full_evals as u64),
                 ("store-hits", store_hits as u64),
@@ -334,7 +356,10 @@ impl<'a> Explorer<'a> {
                 ("fe-cache-misses", cache_delta.front_end.misses),
                 ("sched-cache-hits", cache_delta.schedule.hits),
                 ("sched-cache-misses", cache_delta.schedule.misses),
-            ],
+            ]
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect(),
         });
 
         Ok(DseReport {
@@ -348,6 +373,7 @@ impl<'a> Explorer<'a> {
             budget_dropped,
             trace,
             cache_delta,
+            span_trees,
         })
     }
 }

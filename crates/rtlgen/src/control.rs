@@ -48,14 +48,20 @@ fn status_ff(ctx: &mut Ctx<'_>, src: CellId, name: String) -> CellId {
     ff
 }
 
-/// Attaches pipeline flow control to a lowered loop.
-pub(crate) fn attach_pipeline_control(ctx: &mut Ctx<'_>, sl: &ScheduledLoop, art: &LoopArtifacts) {
+/// Attaches pipeline flow control to a lowered loop. `name` is the
+/// lowered loop instance name, used for decision provenance.
+pub(crate) fn attach_pipeline_control(
+    ctx: &mut Ctx<'_>,
+    sl: &ScheduledLoop,
+    art: &LoopArtifacts,
+    name: &str,
+) {
     if !sl.looop.is_pipelined() {
         return;
     }
     match ctx.options.control {
         ControlStyle::Stall => attach_stall(ctx, art),
-        ControlStyle::Skid { min_area } => attach_skid(ctx, sl, art, min_area),
+        ControlStyle::Skid { min_area } => attach_skid(ctx, sl, art, min_area, name),
     }
 }
 
@@ -94,7 +100,13 @@ fn attach_stall(ctx: &mut Ctx<'_>, art: &LoopArtifacts) {
 /// Skid-buffer control (Fig. 11/12): per-stage valid bits (fanout 1), skid
 /// buffers at the DP-chosen cut points, and a small gate on the first
 /// stage only. The datapath registers are free-running — no enable net.
-fn attach_skid(ctx: &mut Ctx<'_>, sl: &ScheduledLoop, art: &LoopArtifacts, min_area: bool) {
+fn attach_skid(
+    ctx: &mut Ctx<'_>,
+    sl: &ScheduledLoop,
+    art: &LoopArtifacts,
+    min_area: bool,
+    name: &str,
+) {
     let depth = sl.schedule.depth as usize;
 
     // Valid-bit chain.
@@ -126,8 +138,22 @@ fn attach_skid(ctx: &mut Ctx<'_>, sl: &ScheduledLoop, art: &LoopArtifacts, min_a
     for (ci, &cut) in cuts.iter().enumerate() {
         let seg_len = cut - prev_cut;
         let width = widths[cut - 1];
-        let bits = (seg_len as u64 + 1 + GATE_PIPELINE) * width;
+        let depth_slots = seg_len as u64 + 1 + GATE_PIPELINE;
+        let bits = depth_slots * width;
         ctx.info.skid_buffer_bits += bits;
+        ctx.info.skid_decisions.push(crate::info::SkidDecision {
+            looop: name.to_string(),
+            cut_stage: cut,
+            depth_slots,
+            width_bits: width,
+            bits,
+            storage: if bits >= 4096 {
+                crate::info::SkidStorage::Bram
+            } else {
+                crate::info::SkidStorage::Ff
+            },
+            min_area,
+        });
         let buf = if bits >= 4096 {
             let mut c = Cell::bram(format!("skid{ci}"), width.min(1 << 16) as u32, 0);
             c.brams = bits.div_ceil(36_864) as u32;
@@ -172,7 +198,7 @@ fn attach_skid(ctx: &mut Ctx<'_>, sl: &ScheduledLoop, art: &LoopArtifacts, min_a
 /// the controller AND-reduces the waited set and broadcasts `start` to
 /// every PE's input registers. With pruning, only the longest static
 /// latency is waited on (§4.2).
-pub(crate) fn attach_call_sync(ctx: &mut Ctx<'_>, art: &LoopArtifacts) {
+pub(crate) fn attach_call_sync(ctx: &mut Ctx<'_>, art: &LoopArtifacts, name: &str) {
     if art.calls.len() < 2 {
         return;
     }
@@ -196,6 +222,19 @@ pub(crate) fn attach_call_sync(ctx: &mut Ctx<'_>, art: &LoopArtifacts) {
         }
     };
     ctx.info.sync_waited += plan.wait.len();
+
+    // Per-module prune/keep provenance: every pruned module is covered by
+    // the largest static latency in the waited set.
+    let cover_latency = plan.wait.iter().filter_map(|&i| modules[i].latency).max();
+    for (i, m) in modules.iter().enumerate() {
+        ctx.info.sync_decisions.push(crate::info::SyncDecision {
+            looop: name.to_string(),
+            module: m.name.clone(),
+            latency: m.latency,
+            waited: plan.wait.contains(&i),
+            cover_latency,
+        });
+    }
 
     // Done registers for the waited PEs.
     let dones: Vec<CellId> = plan

@@ -3,6 +3,66 @@
 use hlsb_ir::{Loop, OpKind};
 use hlsb_sched::Schedule;
 
+/// Storage primitive chosen for a skid buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkidStorage {
+    /// Block RAM (deep or wide buffers).
+    Bram,
+    /// Flip-flops (shallow buffers).
+    Ff,
+}
+
+impl SkidStorage {
+    /// Lower-case label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SkidStorage::Bram => "bram",
+            SkidStorage::Ff => "ff",
+        }
+    }
+}
+
+/// One skid-buffer placement decision (§4.3, Fig. 11/12): where the DP (or
+/// the trivial end-of-pipeline policy) cut the loop, and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkidDecision {
+    /// Lowered loop instance name (`<kernel>_<loop idx>`).
+    pub looop: String,
+    /// Pipeline stage boundary the buffer sits at (1-based, `== depth`
+    /// for the end-of-pipeline policy).
+    pub cut_stage: usize,
+    /// Buffer depth in slots: segment length + 1 + the registered-gate
+    /// pipeline slack.
+    pub depth_slots: u64,
+    /// Width of the buffered stage boundary, bits.
+    pub width_bits: u64,
+    /// Total storage bits.
+    pub bits: u64,
+    /// Storage primitive.
+    pub storage: SkidStorage,
+    /// Whether the min-area DP chose the cut (vs the default single
+    /// end-of-pipeline buffer).
+    pub min_area: bool,
+}
+
+/// One done-signal synchronization decision (§4.2): for each parallel PE,
+/// whether its `done` stays in the wait-reduce tree, with the latency
+/// evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncDecision {
+    /// Lowered loop instance name.
+    pub looop: String,
+    /// PE module name.
+    pub module: String,
+    /// The module's static latency, if fixed.
+    pub latency: Option<u64>,
+    /// Whether the done signal is waited on (false = pruned).
+    pub waited: bool,
+    /// The largest static latency among the waited set — the evidence
+    /// that covers every pruned module.
+    pub cover_latency: Option<u64>,
+}
+
 /// Metadata collected while lowering, consumed by the bench harness and
 /// the integration tests.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -21,6 +81,10 @@ pub struct LowerInfo {
     pub sync_waited: usize,
     /// Per-loop inter-stage widths (bits), as used by the min-area DP.
     pub stage_width_profiles: Vec<Vec<u64>>,
+    /// Per-buffer skid placements, in lowering order.
+    pub skid_decisions: Vec<SkidDecision>,
+    /// Per-module sync prune/keep decisions, in lowering order.
+    pub sync_decisions: Vec<SyncDecision>,
 }
 
 /// Inter-stage data widths of a scheduled loop: entry `b` is the number of

@@ -31,7 +31,7 @@ pub mod memory;
 pub mod options;
 
 pub use control::GATE_PIPELINE;
-pub use info::{stage_widths, LowerInfo};
+pub use info::{stage_widths, LowerInfo, SkidDecision, SkidStorage, SyncDecision};
 pub use lower::{
     lower_design, LoweredDesign, OwnedScheduledDesign, ScheduledDesign, ScheduledLoop,
 };

@@ -157,8 +157,8 @@ pub fn lower_design(
         }
         let mut prev_done: Option<CellId> = None;
         for (li, sl) in sd.loops[ki].iter().enumerate() {
-            let art: LoopArtifacts =
-                lower_loop(&mut ctx, sd, sl, &format!("{}_{li}", kernel.name), model);
+            let lname = format!("{}_{li}", kernel.name);
+            let art: LoopArtifacts = lower_loop(&mut ctx, sd, sl, &lname, model);
             ctx.info.pipeline_stages += sl.schedule.depth;
 
             // Sequential FSM: each loop starts when the previous is done.
@@ -173,8 +173,8 @@ pub fn lower_design(
             }
             prev_done = Some(fsm);
 
-            attach_pipeline_control(&mut ctx, sl, &art);
-            attach_call_sync(&mut ctx, &art);
+            attach_pipeline_control(&mut ctx, sl, &art, &lname);
+            attach_call_sync(&mut ctx, &art, &lname);
         }
     }
 

@@ -41,6 +41,34 @@ impl MemAccessPlan {
     }
 }
 
+/// One chain-split decision: the evidence for a register module inserted
+/// by the fix-point loop. Everything here is a pure function of the input
+/// design and clock, so traces built from it are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitDecision {
+    /// Fix-point round (1-based) that made the cut.
+    pub round: usize,
+    /// The violating instruction whose chain was cut (id in that round's
+    /// loop body).
+    pub violator: InstId,
+    /// Kind of the violating instruction.
+    pub op: OpKind,
+    /// The operand after which the register module was inserted.
+    pub cut: InstId,
+    /// Broadcast factor observed at the cut point: the larger of the cut
+    /// instruction's operand broadcast and its own same-cycle reader
+    /// count (the violator is usually the chain *tail*; the broadcast
+    /// lives at the source being registered).
+    pub broadcast_factor: usize,
+    /// How far the chain exceeded the clock budget, in ns.
+    pub excess_ns: f64,
+    /// Calibrated (broadcast-aware) chained delay of the cut instruction
+    /// at that broadcast factor, ns.
+    pub calibrated_ns: f64,
+    /// What the stock HLS model predicted for the same op, ns.
+    pub predicted_ns: f64,
+}
+
 /// Result of the broadcast-aware pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BroadcastAwareOutcome {
@@ -58,6 +86,8 @@ pub struct BroadcastAwareOutcome {
     pub residual_violations: Vec<InstId>,
     /// Extra memory pipelining decisions.
     pub mem_plan: MemAccessPlan,
+    /// Per-cut provenance, in decision order.
+    pub splits: Vec<SplitDecision>,
 }
 
 /// Per-instruction chain analysis under the calibrated model.
@@ -153,6 +183,7 @@ pub fn broadcast_aware(
     let mut cur = lp.clone();
     let mut inserted = 0usize;
     let mut rounds = 0usize;
+    let mut splits: Vec<SplitDecision> = Vec::new();
 
     loop {
         rounds += 1;
@@ -176,7 +207,7 @@ pub fn broadcast_aware(
         };
         let mut cuts: Vec<InstId> = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        for &(inst, _excess, crit_operand) in &analysis.violations {
+        for &(inst, excess, crit_operand) in &analysis.violations {
             if cur.body.inst(inst).kind.is_memory() {
                 continue; // handled by the memory plan below
             }
@@ -211,6 +242,20 @@ pub fn broadcast_aware(
                 let c = resolve_alias(&cur.body, c);
                 if cur.body.inst(c).kind != OpKind::Reg && seen.insert(c) {
                     cuts.push(c);
+                    let ck = cur.body.inst(c);
+                    let bf = schedule
+                        .operand_broadcast_factor(&cur.body, c)
+                        .max(schedule.same_cycle_readers(&cur.body, c));
+                    splits.push(SplitDecision {
+                        round: rounds,
+                        violator: inst,
+                        op: cur.body.inst(inst).kind,
+                        cut: c,
+                        broadcast_factor: bf,
+                        excess_ns: excess,
+                        calibrated_ns: chained_delay_ns(calibrated.delay_ns(ck.kind, ck.ty, bf)),
+                        predicted_ns: chained_delay_ns(predicted.delay_ns(ck.kind, ck.ty, bf)),
+                    });
                 }
             }
         }
@@ -266,6 +311,7 @@ pub fn broadcast_aware(
         rounds,
         residual_violations: residual,
         mem_plan,
+        splits,
     }
 }
 
@@ -306,6 +352,19 @@ mod tests {
         let u = unroll_loop(&d.kernels[0].loops[0]);
         let out = broadcast_aware(&u.looop, &d, &HlsPredictedModel::new(), &calibrated(), 3.33);
         assert!(out.inserted_regs >= 1, "no registers inserted");
+        // Every inserted register carries a decision record with the
+        // calibrated-vs-predicted evidence that justified it.
+        assert_eq!(out.splits.len(), out.inserted_regs);
+        for s in &out.splits {
+            assert!(s.excess_ns > 0.0);
+            assert!(s.broadcast_factor >= 1);
+        }
+        // At least one cut was driven by a calibrated broadcast excess the
+        // stock model missed.
+        assert!(out
+            .splits
+            .iter()
+            .any(|s| s.broadcast_factor > 1 && s.calibrated_ns > s.predicted_ns));
         // The fix deepens (or at worst re-balances) the pipeline without
         // changing the II (paper: depth 9 -> 10, II unchanged).
         let base = schedule_loop(&u.looop, &d, &HlsPredictedModel::new(), 3.33);

@@ -47,7 +47,7 @@ pub mod list_sched;
 pub mod report;
 pub mod schedule;
 
-pub use broadcast_aware::{broadcast_aware, BroadcastAwareOutcome, MemAccessPlan};
+pub use broadcast_aware::{broadcast_aware, BroadcastAwareOutcome, MemAccessPlan, SplitDecision};
 pub use list_sched::{schedule_loop, CHAIN_NET_NS, CLOCK_MARGIN};
 pub use report::{ReportEntry, ScheduleReport};
 pub use schedule::{Schedule, ScheduledOp};

@@ -1,0 +1,125 @@
+//! # hlsb-trace — hierarchical span tracing with decision provenance
+//!
+//! The flow's structured observability layer: a thread-safe span
+//! collector ([`Tracer`] / [`SpanGuard`]) recording a tree of timed spans
+//! (pass / sub-pass / per-trial unit of work) with typed key–value
+//! attributes, plus **decision events** — the per-net choices the paper's
+//! optimizations make (chain splits, done-signal pruning, skid-buffer
+//! placement) that otherwise only show up as an aggregate Fmax number —
+//! and a [`MetricsRegistry`] of monotonic counters and fixed-bucket
+//! histograms.
+//!
+//! Three properties drive the design:
+//!
+//! * **Zero cost when disabled.** [`Tracer::disabled`] carries no
+//!   allocation and no clock; every span/event/metric call is a branch on
+//!   a `None`. The [`span!`] and [`event!`] macros additionally skip
+//!   argument construction when the guard is disabled.
+//! * **Deterministic payloads.** Event and attribute *values* are pure
+//!   functions of the pipeline inputs; wall-clock data (start/duration,
+//!   timestamps, track ids) and explicitly *volatile* attributes (cache
+//!   hit counts, thread counts) are excluded from
+//!   [`TraceTree::normalized`] equality — mirroring how `PassRecord`
+//!   equality ignores wall time — so the flow's determinism guarantees
+//!   (cached ≡ cold, parallel ≡ sequential) extend to traces.
+//! * **Standard exports.** [`chrome_trace`] renders runs as Chrome
+//!   trace-event JSON (loadable in Perfetto / `chrome://tracing`, with
+//!   placement trials on separate track ids);
+//!   [`TraceTree::to_jsonl`]/[`TraceTree::from_jsonl`] round-trip the
+//!   tree losslessly through line-delimited JSON.
+//!
+//! Everything is hand-rolled on `std` only — the workspace builds with no
+//! network access, so no serde/tracing dependencies.
+//!
+//! ```
+//! use hlsb_trace::Tracer;
+//!
+//! let tracer = Tracer::enabled();
+//! let root = tracer.root("flow");
+//! root.attr("design", "genome");
+//! {
+//!     let sched = hlsb_trace::span!(root, "schedule");
+//!     hlsb_trace::event!(sched, "schedule.split", "cut" => 5u64);
+//!     sched.count("decisions.schedule.split", 1);
+//! }
+//! root.finish();
+//! let tree = tracer.take_tree();
+//! assert_eq!(tree.spans.len(), 2);
+//! assert_eq!(tree.metrics.counter("decisions.schedule.split"), 1);
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+pub mod tree;
+pub mod value;
+
+pub use export::chrome_trace;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{Attr, DecisionEvent, SpanGuard, SpanNode, Tracer};
+pub use tree::{NormalizedSpan, NormalizedTrace, TraceTree};
+pub use value::Value;
+
+/// Opens a child span under `$parent` (a [`SpanGuard`]), optionally with
+/// attributes. Attribute expressions are not evaluated when the parent is
+/// disabled.
+#[macro_export]
+macro_rules! span {
+    ($parent:expr, $name:expr) => {
+        $parent.child($name)
+    };
+    ($parent:expr, $name:expr $(, $k:expr => $v:expr)+ $(,)?) => {{
+        let guard = $parent.child($name);
+        if guard.is_enabled() {
+            $(guard.attr($k, $v);)+
+        }
+        guard
+    }};
+}
+
+/// Records a decision event on `$span` (a [`SpanGuard`]). A no-op — the
+/// attribute expressions are never evaluated — when the span is disabled.
+#[macro_export]
+macro_rules! event {
+    ($span:expr, $name:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        if $span.is_enabled() {
+            $span.event($name, vec![$(($k, $crate::Value::from($v))),*]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macros_are_no_ops_when_disabled() {
+        let tracer = Tracer::disabled();
+        let root = tracer.root("flow");
+        // The attribute expression must not run on the disabled path.
+        let mut evaluated = false;
+        event!(root, "x", "k" => {
+            evaluated = true;
+            1u64
+        });
+        assert!(!evaluated, "event! must skip payload construction");
+        let child = span!(root, "child");
+        assert!(!child.is_enabled());
+        root.finish();
+        assert!(tracer.take_tree().spans.is_empty());
+    }
+
+    #[test]
+    fn macros_record_when_enabled() {
+        let tracer = Tracer::enabled();
+        let root = tracer.root("flow");
+        let child = span!(root, "stage", "n" => 3u64);
+        event!(child, "stage.decision", "why" => "because");
+        child.finish();
+        root.finish();
+        let tree = tracer.take_tree();
+        assert_eq!(tree.spans.len(), 2);
+        assert_eq!(tree.spans[1].attrs[0].key, "n");
+        assert_eq!(tree.spans[1].events[0].name, "stage.decision");
+    }
+}

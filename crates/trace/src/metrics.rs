@@ -1,0 +1,212 @@
+//! Metrics registry: monotonic counters and fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+
+use crate::value::fmt_f64;
+
+/// A fixed-bucket histogram. `bounds` are the upper edges of the first
+/// `bounds.len()` buckets; one overflow bucket follows, so
+/// `counts.len() == bounds.len() + 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket edges (inclusive), ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; the last entry is the overflow
+    /// bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub total: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self.bounds.partition_point(|b| *b < value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+            self.total += other.total;
+            self.sum += other.sum;
+        } else {
+            // Mismatched layouts: keep the totals honest, drop the shape.
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            *self.counts.last_mut().unwrap() = self.total + other.total;
+            self.total += other.total;
+            self.sum += other.sum;
+        }
+    }
+}
+
+/// Named monotonic counters plus named fixed-bucket histograms. BTreeMaps
+/// keep iteration (and therefore rendering and equality) deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `delta` to the named counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records `value` into the named histogram. The first observation
+    /// fixes the bucket layout; later calls reuse it (the `bounds`
+    /// argument is ignored once the histogram exists).
+    pub fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Accumulates another registry into this one (counters add;
+    /// same-layout histograms add bucket-wise).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Plain-text rendering: one line per counter, then one block per
+    /// histogram with per-bucket counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name} = {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name}: n={} mean={}\n",
+                h.total,
+                fmt_f64((h.mean() * 1000.0).round() / 1000.0)
+            ));
+            let mut lo = f64::NEG_INFINITY;
+            for (i, count) in h.counts.iter().enumerate() {
+                let hi = h.bounds.get(i).copied();
+                let label = match (lo.is_finite(), hi) {
+                    (_, Some(hi)) if !lo.is_finite() => format!("<= {}", fmt_f64(hi)),
+                    (true, Some(hi)) => format!("({}, {}]", fmt_f64(lo), fmt_f64(hi)),
+                    _ => format!("> {}", fmt_f64(lo)),
+                };
+                if *count > 0 {
+                    out.push_str(&format!("  {label}: {count}\n"));
+                }
+                if let Some(hi) = hi {
+                    lo = hi;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::default();
+        m.count("a", 2);
+        m.count("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_edge() {
+        let mut m = MetricsRegistry::default();
+        let bounds = [1.0, 2.0, 4.0];
+        m.observe("h", &bounds, 0.5); // <= 1.0
+        m.observe("h", &bounds, 1.0); // <= 1.0 (inclusive edge)
+        m.observe("h", &bounds, 3.0); // (2.0, 4.0]
+        m.observe("h", &bounds, 9.0); // overflow
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.counts, vec![2, 0, 1, 1]);
+        assert_eq!(h.total, 4);
+        assert!((h.mean() - 3.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::default();
+        a.count("c", 1);
+        a.observe("h", &[1.0], 0.5);
+        let mut b = MetricsRegistry::default();
+        b.count("c", 2);
+        b.count("d", 7);
+        b.observe("h", &[1.0], 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("d"), 7);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.counts, vec![1, 1]);
+        assert_eq!(h.total, 2);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let mut m = MetricsRegistry::default();
+        m.count("z", 1);
+        m.count("a", 2);
+        m.observe("h", &[1.0], 0.5);
+        let text = m.render();
+        // BTreeMap order: "a" before "z".
+        assert!(text.find("a = 2").unwrap() < text.find("z = 1").unwrap());
+        assert!(text.contains("h: n=1"));
+        assert!(text.contains("<= 1.0: 1"));
+    }
+}

@@ -1,0 +1,230 @@
+//! The collected trace tree and its normalized (timestamp-stripped,
+//! order-canonical) view used for determinism checks.
+
+use crate::metrics::MetricsRegistry;
+use crate::span::{DecisionEvent, SpanNode};
+use crate::value::Value;
+
+/// A finished trace: the span forest (creation order, parent links by id)
+/// plus the metrics recorded alongside it.
+///
+/// Full `PartialEq` includes timestamps — use [`TraceTree::normalized`]
+/// when comparing runs for decision equivalence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceTree {
+    /// All spans, ordered by creation (`spans[i].id == i`).
+    pub spans: Vec<SpanNode>,
+    /// Counters and histograms recorded during the run.
+    pub metrics: MetricsRegistry,
+}
+
+impl TraceTree {
+    /// The first root span (no parent), if any.
+    pub fn root(&self) -> Option<&SpanNode> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Children of the given span, in creation order.
+    pub fn children(&self, id: u32) -> impl Iterator<Item = &SpanNode> {
+        self.spans.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// Slash-joined name path from the root to this span, e.g.
+    /// `flow/schedule`.
+    pub fn path(&self, id: u32) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(i) = cur {
+            let span = &self.spans[i as usize];
+            parts.push(span.name.as_str());
+            cur = span.parent;
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// The first span with the given name, if any.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// All decision events across all spans whose name matches, in span
+    /// creation order.
+    pub fn events_named(&self, name: &str) -> Vec<&DecisionEvent> {
+        self.spans
+            .iter()
+            .flat_map(|s| s.events.iter())
+            .filter(|e| e.name == name)
+            .collect()
+    }
+
+    /// The timestamp-stripped, volatile-stripped, path-sorted view of this
+    /// tree. Two runs that made the same decisions — regardless of wall
+    /// time, caching, or thread interleaving — produce equal normalized
+    /// traces.
+    pub fn normalized(&self) -> NormalizedTrace {
+        let mut spans: Vec<NormalizedSpan> = self
+            .spans
+            .iter()
+            .map(|s| NormalizedSpan {
+                path: self.path(s.id),
+                attrs: s
+                    .attrs
+                    .iter()
+                    .filter(|a| !a.volatile)
+                    .map(|a| (a.key.clone(), a.value.clone()))
+                    .collect(),
+                events: s
+                    .events
+                    .iter()
+                    .map(|e| (e.name.clone(), e.attrs.clone()))
+                    .collect(),
+            })
+            .collect();
+        // Stable: same-path spans keep their relative (creation) order,
+        // which is deterministic for the flow's per-stage sub-spans.
+        spans.sort_by(|a, b| a.path.cmp(&b.path));
+        NormalizedTrace {
+            spans,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Indented plain-text provenance tree: one line per span (name +
+    /// non-volatile attrs), decision events as `-` bullet lines beneath.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let roots: Vec<u32> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.id)
+            .collect();
+        for root in roots {
+            self.render_span(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_span(&self, id: u32, depth: usize, out: &mut String) {
+        let span = &self.spans[id as usize];
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!("{indent}{}", span.name));
+        if !span.attrs.is_empty() {
+            let attrs: Vec<String> = span
+                .attrs
+                .iter()
+                .map(|a| format!("{}={}", a.key, a.value))
+                .collect();
+            out.push_str(&format!(" [{}]", attrs.join(" ")));
+        }
+        if span.dur_us > 0.0 {
+            out.push_str(&format!(" ({:.2} ms)", span.dur_us / 1000.0));
+        }
+        out.push('\n');
+        for event in &span.events {
+            let attrs: Vec<String> = event
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&format!("{indent}  - {} {}\n", event.name, attrs.join(" ")));
+        }
+        let children: Vec<u32> = self.children(id).map(|s| s.id).collect();
+        for child in children {
+            self.render_span(child, depth + 1, out);
+        }
+    }
+}
+
+/// One span in a [`NormalizedTrace`]: its root-relative path, its
+/// non-volatile attributes, and its decision events (names + payloads,
+/// timestamps dropped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedSpan {
+    /// Slash-joined name path from the root.
+    pub path: String,
+    /// Non-volatile attributes in insertion order.
+    pub attrs: Vec<(String, Value)>,
+    /// Decision events (name, payload) in insertion order.
+    pub events: Vec<(String, Vec<(String, Value)>)>,
+}
+
+/// The determinism-comparable projection of a [`TraceTree`]: spans sorted
+/// by path with timestamps, track ids, ids, and volatile attributes
+/// removed. Equal for any two runs that made the same decisions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NormalizedTrace {
+    /// Path-sorted normalized spans.
+    pub spans: Vec<NormalizedSpan>,
+    /// The metrics registry (already deterministic).
+    pub metrics: MetricsRegistry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    fn sample(volatile_hits: u64, with_delay: bool) -> TraceTree {
+        let tracer = Tracer::enabled();
+        let root = tracer.root("flow");
+        root.attr("design", "genome");
+        root.attr_volatile("cache-hits", volatile_hits);
+        {
+            let sched = root.child("schedule");
+            sched.event("schedule.split", vec![("cut", Value::U64(5))]);
+            if with_delay {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            sched.finish();
+        }
+        tracer.count("decisions.schedule.split", 1);
+        root.finish();
+        tracer.take_tree()
+    }
+
+    #[test]
+    fn paths_and_lookup() {
+        let tree = sample(0, false);
+        assert_eq!(tree.path(1), "flow/schedule");
+        assert_eq!(tree.root().unwrap().name, "flow");
+        assert_eq!(tree.find("schedule").unwrap().id, 1);
+        assert_eq!(tree.events_named("schedule.split").len(), 1);
+    }
+
+    #[test]
+    fn normalized_ignores_time_and_volatile_attrs() {
+        let a = sample(0, false);
+        let b = sample(7, true);
+        // Full equality fails on timestamps and the volatile attr...
+        assert_ne!(a, b);
+        // ...normalized equality holds.
+        assert_eq!(a.normalized(), b.normalized());
+    }
+
+    #[test]
+    fn normalized_distinguishes_different_decisions() {
+        let a = sample(0, false);
+        let tracer = Tracer::enabled();
+        let root = tracer.root("flow");
+        root.attr("design", "genome");
+        {
+            let sched = root.child("schedule");
+            sched.event("schedule.split", vec![("cut", Value::U64(6))]);
+        }
+        tracer.count("decisions.schedule.split", 1);
+        root.finish();
+        let b = tracer.take_tree();
+        assert_ne!(a.normalized(), b.normalized());
+    }
+
+    #[test]
+    fn render_indents_and_lists_events() {
+        let tree = sample(0, false);
+        let text = tree.render();
+        assert!(text.starts_with("flow [design=genome cache-hits=0]"));
+        assert!(text.contains("\n  schedule"));
+        assert!(text.contains("\n    - schedule.split cut=5\n"));
+    }
+}

@@ -1,7 +1,7 @@
 //! Cross-crate integration: the full flow (IR → schedule → RTL → place →
 //! timing) on small designs, checking end-to-end invariants.
 
-use hlsb::{Flow, FlowError, FlowSession, OptimizationOptions, PlaceEffort};
+use hlsb::{Flow, FlowError, FlowSession, OptimizationOptions, PlaceEffort, TraceTree};
 use hlsb_benchmarks::Benchmark;
 use hlsb_fabric::Device;
 use hlsb_ir::builder::DesignBuilder;
@@ -178,6 +178,83 @@ fn parallel_execution_is_bit_identical_to_sequential() {
             seq.as_ref().expect("flow")
         );
     }
+}
+
+fn traced_equivalence_flows() -> Vec<Flow> {
+    equivalence_flows()
+        .into_iter()
+        .map(|f| f.trace(true))
+        .collect()
+}
+
+#[test]
+fn trace_trees_are_equal_cached_vs_cold() {
+    // The span tree is part of the determinism contract: a warm artifact
+    // cache replays the same decisions, so the normalized trees (volatile
+    // attrs like cache-hits stripped) must be equal to a cold run's.
+    let flows = traced_equivalence_flows();
+    let session = FlowSession::with_threads(1);
+    let cold: Vec<_> = flows
+        .iter()
+        .map(|f| session.run(f).expect("flow"))
+        .collect();
+    let cached: Vec<_> = flows
+        .iter()
+        .map(|f| session.run(f).expect("flow"))
+        .collect();
+    assert!(
+        session.cache_stats().hits > 0,
+        "the rerun must hit the artifact cache: {:?}",
+        session.cache_stats()
+    );
+    for ((a, b), flow) in cold.iter().zip(&cached).zip(&flows) {
+        let cold_tree = a.trace_tree().expect("traced flow has a span tree");
+        let cached_tree = b.trace_tree().expect("traced flow has a span tree");
+        assert_eq!(
+            cold_tree.normalized(),
+            cached_tree.normalized(),
+            "cached trace != cold trace for {flow:?}"
+        );
+    }
+}
+
+#[test]
+fn trace_trees_are_equal_across_thread_counts() {
+    // Neither run_many's outer parallelism nor the placement-trial
+    // threads may change what the trace records.
+    let flows = traced_equivalence_flows();
+    let sequential = FlowSession::with_threads(1).run_many(&flows);
+    let parallel = FlowSession::with_threads(4).run_many(&flows);
+    for ((seq, par), flow) in sequential.iter().zip(&parallel).zip(&flows) {
+        let seq = seq.as_ref().expect("flow");
+        let par = par.as_ref().expect("flow");
+        assert_eq!(
+            seq.trace_tree().expect("traced").normalized(),
+            par.trace_tree().expect("traced").normalized(),
+            "parallel trace != sequential trace for {flow:?}"
+        );
+    }
+}
+
+#[test]
+fn trace_jsonl_round_trips_byte_identical() {
+    // export → parse → re-export must reproduce the exact bytes, so
+    // archived traces stay diffable.
+    let result = Flow::new(broadcast_design(32))
+        .device(Device::ultrascale_plus_vu9p())
+        .clock_mhz(300.0)
+        .options(OptimizationOptions::all())
+        .place_effort(PlaceEffort::Fast)
+        .place_seeds(2)
+        .seed(7)
+        .trace(true)
+        .run()
+        .expect("flow succeeds");
+    let tree = result.trace_tree().expect("traced flow has a span tree");
+    let text = tree.to_jsonl();
+    let parsed = TraceTree::from_jsonl(&text).expect("exporter output parses");
+    assert_eq!(&parsed, tree, "parsed tree differs from the original");
+    assert_eq!(parsed.to_jsonl(), text, "re-export is not byte-identical");
 }
 
 #[test]

@@ -1,22 +1,31 @@
-//! `lint` — run the static implicit-broadcast analyzer on the paper's
-//! benchmarks (or any subset) without placing or timing anything.
+//! `verify` — run the static dataflow/contract verifier on the paper's
+//! benchmarks (or any subset), plus an optional fuzz corpus, without
+//! placing or timing anything.
 //!
 //! ```text
-//! lint [--design <name>|all] [--target vu9p|zc706|u50|virtex7]
-//!      [--clock <mhz>] [--format table|jsonl|sarif]
-//!      [--deny <severity>] [--list]
+//! verify [--design <name>|all] [--target vu9p|zc706|u50|virtex7]
+//!        [--clock <mhz>] [--format table|jsonl|sarif]
+//!        [--deny <severity>] [--fuzz <n>] [--with-lint] [--list]
 //! ```
 //!
-//! By default every benchmark is linted against its paper-mandated
-//! device and clock. `--target`/`--clock` override both for
-//! what-if runs (e.g. "would genome's broadcasts matter on a ZC706?").
+//! Each benchmark goes through the network analysis *and* the schedule
+//! contracts: the flow's own probe stage runs with [`Flow::verify`]
+//! enabled, so the contract findings audit exactly the cached schedule
+//! artifacts an implementation run would use. `--fuzz <n>` additionally
+//! network-checks the first `n` generated fuzz designs (the clean
+//! generator — any finding there is an analyzer or generator bug).
+//! `--with-lint` also lints every selected benchmark; with
+//! `--format sarif` both tools land in one SARIF document as separate
+//! runs with distinct rule IDs.
+//!
 //! Exit status is 2 on usage errors, 1 if any finding is at or above the
-//! `--deny` severity (default `error`), 0 otherwise — so CI can gate on
-//! it like any other linter, and `--deny warning` makes warnings fatal.
+//! `--deny` severity (default `error`), 0 otherwise.
 
+use hlsb::error::FlowError;
+use hlsb::{Flow, FlowSession, OptimizationOptions};
 use hlsb_benchmarks::{all_benchmarks, Benchmark};
 use hlsb_fabric::Device;
-use hlsb_lint::{lint_with, render_sarif, LintConfig, LintReport, Severity};
+use hlsb_findings::{render_sarif, Report, Severity};
 use std::process::ExitCode;
 
 struct Args {
@@ -25,6 +34,8 @@ struct Args {
     clock_mhz: Option<f64>,
     format: Format,
     deny: Severity,
+    fuzz: usize,
+    with_lint: bool,
     list: bool,
 }
 
@@ -47,9 +58,9 @@ fn device_by_name(s: &str) -> Option<Device> {
 
 fn usage() {
     eprintln!(
-        "usage: lint [--design <name>|all] [--target vu9p|zc706|u50|virtex7]\n\
-         \x20           [--clock <mhz>] [--format table|jsonl|sarif]\n\
-         \x20           [--deny info|warning|error] [--list]"
+        "usage: verify [--design <name>|all] [--target vu9p|zc706|u50|virtex7]\n\
+         \x20             [--clock <mhz>] [--format table|jsonl|sarif]\n\
+         \x20             [--deny info|warning|error] [--fuzz <n>] [--with-lint] [--list]"
     );
 }
 
@@ -60,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
         clock_mhz: None,
         format: Format::Table,
         deny: Severity::Error,
+        fuzz: 0,
+        with_lint: false,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -92,6 +105,11 @@ fn parse_args() -> Result<Args, String> {
                 let s = it.next().ok_or("--deny needs a value")?;
                 args.deny = Severity::parse(&s).ok_or(format!("unknown severity `{s}`"))?;
             }
+            "--fuzz" => {
+                let n = it.next().ok_or("--fuzz needs a value")?;
+                args.fuzz = n.parse().map_err(|_| format!("bad fuzz count `{n}`"))?;
+            }
+            "--with-lint" => args.with_lint = true,
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             f => return Err(format!("unknown flag `{f}`")),
@@ -100,13 +118,30 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn lint_benchmark(bench: &Benchmark, args: &Args) -> LintReport {
+/// Network analysis plus the schedule contracts, via the flow's own
+/// probe stage — a rejected probe yields the report from the error, so
+/// dirty designs still render all their findings.
+fn verify_benchmark(session: &FlowSession, bench: &Benchmark, args: &Args) -> Report {
     let device = args.target.clone().unwrap_or_else(|| bench.device.clone());
-    let config = LintConfig {
-        clock_mhz: args.clock_mhz.unwrap_or(bench.clock_mhz),
-        ..LintConfig::default()
-    };
-    lint_with(&bench.design, &device, config)
+    let flow = Flow::new(bench.design.clone())
+        .device(device.clone())
+        .clock_mhz(args.clock_mhz.unwrap_or(bench.clock_mhz))
+        .options(OptimizationOptions::all())
+        .verify(true);
+    match session.probe(&flow) {
+        Ok(probe) => probe.verify.expect("probe ran with Flow::verify on"),
+        Err(FlowError::VerifyRejected { report }) => *report,
+        Err(e) => {
+            // A structurally broken benchmark cannot be probed at all;
+            // surface the failure as an empty report plus a stderr note.
+            eprintln!("verify: probe of `{}` failed: {e}", bench.design.name);
+            hlsb_verify::report(
+                &bench.design.name,
+                &device.name,
+                args.clock_mhz.unwrap_or(bench.clock_mhz),
+            )
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -114,7 +149,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             if !e.is_empty() {
-                eprintln!("lint: {e}");
+                eprintln!("verify: {e}");
             }
             usage();
             return ExitCode::from(2);
@@ -139,7 +174,7 @@ fn main() -> ExitCode {
             Some(b) => vec![b],
             None => {
                 eprintln!(
-                    "lint: no benchmark matching `{}` (try --list; one of: {})",
+                    "verify: no benchmark matching `{}` (try --list; one of: {})",
                     args.design,
                     benches
                         .iter()
@@ -152,7 +187,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let reports: Vec<LintReport> = selected.iter().map(|b| lint_benchmark(b, &args)).collect();
+    let session = FlowSession::new();
+    let mut reports: Vec<Report> = selected
+        .iter()
+        .map(|b| verify_benchmark(&session, b, &args))
+        .collect();
+    for seed in 0..args.fuzz as u64 {
+        let d = hlsb_sim::random_design(seed);
+        reports.push(hlsb_verify::verify_network(&d, "fuzz", 300.0));
+    }
+    if args.with_lint {
+        for b in &selected {
+            let device = args.target.clone().unwrap_or_else(|| b.device.clone());
+            let config = hlsb_lint::LintConfig {
+                clock_mhz: args.clock_mhz.unwrap_or(b.clock_mhz),
+                ..hlsb_lint::LintConfig::default()
+            };
+            reports.push(hlsb_lint::lint_with(&b.design, &device, config));
+        }
+    }
+
     match args.format {
         Format::Table => {
             for r in &reports {
@@ -165,6 +219,8 @@ fn main() -> ExitCode {
                 print!("{}", r.to_jsonl());
             }
         }
+        // One SARIF document; verify and lint reports group into
+        // separate runs keyed by tool.
         Format::Sarif => println!("{}", render_sarif(&reports)),
     }
 

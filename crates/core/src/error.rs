@@ -22,6 +22,14 @@ pub enum FlowError {
         /// Explanation.
         what: String,
     },
+    /// The static verifier ([`hlsb_verify`]) found `Error`-severity
+    /// defects and the flow ran with
+    /// [`Flow::verify`](crate::Flow::verify) enabled. The boxed report
+    /// carries every finding (renderable as table/JSONL/SARIF).
+    VerifyRejected {
+        /// The full verify report, worst findings first.
+        report: Box<hlsb_findings::Report>,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -31,6 +39,17 @@ impl fmt::Display for FlowError {
             FlowError::InvalidNetlist(e) => write!(f, "internal netlist error: {e}"),
             FlowError::DoesNotFit { what } => write!(f, "design does not fit: {what}"),
             FlowError::BadParameter { what } => write!(f, "bad parameter: {what}"),
+            FlowError::VerifyRejected { report } => {
+                let errors = report.count_at_least(hlsb_findings::Severity::Error);
+                match report.diagnostics.iter().find(|d| !d.subject.is_empty()) {
+                    Some(first) => write!(
+                        f,
+                        "design rejected by verify: {errors} error finding(s), first {} on {}",
+                        first.rule, first.subject
+                    ),
+                    None => write!(f, "design rejected by verify: {errors} error finding(s)"),
+                }
+            }
         }
     }
 }

@@ -28,6 +28,7 @@ pub struct Flow {
     pub(crate) effort: PlaceEffort,
     pub(crate) place_seeds: u32,
     pub(crate) lint: bool,
+    pub(crate) verify: bool,
     pub(crate) trace: bool,
 }
 
@@ -44,6 +45,7 @@ impl Flow {
             effort: PlaceEffort::Normal,
             place_seeds: 3,
             lint: false,
+            verify: false,
             trace: false,
         }
     }
@@ -99,6 +101,22 @@ impl Flow {
     /// [`ImplementationResult::trace`].
     pub fn lint(mut self, enabled: bool) -> Self {
         self.lint = enabled;
+        self
+    }
+
+    /// Enables the static verifier (`hlsb-verify`) as a pre-gate. The
+    /// dataflow network analysis runs on the design as written before
+    /// any pipeline stage, and the schedule/lowering contracts are
+    /// audited as the artifacts appear; any `Error`-severity finding
+    /// aborts the flow with [`FlowError::VerifyRejected`] carrying the
+    /// full report. Clean runs attach the (possibly warning-bearing)
+    /// report to [`ImplementationResult::verify`] /
+    /// [`ProbeOutcome::verify`](crate::ProbeOutcome::verify). Off by
+    /// default. Like [`lint`](Flow::lint) and [`trace`](Flow::trace),
+    /// the flag never changes the implementation and is excluded from
+    /// [`config_key`](Flow::config_key).
+    pub fn verify(mut self, enabled: bool) -> Self {
+        self.verify = enabled;
         self
     }
 
@@ -300,6 +318,53 @@ mod tests {
         assert!(!report.to_table().is_empty());
         assert!(!report.to_jsonl().is_empty());
         assert!(report.to_sarif().contains("\"version\":\"2.1.0\""));
+    }
+
+    #[test]
+    fn verify_pre_gate_is_opt_in_attaches_and_rejects() {
+        let d = unrolled_broadcast(8);
+        let silent = run(&d, OptimizationOptions::none());
+        assert!(silent.verify.is_none(), "verify must be opt-in");
+
+        // A clean design passes the gate with the report attached.
+        let session = crate::FlowSession::new();
+        let flow = Flow::new(d)
+            .options(OptimizationOptions::all())
+            .place_effort(PlaceEffort::Fast)
+            .place_seeds(1)
+            .verify(true);
+        let probe = session.probe(&flow).expect("clean design probes");
+        let report = probe.verify.expect("probe honours Flow::verify");
+        assert!(report.is_clean(), "{}", report.to_table());
+        let r = session.run(&flow).expect("clean design implements");
+        let report = r.verify.expect("verify report attached");
+        assert_eq!(report.tool, "hlsb-verify");
+        assert!(report.is_clean(), "{}", report.to_table());
+        // Both verify stages left pass records.
+        assert_eq!(r.trace.counter("verify.network", "errors"), Some(0));
+        assert_eq!(r.trace.counter("verify.contracts", "errors"), Some(0));
+
+        // A two-producer channel is an Error: the flow is rejected
+        // before any pipeline stage runs.
+        let mut b = DesignBuilder::new("double_writer");
+        let ch = b.fifo("ch", DataType::Int(32), 2);
+        b.dataflow();
+        for name in ["pa", "pb"] {
+            let mut k = b.kernel(name);
+            let mut l = k.pipelined_loop("w", 16, 1);
+            let v = l.indvar("i");
+            l.fifo_write(ch, v);
+            l.finish();
+            k.finish();
+        }
+        let dirty = b.finish().expect("structurally valid IR");
+        let err = Flow::new(dirty).verify(true).run().unwrap_err();
+        match err {
+            FlowError::VerifyRejected { report } => {
+                assert!(report.has_rule("VN01"), "{}", report.to_table());
+            }
+            other => panic!("expected VerifyRejected, got {other}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub(crate) fn assemble(
     lower_info: LowerInfo,
     imp: ImplementOutput,
     lint: Option<hlsb_lint::LintReport>,
+    verify: Option<hlsb_findings::Report>,
 ) -> (ImplementationResult, Netlist, Placement) {
     let ImplementOutput {
         netlist,
@@ -61,6 +62,7 @@ pub(crate) fn assemble(
         retime_moves: retime.moves,
         critical_cells,
         lint,
+        verify,
         trace: PassTrace::default(),
         span_tree: None,
     };

@@ -69,6 +69,12 @@ pub struct ImplementationResult {
     /// Static broadcast lint report, when [`Flow::lint`](crate::Flow::lint)
     /// was enabled.
     pub lint: Option<hlsb_lint::LintReport>,
+    /// Static verify report (network + schedule contracts), when
+    /// [`Flow::verify`](crate::Flow::verify) was enabled. Always free of
+    /// `Error`-severity findings here — those abort the run with
+    /// [`FlowError::VerifyRejected`](crate::FlowError::VerifyRejected)
+    /// instead.
+    pub verify: Option<hlsb_findings::Report>,
     /// Per-pass wall times and counters for this run. Excluded from
     /// equality.
     pub trace: PassTrace,
@@ -94,6 +100,7 @@ impl PartialEq for ImplementationResult {
             && self.retime_moves == other.retime_moves
             && self.critical_cells == other.critical_cells
             && self.lint == other.lint
+            && self.verify == other.verify
     }
 }
 
@@ -144,6 +151,7 @@ mod tests {
             retime_moves: 0,
             critical_cells: vec![],
             lint: None,
+            verify: None,
             trace: PassTrace::default(),
             span_tree: None,
         }

@@ -96,6 +96,42 @@ fn stage_counters(span: &SpanGuard, counters: &[(String, u64)]) {
     }
 }
 
+/// Stage-local counters for a `verify.*` pass record: findings found by
+/// this stage plus their severity split.
+fn verify_counters(diags: &[hlsb_findings::Diagnostic]) -> Vec<(String, u64)> {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == hlsb_findings::Severity::Error)
+        .count() as u64;
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == hlsb_findings::Severity::Warning)
+        .count() as u64;
+    vec![
+        ("findings".to_string(), diags.len() as u64),
+        ("errors".to_string(), errors),
+        ("warnings".to_string(), warnings),
+    ]
+}
+
+/// Emits one `verify.finding` event per diagnostic onto the stage span,
+/// in detection order.
+fn verify_events(span: &SpanGuard, diags: &[hlsb_findings::Diagnostic]) {
+    if !span.is_enabled() {
+        return;
+    }
+    for d in diags {
+        let severity = d.severity.to_string();
+        let location = d.location.to_string();
+        hlsb_trace::event!(span, "verify.finding",
+            "rule" => d.rule,
+            "severity" => severity.as_str(),
+            "subject" => d.subject.as_str(),
+            "location" => location.as_str());
+        span.count("decisions.verify.finding", 1);
+    }
+}
+
 /// The output of [`FlowSession::probe`]: the cheap front half of the
 /// pipeline (front-end + schedule, plus the lint pre-pass when the flow
 /// enables it) without RTL lowering, placement or timing. Design-space
@@ -118,6 +154,10 @@ pub struct ProbeOutcome {
     /// Static broadcast lint report, when the flow enables
     /// [`Flow::lint`].
     pub lint: Option<hlsb_lint::LintReport>,
+    /// Static verify report (network + schedule contracts; no lowering
+    /// contracts — probes never lower), when the flow enables
+    /// [`Flow::verify`]. Error findings abort the probe instead.
+    pub verify: Option<hlsb_findings::Report>,
     /// Per-pass wall times and counters for this probe (front-end and
     /// schedule records mirror [`FlowSession::run_detailed`], so probes
     /// share cached artifacts with full runs).
@@ -463,9 +503,12 @@ impl FlowSession {
         };
         let root = self.flow_root(&tracer, flow, "probe");
         let mut trace = PassTrace::default();
+        let verify_rep = self.stage_verify_network(flow, &mut trace, &root)?;
         let (front_end, schedule, lint) =
             self.stage_front_end_and_schedule(flow, &mut trace, &root);
         let design = front_end.design(&flow.design);
+        let verify =
+            self.stage_verify_contracts(verify_rep, design, &schedule, None, &mut trace, &root)?;
         let instructions = design.kernels.iter().map(|k| k.inst_count()).sum();
         let span_tree = if flow.trace {
             root.finish();
@@ -482,6 +525,7 @@ impl FlowSession {
             schedule_violations: schedule.violations(),
             instructions,
             lint,
+            verify,
             trace,
             span_tree,
         })
@@ -748,6 +792,99 @@ impl FlowSession {
         (front_end, schedule, lint)
     }
 
+    /// The `verify.network` pre-gate: structural dataflow analysis
+    /// ([`hlsb_verify::check_network`]) on the design *as written*,
+    /// before any pipeline stage runs. Returns the open report for the
+    /// contract stage to extend — or the rejection when any finding is
+    /// `Error`-severity. Runs per flow, outside the artifact cache, like
+    /// [`verify_design`]: a cache hit must never mask a broken network.
+    fn stage_verify_network(
+        &self,
+        flow: &Flow,
+        trace: &mut PassTrace,
+        root: &SpanGuard,
+    ) -> Result<Option<hlsb_findings::Report>, FlowError> {
+        if !flow.verify {
+            return Ok(None);
+        }
+        let timer = trace.start("verify.network");
+        let span = root.child("verify.network");
+        let mut rep = hlsb_verify::report(&flow.design.name, &flow.device.name, flow.clock_mhz);
+        hlsb_verify::check_network(&flow.design, &mut rep.diagnostics);
+        let counters = verify_counters(&rep.diagnostics);
+        stage_counters(&span, &counters);
+        verify_events(&span, &rep.diagnostics);
+        span.finish();
+        timer.done(trace, counters);
+        rep.sort_worst_first();
+        if rep.count_at_least(hlsb_findings::Severity::Error) > 0 {
+            return Err(FlowError::VerifyRejected {
+                report: Box::new(rep),
+            });
+        }
+        Ok(Some(rep))
+    }
+
+    /// The `verify.contracts` audit: schedule contracts
+    /// ([`hlsb_verify::check_schedule`]) on every scheduled loop, plus
+    /// the lowering contracts ([`hlsb_verify::check_lower`]) when the
+    /// flow lowered (probes stop at the schedule). Extends the network
+    /// report; any `Error` finding rejects the flow before the expensive
+    /// back-end stages run.
+    fn stage_verify_contracts(
+        &self,
+        rep: Option<hlsb_findings::Report>,
+        design: &hlsb_ir::Design,
+        schedule: &ScheduleArtifact,
+        lower_info: Option<&hlsb_rtlgen::LowerInfo>,
+        trace: &mut PassTrace,
+        root: &SpanGuard,
+    ) -> Result<Option<hlsb_findings::Report>, FlowError> {
+        let Some(mut rep) = rep else {
+            return Ok(None);
+        };
+        let timer = trace.start("verify.contracts");
+        let span = root.child("verify.contracts");
+        let before = rep.diagnostics.len();
+        let mut contracts = Vec::new();
+        let mut flat = 0usize;
+        for (ki, kernel) in schedule.loops.iter().enumerate() {
+            let kernel_name = design
+                .kernels
+                .get(ki)
+                .map(|k| k.name.as_str())
+                .unwrap_or_default();
+            for sl in kernel {
+                contracts.push(hlsb_verify::LoopContract {
+                    kernel: kernel_name,
+                    looop: &sl.looop,
+                    schedule: &sl.schedule,
+                    splits: schedule
+                        .loop_traces
+                        .get(flat)
+                        .map_or(&[][..], |lt| lt.splits.as_slice()),
+                });
+                flat += 1;
+            }
+        }
+        hlsb_verify::check_schedule(&contracts, &mut rep.diagnostics);
+        if let Some(info) = lower_info {
+            hlsb_verify::check_lower(info, &mut rep.diagnostics);
+        }
+        let counters = verify_counters(&rep.diagnostics[before..]);
+        stage_counters(&span, &counters);
+        verify_events(&span, &rep.diagnostics[before..]);
+        span.finish();
+        timer.done(trace, counters);
+        rep.sort_worst_first();
+        if rep.count_at_least(hlsb_findings::Severity::Error) > 0 {
+            return Err(FlowError::VerifyRejected {
+                report: Box::new(rep),
+            });
+        }
+        Ok(Some(rep))
+    }
+
     /// The staged pipeline for one flow. `implement_threads` caps the
     /// placement-trial parallelism (run_many sets it to 1 when flows
     /// already run concurrently).
@@ -778,6 +915,7 @@ impl FlowSession {
         };
         let root = self.flow_root(&tracer, flow, "implement");
         let mut trace = PassTrace::default();
+        let verify_rep = self.stage_verify_network(flow, &mut trace, &root)?;
         let (front_end, schedule, lint) =
             self.stage_front_end_and_schedule(flow, &mut trace, &root);
         let design = front_end.design(&flow.design);
@@ -851,6 +989,17 @@ impl FlowSession {
         span.finish();
         timer.done(&mut trace, counters);
 
+        // Contract audit, before paying for placement: a broken
+        // schedule/lowering contract rejects the flow here.
+        let verify = self.stage_verify_contracts(
+            verify_rep,
+            design,
+            &schedule,
+            Some(&lowered.info),
+            &mut trace,
+            &root,
+        )?;
+
         // Implement: multi-seed place/optimize, best timing wins.
         let timer = trace.start("implement");
         let span = root.child("implement");
@@ -896,6 +1045,7 @@ impl FlowSession {
             lowered.info,
             imp,
             lint,
+            verify,
         );
         let counters = vec![(
             "critical-cells".to_string(),

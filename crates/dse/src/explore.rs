@@ -57,6 +57,12 @@ pub struct DseReport {
     /// Candidates dropped because the budget was smaller than the
     /// candidate set.
     pub budget_dropped: usize,
+    /// The static network report that rejected the design, when the
+    /// `hlsb-verify` pre-filter found `Error`-severity defects. The
+    /// network rules are configuration-independent, so one dirty verdict
+    /// rejects every candidate before any probe or full run is paid for
+    /// — [`points`](DseReport::points) is empty then.
+    pub network_report: Option<hlsb_findings::Report>,
     /// Per-pass wall times and counters accumulated over every probe and
     /// full run, plus a `dse` record with the evaluation counts and the
     /// session cache hit/miss deltas of this exploration.
@@ -184,6 +190,7 @@ impl<'a> Explorer<'a> {
     fn flow(&self, cfg: &DseConfig) -> Flow {
         cfg.flow(self.design, self.device, self.seed)
             .trace(self.trace_spans)
+            .verify(true)
     }
 
     /// Runs the search: selects candidates per the strategy, evaluates
@@ -203,52 +210,69 @@ impl<'a> Explorer<'a> {
         let mut probe_evals = 0usize;
         let mut budget_dropped = 0usize;
 
+        // Structural pre-filter: the verify network rules are
+        // configuration-independent, so one dirty verdict on the design
+        // rejects every candidate before any probe or full run is paid
+        // for. (Every evaluated flow additionally runs with
+        // [`Flow::verify`] on, so schedule/lowering contract breaches
+        // surface per configuration as infeasible candidates.)
+        let network = hlsb_verify::verify_network(
+            self.design,
+            &self.device.name,
+            self.space.clocks_mhz.first().copied().unwrap_or(300.0),
+        );
+        let verify_rejected = network.count_at_least(hlsb_findings::Severity::Error) > 0;
+
         // Candidate selection.
-        let candidates: Vec<DseConfig> = match self.strategy {
-            Strategy::Grid => {
-                let mut all = self.space.enumerate();
-                if all.len() > self.budget {
-                    budget_dropped = all.len() - self.budget;
-                    all.truncate(self.budget);
+        let candidates: Vec<DseConfig> = if verify_rejected {
+            Vec::new()
+        } else {
+            match self.strategy {
+                Strategy::Grid => {
+                    let mut all = self.space.enumerate();
+                    if all.len() > self.budget {
+                        budget_dropped = all.len() - self.budget;
+                        all.truncate(self.budget);
+                    }
+                    all
                 }
-                all
-            }
-            Strategy::Random => self.space.sample_distinct(self.budget, self.seed),
-            Strategy::SuccessiveHalving => {
-                let all = self.space.enumerate();
-                let survivors = self.budget.min(all.len().div_ceil(2));
-                let mut ranked: Vec<(usize, Metrics)> = Vec::with_capacity(all.len());
-                for (i, cfg) in all.iter().enumerate() {
-                    // The probe is the cheap stage: front-end + schedule
-                    // + lint, no placement. Lint feeds the fmax proxy.
-                    let flow = self.flow(cfg).lint(true);
-                    match session.probe(&flow) {
-                        Ok(probe) => {
-                            probe_evals += 1;
-                            trace.merge(&probe.trace);
-                            ranked.push((i, proxy_metrics(cfg, &probe)));
-                        }
-                        Err(_) => {
-                            // Leave it to the full stage to classify; an
-                            // unprobeable candidate is simply not ranked.
+                Strategy::Random => self.space.sample_distinct(self.budget, self.seed),
+                Strategy::SuccessiveHalving => {
+                    let all = self.space.enumerate();
+                    let survivors = self.budget.min(all.len().div_ceil(2));
+                    let mut ranked: Vec<(usize, Metrics)> = Vec::with_capacity(all.len());
+                    for (i, cfg) in all.iter().enumerate() {
+                        // The probe is the cheap stage: front-end + schedule
+                        // + lint, no placement. Lint feeds the fmax proxy.
+                        let flow = self.flow(cfg).lint(true);
+                        match session.probe(&flow) {
+                            Ok(probe) => {
+                                probe_evals += 1;
+                                trace.merge(&probe.trace);
+                                ranked.push((i, proxy_metrics(cfg, &probe)));
+                            }
+                            Err(_) => {
+                                // Leave it to the full stage to classify; an
+                                // unprobeable candidate is simply not ranked.
+                            }
                         }
                     }
+                    let metrics: Vec<Metrics> = ranked.iter().map(|(_, m)| *m).collect();
+                    let ranks = pareto_ranks(&metrics);
+                    let mut order: Vec<usize> = (0..ranked.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        ranks[a]
+                            .cmp(&ranks[b])
+                            .then(metrics[a].report_order(&metrics[b]))
+                            .then(ranked[a].0.cmp(&ranked[b].0))
+                    });
+                    budget_dropped = ranked.len() - survivors.min(ranked.len());
+                    order
+                        .into_iter()
+                        .take(survivors)
+                        .map(|i| all[ranked[i].0])
+                        .collect()
                 }
-                let metrics: Vec<Metrics> = ranked.iter().map(|(_, m)| *m).collect();
-                let ranks = pareto_ranks(&metrics);
-                let mut order: Vec<usize> = (0..ranked.len()).collect();
-                order.sort_by(|&a, &b| {
-                    ranks[a]
-                        .cmp(&ranks[b])
-                        .then(metrics[a].report_order(&metrics[b]))
-                        .then(ranked[a].0.cmp(&ranked[b].0))
-                });
-                budget_dropped = ranked.len() - survivors.min(ranked.len());
-                order
-                    .into_iter()
-                    .take(survivors)
-                    .map(|i| all[ranked[i].0])
-                    .collect()
             }
         };
 
@@ -348,6 +372,7 @@ impl<'a> Explorer<'a> {
                 ("full-evals", full_evals as u64),
                 ("store-hits", store_hits as u64),
                 ("infeasible", infeasible as u64),
+                ("verify-rejected", u64::from(verify_rejected)),
                 ("budget-dropped", budget_dropped as u64),
                 ("frontier", frontier.len() as u64),
                 ("sim-checked", sim_checked),
@@ -371,9 +396,31 @@ impl<'a> Explorer<'a> {
             store_hits,
             infeasible,
             budget_dropped,
+            network_report: verify_rejected.then_some(network),
             trace,
             cache_delta,
             span_trees,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_design_is_rejected_before_any_evaluation() {
+        let (design, rule) = hlsb_sim::random_dirty_design(0);
+        let device = Device::ultrascale_plus_vu9p();
+        let session = FlowSession::new();
+        let report = Explorer::new(&design, &device)
+            .budget(4)
+            .run(&session)
+            .expect("in-memory store");
+        assert!(report.points.is_empty());
+        assert_eq!(report.probe_evals + report.full_evals, 0);
+        assert_eq!(report.trace.counter("dse", "verify-rejected"), Some(1));
+        let network = report.network_report.expect("rejection carries evidence");
+        assert!(network.has_rule(rule), "{}", network.to_table());
     }
 }

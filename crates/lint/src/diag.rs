@@ -1,269 +1,9 @@
-//! Structured diagnostics: what a rule found, where, and how bad it is.
+//! Structured diagnostics, re-exported from the shared
+//! [`hlsb_findings`] crate so lint and verify findings share one type
+//! system and one renderer family.
 
-use std::fmt;
+pub use hlsb_findings::{Diagnostic, Location, Severity};
 
-/// How severe a finding is.
-///
-/// Ordering is semantic: `Info < Warning < Error`, so `max()` over a
-/// report yields the worst finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Severity {
-    /// An optimization opportunity; timing impact below the flag line.
-    Info,
-    /// A broadcast structure likely to cost frequency at this clock.
-    Warning,
-    /// A broadcast whose estimated penalty alone threatens the clock
-    /// target.
-    Error,
-}
-
-impl Severity {
-    /// SARIF `level` string for this severity.
-    pub fn sarif_level(self) -> &'static str {
-        match self {
-            Severity::Info => "note",
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        }
-    }
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Severity::Info => "info",
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Where in the IR a finding is anchored. HLS designs have no source
-/// files, so the location is the kernel/loop hierarchy plus the pragma
-/// that creates the broadcast (unroll, pipeline, array_partition).
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct Location {
-    /// Kernel name, if the finding is inside a kernel.
-    pub kernel: Option<String>,
-    /// Loop name, if the finding is inside a loop.
-    pub looop: Option<String>,
-    /// The directive responsible (e.g. `unroll=64`, `pipeline II=1`,
-    /// `array_partition cyclic factor=8`).
-    pub pragma: Option<String>,
-}
-
-impl Location {
-    /// `design/kernel/loop` path used in reports and SARIF logical
-    /// locations.
-    pub fn path(&self, design: &str) -> String {
-        let mut p = design.to_string();
-        if let Some(k) = &self.kernel {
-            p.push('/');
-            p.push_str(k);
-        }
-        if let Some(l) = &self.looop {
-            p.push('/');
-            p.push_str(l);
-        }
-        p
-    }
-}
-
-impl fmt::Display for Location {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match (&self.kernel, &self.looop) {
-            (Some(k), Some(l)) => write!(f, "{k}/{l}")?,
-            (Some(k), None) => write!(f, "{k}")?,
-            (None, Some(l)) => write!(f, "{l}")?,
-            (None, None) => write!(f, "<design>")?,
-        }
-        if let Some(p) = &self.pragma {
-            write!(f, " [{p}]")?;
-        }
-        Ok(())
-    }
-}
-
-/// One finding from one rule.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Diagnostic {
-    /// Rule id (`BA01`, `BA02`, `SY01`, `PC01`).
-    pub rule: &'static str,
-    /// Short rule name (`data-broadcast`, ...).
-    pub rule_name: &'static str,
-    /// Severity of this particular finding.
-    pub severity: Severity,
-    /// Paper section the rule reproduces (e.g. `§3.1/§4.1`).
-    pub section: &'static str,
-    /// The net / instruction / array / module the finding is about.
-    pub subject: String,
-    /// Human-readable explanation.
-    pub message: String,
-    /// IR location.
-    pub location: Location,
-    /// Broadcast factor (fanout) the finding is based on.
-    pub broadcast_factor: usize,
-    /// Estimated extra interconnect delay from the calibrated model, ns.
-    pub est_penalty_ns: f64,
-    /// Suggested fix, phrased in terms of this workspace's options.
-    pub remedy: &'static str,
-}
-
-/// The result of linting one design against one device.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LintReport {
-    /// Design name.
-    pub design: String,
-    /// Device name.
-    pub device: String,
-    /// Clock target the analysis assumed, MHz.
-    pub clock_mhz: f64,
-    /// Findings, worst first (severity, then estimated penalty).
-    pub diagnostics: Vec<Diagnostic>,
-}
-
-impl LintReport {
-    /// Whether any finding came from the given rule id.
-    pub fn has_rule(&self, id: &str) -> bool {
-        self.diagnostics.iter().any(|d| d.rule == id)
-    }
-
-    /// Number of findings at exactly this severity.
-    pub fn count(&self, sev: Severity) -> usize {
-        self.diagnostics
-            .iter()
-            .filter(|d| d.severity == sev)
-            .count()
-    }
-
-    /// Worst severity in the report, if any finding exists.
-    pub fn max_severity(&self) -> Option<Severity> {
-        self.diagnostics.iter().map(|d| d.severity).max()
-    }
-
-    /// No findings at all.
-    pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-
-    /// Total estimated broadcast penalty across all findings, ns — the
-    /// report's scalar "broadcast score". Design-space exploration uses
-    /// it as a cheap fitness proxy: a configuration whose remaining
-    /// broadcasts carry less penalty is likelier to close timing.
-    pub fn total_penalty_ns(&self) -> f64 {
-        self.penalty_where(|_| true)
-    }
-
-    /// Total estimated penalty of findings from one rule id, ns.
-    pub fn penalty_for_rule(&self, id: &str) -> f64 {
-        self.penalty_where(|r| r == id)
-    }
-
-    /// Total estimated penalty of the findings whose rule id the
-    /// predicate selects, ns. The DSE proxy passes the rules a candidate
-    /// configuration does *not* remedy (BA01/BA02 ↔ broadcast-aware
-    /// scheduling, PC01 ↔ skid buffers, SY01 ↔ sync pruning), yielding
-    /// the residual penalty that configuration would still pay.
-    pub fn penalty_where(&self, select: impl Fn(&str) -> bool) -> f64 {
-        self.diagnostics
-            .iter()
-            .filter(|d| select(d.rule))
-            .map(|d| d.est_penalty_ns)
-            .sum()
-    }
-
-    /// Renders the human-readable table.
-    pub fn to_table(&self) -> String {
-        crate::render::render_table(self)
-    }
-
-    /// Renders one JSON object per finding (JSON Lines).
-    pub fn to_jsonl(&self) -> String {
-        crate::render::render_jsonl(self)
-    }
-
-    /// Renders a single-run SARIF 2.1.0 document.
-    pub fn to_sarif(&self) -> String {
-        crate::render::render_sarif(std::slice::from_ref(self))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn diag(rule: &'static str, sev: Severity) -> Diagnostic {
-        Diagnostic {
-            rule,
-            rule_name: "test",
-            severity: sev,
-            section: "§0",
-            subject: "x".into(),
-            message: "m".into(),
-            location: Location::default(),
-            broadcast_factor: 2,
-            est_penalty_ns: 0.1,
-            remedy: "r",
-        }
-    }
-
-    #[test]
-    fn severity_orders_and_maps_to_sarif() {
-        assert!(Severity::Info < Severity::Warning);
-        assert!(Severity::Warning < Severity::Error);
-        assert_eq!(Severity::Error.sarif_level(), "error");
-        assert_eq!(Severity::Info.sarif_level(), "note");
-        assert_eq!(Severity::Warning.to_string(), "warning");
-    }
-
-    #[test]
-    fn location_paths() {
-        let loc = Location {
-            kernel: Some("top".into()),
-            looop: Some("main".into()),
-            pragma: Some("unroll=8".into()),
-        };
-        assert_eq!(loc.path("d"), "d/top/main");
-        assert_eq!(loc.to_string(), "top/main [unroll=8]");
-        assert_eq!(Location::default().path("d"), "d");
-    }
-
-    #[test]
-    fn report_queries() {
-        let r = LintReport {
-            design: "d".into(),
-            device: "dev".into(),
-            clock_mhz: 300.0,
-            diagnostics: vec![
-                diag("BA01", Severity::Warning),
-                diag("PC01", Severity::Error),
-            ],
-        };
-        assert!(r.has_rule("BA01"));
-        assert!(!r.has_rule("SY01"));
-        assert_eq!(r.count(Severity::Error), 1);
-        assert_eq!(r.max_severity(), Some(Severity::Error));
-        assert!(!r.is_clean());
-    }
-
-    #[test]
-    fn penalty_scores_aggregate_per_rule() {
-        let r = LintReport {
-            design: "d".into(),
-            device: "dev".into(),
-            clock_mhz: 300.0,
-            diagnostics: vec![
-                diag("BA01", Severity::Warning),
-                diag("BA01", Severity::Warning),
-                diag("PC01", Severity::Error),
-            ],
-        };
-        assert!((r.total_penalty_ns() - 0.3).abs() < 1e-12);
-        assert!((r.penalty_for_rule("BA01") - 0.2).abs() < 1e-12);
-        assert!((r.penalty_for_rule("SY01")).abs() < 1e-12);
-        // Residual after remedying the data rules: only PC01 remains.
-        let residual = r.penalty_where(|rule| rule != "BA01" && rule != "BA02");
-        assert!((residual - 0.1).abs() < 1e-12);
-    }
-}
+/// A lint report is the shared findings [`Report`](hlsb_findings::Report)
+/// with `tool` set to `"hlsb-lint"`.
+pub type LintReport = hlsb_findings::Report;

@@ -16,9 +16,10 @@
 //! broadcast factor, a delay penalty estimated from the calibrated delay
 //! tables, and a remedy phrased in terms of
 //! `hlsb::OptimizationOptions`. Reports render as a human-readable
-//! table, JSON Lines, or SARIF 2.1.0 ([`LintReport::to_table`] /
-//! [`to_jsonl`](LintReport::to_jsonl) /
-//! [`to_sarif`](LintReport::to_sarif)).
+//! table, JSON Lines, or SARIF 2.1.0 (`to_table` / `to_jsonl` /
+//! `to_sarif` on [`LintReport`]). The report types and renderers live in
+//! the shared [`hlsb_findings`] crate, so lint and `hlsb-verify`
+//! findings merge into one SARIF log with distinct rule IDs.
 //!
 //! # Example
 //!
@@ -56,7 +57,7 @@ pub mod rules;
 pub use context::{FrontEndSnapshot, LintConfig, LintContext, SnapshotLoop};
 pub use diag::{Diagnostic, LintReport, Location, Severity};
 pub use render::{render_jsonl, render_sarif, render_table};
-pub use rules::{all_rules, Rule};
+pub use rules::{all_rules, rule_metas, Rule};
 
 use hlsb_fabric::Device;
 use hlsb_ir::Design;
@@ -106,18 +107,16 @@ fn run_rules(ctx: LintContext<'_>) -> LintReport {
     for rule in all_rules() {
         rule.check(&ctx, &mut diagnostics);
     }
-    diagnostics.sort_by(|a, b| {
-        b.severity
-            .cmp(&a.severity)
-            .then(b.est_penalty_ns.total_cmp(&a.est_penalty_ns))
-            .then(a.rule.cmp(b.rule))
-    });
-    LintReport {
+    let mut report = LintReport {
+        tool: "hlsb-lint",
         design: ctx.design.name.clone(),
         device: ctx.device.name.clone(),
         clock_mhz,
+        rules: rule_metas(),
         diagnostics,
-    }
+    };
+    report.sort_worst_first();
+    report
 }
 
 /// Broadcast class of one post-route critical cell, inferred from the
@@ -255,9 +254,11 @@ mod tests {
     #[test]
     fn cross_check_counts() {
         let report = LintReport {
+            tool: "hlsb-lint",
             design: "d".into(),
             device: "v".into(),
             clock_mhz: 300.0,
+            rules: rule_metas(),
             diagnostics: vec![Diagnostic {
                 rule: "PC01",
                 rule_name: "stall-broadcast",

@@ -3,6 +3,7 @@
 
 use crate::context::LintContext;
 use crate::diag::Diagnostic;
+use hlsb_findings::RuleMeta;
 
 pub mod ba01;
 pub mod ba02;
@@ -33,6 +34,17 @@ pub trait Rule {
     fn remedy(&self) -> &'static str;
     /// Runs the rule, appending findings to `out`.
     fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+
+    /// Static metadata record for SARIF rule declarations.
+    fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            id: self.id(),
+            name: self.name(),
+            section: self.section(),
+            summary: self.summary(),
+            remedy: self.remedy(),
+        }
+    }
 }
 
 /// All rules, in id order.
@@ -43,6 +55,12 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(StallBroadcast),
         Box::new(SyncFanin),
     ]
+}
+
+/// Metadata of all rules, in id order — the registry a
+/// [`LintReport`](crate::diag::LintReport) carries for SARIF rendering.
+pub fn rule_metas() -> Vec<RuleMeta> {
+    all_rules().iter().map(|r| r.meta()).collect()
 }
 
 #[cfg(test)]

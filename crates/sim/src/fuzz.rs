@@ -5,13 +5,18 @@
 //! feature space the optimizations operate on: sequential and dataflow
 //! concurrency, pipelined and sequential loops, unrolling, shared arrays,
 //! internal FIFO chains, and parallel PE calls with static latencies.
-//! Generation obeys the structural invariants the simulators assume:
+//! Generation obeys the structural invariants the simulators assume,
+//! and the stricter network rules `hlsb-verify` enforces — generated
+//! designs are *verify-clean*:
 //!
-//! * in dataflow designs every FIFO has at most one writer loop and at
-//!   most one reader loop, the writer strictly preceding the reader in
-//!   flat (kernel, loop) order — concurrent loops never interleave on one
-//!   stream and FIFO dependencies are acyclic (sequential designs may
-//!   share FIFOs freely: execution order equals program order there);
+//! * every FIFO has at most one writer loop and at most one reader loop
+//!   in **every** concurrency mode (a loop may still read one of its own
+//!   input channels more than once — a wider stream, not a second
+//!   endpoint); internal channels exist only between *distinct* dataflow
+//!   kernels, writer kernel strictly before the reader, so the channel
+//!   graph is acyclic and no sequenced channel can overflow its depth;
+//! * every declared FIFO is referenced (no dead channels) and every
+//!   kernel is observable (each loop keeps at least one sink);
 //! * arrays are shared only within one kernel, or across kernels of a
 //!   *sequential* design (concurrent array sharing is unsynchronized in
 //!   real HLS too);
@@ -20,7 +25,13 @@
 //!
 //! [`shrink_design`] produces strictly smaller variants by dropping one
 //! sink (and the now-dead cone feeding it) at a time — enough to minimize
-//! a failing differential case in a loop.
+//! a failing differential case in a loop. Shrinks preserve
+//! verify-cleanliness: each loop keeps a sink and orphaned channels are
+//! compacted away.
+//!
+//! [`random_dirty_design`] is the deliberate exception: a seeded knob
+//! that plants exactly one network defect and names the rule it expects,
+//! for analyzer tests that need known-bad input.
 
 use hlsb_ir::builder::{DesignBuilder, LoopBuilder};
 use hlsb_ir::{CmpPred, DataType, Design, FifoId, InstId, Loop, OpKind};
@@ -86,50 +97,42 @@ pub fn random_design(seed: u64) -> Design {
         .collect();
     let arrays_ok = !arrays.is_empty() && (!dataflow || n_kernels == 1);
 
-    // FIFO wiring, decided up front. Sequential designs draw from shared
-    // pools; dataflow loops get dedicated endpoints (single writer AND
-    // single reader per FIFO — concurrent cursors must not interleave).
+    // FIFO wiring, decided up front: dedicated endpoints per loop in
+    // every mode — one writer loop and one reader loop per FIFO — so the
+    // generated network is clean under `hlsb-verify`. Sequential loops
+    // may still *re-read* one of their own input channels inside the
+    // loop body (below): repeated access within a single loop is a wider
+    // stream, not a second endpoint.
     let mut ins_per_loop: Vec<Vec<FifoId>> = Vec::with_capacity(total_loops);
     let mut outs_per_loop: Vec<Vec<FifoId>> = Vec::with_capacity(total_loops);
-    if dataflow {
-        for fl in 0..total_loops {
-            ins_per_loop.push(
-                (0..1 + rng.gen_index(2))
-                    .map(|j| {
-                        b.fifo(
-                            format!("in{fl}_{j}"),
-                            DataType::Int(32),
-                            2 + rng.gen_index(3),
-                        )
-                    })
-                    .collect(),
-            );
-            outs_per_loop.push(vec![b.fifo(
-                format!("out{fl}"),
-                DataType::Int(32),
-                2 + rng.gen_index(3),
-            )]);
-        }
-    } else {
-        let pool_in: Vec<FifoId> = (0..1 + rng.gen_index(3))
-            .map(|i| b.fifo(format!("in{i}"), DataType::Int(32), 2 + rng.gen_index(3)))
-            .collect();
-        let pool_out: Vec<FifoId> = (0..1 + rng.gen_index(3))
-            .map(|i| b.fifo(format!("out{i}"), DataType::Int(32), 2 + rng.gen_index(3)))
-            .collect();
-        for _ in 0..total_loops {
-            ins_per_loop.push(
-                (0..1 + rng.gen_index(2))
-                    .map(|_| pool_in[rng.gen_index(pool_in.len())])
-                    .collect(),
-            );
-            outs_per_loop.push(vec![pool_out[rng.gen_index(pool_out.len())]]);
-        }
+    for fl in 0..total_loops {
+        ins_per_loop.push(
+            (0..1 + rng.gen_index(2))
+                .map(|j| {
+                    b.fifo(
+                        format!("in{fl}_{j}"),
+                        DataType::Int(32),
+                        2 + rng.gen_index(3),
+                    )
+                })
+                .collect(),
+        );
+        outs_per_loop.push(vec![b.fifo(
+            format!("out{fl}"),
+            DataType::Int(32),
+            2 + rng.gen_index(3),
+        )]);
     }
 
-    // Internal edges (dataflow only): writer strictly before reader in
-    // flat loop order, one writer and one reader per channel.
-    let n_internal = if dataflow && total_loops > 1 {
+    // Internal edges: only between *distinct* dataflow kernels (each has
+    // exactly one loop then, so flat loop order equals kernel order),
+    // writer strictly before reader, one writer and one reader per
+    // channel. Cross-kernel channels of a dataflow design carry no
+    // sequenced-capacity bound, and the forward direction keeps the
+    // channel graph acyclic; same-kernel internal edges would be
+    // sequenced and could statically overflow their depth (a real
+    // deadlock `hlsb-verify` flags as VN04).
+    let n_internal = if dataflow && n_kernels > 1 {
         rng.gen_index(total_loops)
     } else {
         0
@@ -170,6 +173,14 @@ pub fn random_design(seed: u64) -> Design {
                 vals.push(lb.varying_input(&format!("var_{name}"), DataType::Int(32)));
             }
             for &f in &ins_per_loop[flat] {
+                vals.push(lb.fifo_read(f, DataType::Int(32)));
+            }
+            // Re-read one of this loop's own input channels: legal in
+            // program order (sequential designs only — the loop simply
+            // consumes two tokens per iteration), and deliberately NOT a
+            // multi-reader violation for the verifier.
+            if !dataflow && rng.gen_bool(0.3) {
+                let f = ins_per_loop[flat][rng.gen_index(ins_per_loop[flat].len())];
                 vals.push(lb.fifo_read(f, DataType::Int(32)));
             }
             for &(f, _, reader) in &internal {
@@ -263,9 +274,11 @@ fn random_op(lb: &mut LoopBuilder<'_, '_>, rng: &mut Rng, x: InstId, y: InstId) 
 
 /// All one-step shrinks of a design: each drops one user-less sink
 /// instruction (`output`, `fifo.write` or `store`) from one loop and
-/// dead-code-eliminates the cone that fed only it. Shrinks that would
-/// empty a loop are skipped, so every result stays a valid design with
-/// the original loop/kernel numbering (no `call` retargeting needed).
+/// dead-code-eliminates the cone that fed only it. Every loop keeps at
+/// least one sink (so each kernel stays observable and no loop empties),
+/// and channels orphaned by a dropped `fifo.write` are compacted away —
+/// shrunk designs stay valid *and* verify-clean, with the original
+/// loop/kernel numbering (no `call` retargeting needed).
 pub fn shrink_design(design: &Design) -> Vec<Design> {
     let mut shrinks = Vec::new();
     for (ki, kernel) in design.kernels.iter().enumerate() {
@@ -281,6 +294,9 @@ pub fn shrink_design(design: &Design) -> Vec<Design> {
                 })
                 .map(|(id, _)| id)
                 .collect();
+            if sinks.len() <= 1 {
+                continue;
+            }
             for sink in sinks {
                 let body = drop_inst(&lp.body, sink);
                 if body.is_empty() {
@@ -288,11 +304,182 @@ pub fn shrink_design(design: &Design) -> Vec<Design> {
                 }
                 let mut d = design.clone();
                 d.kernels[ki].loops[li] = Loop { body, ..lp.clone() };
+                compact_fifos(&mut d);
                 shrinks.push(d);
             }
         }
     }
     shrinks
+}
+
+/// Removes FIFOs that no instruction references any more (a dropped
+/// `fifo.write` sink can orphan its channel) and renumbers the remaining
+/// `FifoId`s design-wide, so shrunk designs carry no dead channels.
+fn compact_fifos(design: &mut Design) {
+    let mut used = vec![false; design.fifos.len()];
+    for k in &design.kernels {
+        for lp in &k.loops {
+            for (_, i) in lp.body.iter() {
+                if let OpKind::FifoRead(f) | OpKind::FifoWrite(f) = i.kind {
+                    used[f.index()] = true;
+                }
+            }
+        }
+    }
+    if used.iter().all(|&u| u) {
+        return;
+    }
+    let mut map: Vec<Option<FifoId>> = vec![None; design.fifos.len()];
+    let mut next = 0u32;
+    for (i, &u) in used.iter().enumerate() {
+        if u {
+            map[i] = Some(FifoId(next));
+            next += 1;
+        }
+    }
+    let mut keep = used.iter();
+    design
+        .fifos
+        .retain(|_| *keep.next().expect("one flag per fifo"));
+    for k in &mut design.kernels {
+        for lp in &mut k.loops {
+            let ids: Vec<InstId> = lp.body.ids().collect();
+            for id in ids {
+                let inst = lp.body.inst_mut(id);
+                match &mut inst.kind {
+                    OpKind::FifoRead(f) | OpKind::FifoWrite(f) => {
+                        *f = map[f.index()].expect("referenced fifo survives compaction");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Generates a design with one *planted* network defect from a seed —
+/// the deliberate counterpart of [`random_design`]: where that generator
+/// promises verify-clean output, this one promises exactly one dirty
+/// rule, returned alongside the design so analyzer tests can assert both
+/// the hit and the absence of collateral findings. Seeds cycle through
+/// the defect classes: a double-written channel (`VN01`), a double-read
+/// channel (`VN02`), a concurrent array race (`VN03`), a channel cycle
+/// (`VN04`) and a dead channel (`VN05`).
+///
+/// # Panics
+///
+/// Never for any seed — planted defects are *network* defects; the IR
+/// itself stays structurally valid.
+pub fn random_dirty_design(seed: u64) -> (Design, &'static str) {
+    let mut rng = Rng::seed_from_u64(derive_seed(seed, 0xD127));
+    let trip = 8 + rng.gen_index(9) as u64;
+    let depth = 2 + rng.gen_index(3);
+    let ty = DataType::Int(32);
+    let mut b = DesignBuilder::new(format!("dirty{seed}"));
+    let rule = match seed % 5 {
+        0 => {
+            // Two producers write one channel.
+            b.dataflow();
+            let ch = b.fifo("ch", ty, depth);
+            let sink = b.fifo("sink", ty, depth);
+            for name in ["wa", "wb"] {
+                let mut k = b.kernel(name);
+                let mut l = k.pipelined_loop("w", trip, 1);
+                let v = l.indvar("i");
+                l.fifo_write(ch, v);
+                l.finish();
+                k.finish();
+            }
+            let mut k = b.kernel("r");
+            let mut l = k.pipelined_loop("r", 2 * trip, 1);
+            let v = l.fifo_read(ch, ty);
+            l.fifo_write(sink, v);
+            l.finish();
+            k.finish();
+            "VN01"
+        }
+        1 => {
+            // Two consumers read one channel.
+            b.dataflow();
+            let ch = b.fifo("ch", ty, depth);
+            let sinks = [b.fifo("sink_a", ty, depth), b.fifo("sink_b", ty, depth)];
+            let mut k = b.kernel("w");
+            let mut l = k.pipelined_loop("w", 2 * trip, 1);
+            let v = l.indvar("i");
+            l.fifo_write(ch, v);
+            l.finish();
+            k.finish();
+            for (name, sink) in ["ra", "rb"].into_iter().zip(sinks) {
+                let mut k = b.kernel(name);
+                let mut l = k.pipelined_loop("r", trip, 1);
+                let v = l.fifo_read(ch, ty);
+                l.fifo_write(sink, v);
+                l.finish();
+                k.finish();
+            }
+            "VN02"
+        }
+        2 => {
+            // A store into an array two concurrent kernels share.
+            b.dataflow();
+            let arr = b.array("shared", ty, 16, hlsb_ir::Partition::None);
+            let out_st = b.fifo("out_st", ty, depth);
+            let out_ld = b.fifo("out_ld", ty, depth);
+            let mut k = b.kernel("st");
+            let mut l = k.pipelined_loop("fill", trip, 1);
+            let i = l.indvar("i");
+            l.store(arr, i, i);
+            l.fifo_write(out_st, i);
+            l.finish();
+            k.finish();
+            let mut k = b.kernel("ld");
+            let mut l = k.pipelined_loop("drain", trip, 1);
+            let i = l.indvar("i");
+            let v = l.load(arr, i, ty);
+            l.fifo_write(out_ld, v);
+            l.finish();
+            k.finish();
+            "VN03"
+        }
+        3 => {
+            // A two-kernel channel cycle: a → fwd → b → back → a.
+            b.dataflow();
+            let fwd = b.fifo("fwd", ty, depth);
+            let back = b.fifo("back", ty, depth);
+            let mut k = b.kernel("a");
+            let mut l = k.pipelined_loop("fa", trip, 1);
+            let x = l.fifo_read(back, ty);
+            let i = l.indvar("i");
+            let v = l.add(x, i);
+            l.fifo_write(fwd, v);
+            l.finish();
+            k.finish();
+            let mut k = b.kernel("bk");
+            let mut l = k.pipelined_loop("fb", trip, 1);
+            let x = l.fifo_read(fwd, ty);
+            l.fifo_write(back, x);
+            l.finish();
+            k.finish();
+            "VN04"
+        }
+        _ => {
+            // A declared channel nothing touches.
+            let fin = b.fifo("in", ty, depth);
+            let fout = b.fifo("out", ty, depth);
+            b.fifo("unused", ty, depth);
+            let mut k = b.kernel("top");
+            let mut l = k.pipelined_loop("body", trip, 1);
+            let v = l.fifo_read(fin, ty);
+            l.fifo_write(fout, v);
+            l.finish();
+            k.finish();
+            "VN05"
+        }
+    };
+    let d = b
+        .finish()
+        .expect("planted defects keep the IR structurally valid");
+    (d, rule)
 }
 
 /// Rebuilds a body without `drop` and without the instructions that
@@ -372,12 +559,9 @@ mod tests {
     }
 
     #[test]
-    fn dataflow_fifos_have_single_reader_and_writer() {
+    fn fifos_have_single_reader_and_writer_loops_in_every_mode() {
         for seed in 0..100 {
             let d = random_design(seed);
-            if d.concurrency != hlsb_ir::Concurrency::Dataflow {
-                continue;
-            }
             let mut readers = vec![0usize; d.fifos.len()];
             let mut writers = vec![0usize; d.fifos.len()];
             for k in &d.kernels {
@@ -430,5 +614,49 @@ mod tests {
             }
         }
         assert!(checked > 20, "shrinking produced too few candidates");
+    }
+
+    #[test]
+    fn generated_designs_and_their_shrinks_are_verify_clean() {
+        for seed in 0..100 {
+            let d = random_design(seed);
+            let rep = hlsb_verify::verify_network(&d, "fuzz", 300.0);
+            assert!(rep.is_clean(), "seed {seed}:\n{}", rep.to_table());
+            if seed < 20 {
+                for s in shrink_design(&d) {
+                    let rep = hlsb_verify::verify_network(&s, "fuzz", 300.0);
+                    assert!(
+                        rep.is_clean(),
+                        "seed {seed} shrink:\n{}\n{s}",
+                        rep.to_table()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_designs_trip_exactly_their_planted_rule() {
+        let mut by_rule = std::collections::HashMap::new();
+        for seed in 0..25 {
+            let (d, rule) = random_dirty_design(seed);
+            verify_design(&d).unwrap_or_else(|e| panic!("seed {seed}: {e:?}\n{d}"));
+            let rep = hlsb_verify::verify_network(&d, "fuzz", 300.0);
+            assert!(
+                rep.has_rule(rule),
+                "seed {seed}: expected {rule}\n{}",
+                rep.to_table()
+            );
+            for diag in &rep.diagnostics {
+                assert_eq!(
+                    diag.rule,
+                    rule,
+                    "seed {seed}: collateral finding\n{}",
+                    rep.to_table()
+                );
+            }
+            *by_rule.entry(rule).or_insert(0usize) += 1;
+        }
+        assert_eq!(by_rule.len(), 5, "all defect classes cycled: {by_rule:?}");
     }
 }

@@ -46,7 +46,7 @@ pub mod golden;
 pub mod stim;
 pub mod timed;
 
-pub use fuzz::{random_design, shrink_design};
+pub use fuzz::{random_design, random_dirty_design, shrink_design};
 pub use golden::golden_trace;
 pub use stim::{IoTrace, Stimulus};
 pub use timed::{

@@ -1,0 +1,451 @@
+//! Schedule-contract checking: do the flow's cached artifacts honor the
+//! invariants the paper's optimizations promise?
+//!
+//! These checks are *auditors*, not re-implementations: they read the
+//! same `Schedule`, `SplitDecision`, `SkidDecision` and `SyncDecision`
+//! records the flow caches, and re-derive each contract from first
+//! principles — the clock budget from `CLOCK_MARGIN`, the skid bound
+//! from segment length + 1 + `GATE_PIPELINE`, the prune cover from the
+//! waited set — so a stale cache entry, a bad merge or a hand-edited
+//! artifact is caught before sign-off.
+
+use crate::finding;
+use hlsb_findings::{Diagnostic, Location, Severity};
+use hlsb_ir::Loop;
+use hlsb_rtlgen::{LowerInfo, GATE_PIPELINE};
+use hlsb_sched::{Schedule, SplitDecision, CLOCK_MARGIN};
+
+/// Float slack for delay comparisons, ns — well below any real delay
+/// increment, well above f64 accumulation error.
+const EPS_NS: f64 = 1e-6;
+
+/// One scheduled loop as seen by the contract checker — a borrow view so
+/// any flow layer (core session, bench CLI, tests) can hand over its own
+/// artifact representation without conversion.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopContract<'a> {
+    /// Kernel name, for locations.
+    pub kernel: &'a str,
+    /// The (effective, post-unroll) loop that was scheduled.
+    pub looop: &'a Loop,
+    /// Its final schedule.
+    pub schedule: &'a Schedule,
+    /// The broadcast-aware chain-cut decisions made for this loop
+    /// (empty for the baseline scheduler).
+    pub splits: &'a [SplitDecision],
+}
+
+fn loop_location(lc: &LoopContract<'_>) -> Location {
+    Location {
+        kernel: Some(lc.kernel.to_string()),
+        looop: Some(lc.looop.name.to_string()),
+        pragma: None,
+    }
+}
+
+/// VC01 — every scheduled chain must land below the device-calibrated
+/// delay threshold (`clock_ns * CLOCK_MARGIN`), §4.1. The only legal
+/// exceptions are the schedule's own `violations`: single operations
+/// whose delay exceeds the budget even at a fresh cycle boundary, which
+/// the flow explicitly hands to physical optimization. Also audits each
+/// recorded [`SplitDecision`]: a cut must dominate its violator, cite a
+/// positive excess and a broadcast factor of at least 1.
+pub fn check_schedule(loops: &[LoopContract<'_>], out: &mut Vec<Diagnostic>) {
+    for lc in loops {
+        let sched = lc.schedule;
+        let budget = sched.clock_ns * CLOCK_MARGIN;
+        for (id, inst) in lc.looop.body.iter() {
+            let op = sched.op(id);
+            if op.offset_ns <= budget + EPS_NS || sched.violations.contains(&id) {
+                continue;
+            }
+            out.push(finding(
+                "VC01",
+                Severity::Error,
+                format!("inst {id} ({})", inst.kind),
+                format!(
+                    "chain ending at {id} ({}) finishes {:.3} ns into a {:.3} ns budget \
+                     (clock {:.3} ns x margin {CLOCK_MARGIN}) without a violation record; \
+                     the broadcast-aware cut did not land below the threshold",
+                    inst.kind, op.offset_ns, budget, sched.clock_ns,
+                ),
+                loop_location(lc),
+                sched.operand_broadcast_factor(&lc.looop.body, id),
+                op.offset_ns - budget,
+            ));
+        }
+        for s in lc.splits {
+            let mut problems = Vec::new();
+            if s.excess_ns <= 0.0 {
+                problems.push(format!(
+                    "cites a non-positive excess of {:.3} ns",
+                    s.excess_ns
+                ));
+            }
+            if s.cut.index() >= s.violator.index() {
+                problems.push(format!(
+                    "cut point {} does not dominate the violator {}",
+                    s.cut, s.violator
+                ));
+            }
+            if s.broadcast_factor < 1 {
+                problems.push("records a broadcast factor of 0".to_string());
+            }
+            if !problems.is_empty() {
+                out.push(finding(
+                    "VC01",
+                    Severity::Error,
+                    format!("split at {} for {}", s.cut, s.violator),
+                    format!(
+                        "round-{} chain-cut record is inconsistent: {}",
+                        s.round,
+                        problems.join("; "),
+                    ),
+                    loop_location(lc),
+                    s.broadcast_factor.max(1),
+                    s.excess_ns.max(0.0),
+                ));
+            }
+        }
+    }
+}
+
+/// VC02/VC03 — audits the lowering metadata: skid-buffer depths against
+/// the paper's `N+1` bound (§4.3) and sync-prune decisions against the
+/// waited set's latency cover (§4.2).
+pub fn check_lower(info: &LowerInfo, out: &mut Vec<Diagnostic>) {
+    check_skid_depths(info, out);
+    check_sync_prunes(info, out);
+}
+
+/// A skid buffer covering a pipeline segment of `N` stages needs `N + 1`
+/// slots to absorb the in-flight iterations plus the one entering as the
+/// stall asserts — and this lowering registers the gate feedback, adding
+/// [`GATE_PIPELINE`] cycles of slack per buffer. Buffers are grouped per
+/// lowered loop instance; segment length is the distance to the previous
+/// cut (cuts are recorded in lowering order, but sorted here to be safe).
+fn check_skid_depths(info: &LowerInfo, out: &mut Vec<Diagnostic>) {
+    let mut loops: Vec<&str> = Vec::new();
+    for d in &info.skid_decisions {
+        if !loops.contains(&d.looop.as_str()) {
+            loops.push(&d.looop);
+        }
+    }
+    for name in loops {
+        let mut cuts: Vec<_> = info
+            .skid_decisions
+            .iter()
+            .filter(|d| d.looop == name)
+            .collect();
+        cuts.sort_by_key(|d| d.cut_stage);
+        let mut prev = 0usize;
+        for d in cuts {
+            let seg_len = d.cut_stage.saturating_sub(prev) as u64;
+            let bound = seg_len + 1 + GATE_PIPELINE;
+            if d.depth_slots < bound {
+                out.push(finding(
+                    "VC02",
+                    Severity::Error,
+                    format!("skid at stage {} of {}", d.cut_stage, d.looop),
+                    format!(
+                        "skid buffer holds {} slot(s) but covers a {}-stage segment: the \
+                         N+1 bound with {} cycle(s) of registered-gate slack requires {}; \
+                         an in-flight iteration is dropped when the gate closes",
+                        d.depth_slots, seg_len, GATE_PIPELINE, bound,
+                    ),
+                    Location {
+                        kernel: Some(d.looop.clone()),
+                        looop: None,
+                        pragma: None,
+                    },
+                    seg_len as usize,
+                    0.0,
+                ));
+            }
+            prev = d.cut_stage;
+        }
+    }
+}
+
+/// A pruned done-signal is legal only if the module's latency is
+/// statically known and some waited module provably outlasts it.
+fn check_sync_prunes(info: &LowerInfo, out: &mut Vec<Diagnostic>) {
+    let mut loops: Vec<&str> = Vec::new();
+    for d in &info.sync_decisions {
+        if !loops.contains(&d.looop.as_str()) {
+            loops.push(&d.looop);
+        }
+    }
+    for name in loops {
+        let group: Vec<_> = info
+            .sync_decisions
+            .iter()
+            .filter(|d| d.looop == name)
+            .collect();
+        let cover = group
+            .iter()
+            .filter(|d| d.waited)
+            .filter_map(|d| d.latency)
+            .max();
+        for d in &group {
+            if d.waited {
+                continue;
+            }
+            let location = Location {
+                kernel: Some(d.looop.clone()),
+                looop: None,
+                pragma: None,
+            };
+            let subject = format!("module {} of {}", d.module, d.looop);
+            let Some(lat) = d.latency else {
+                out.push(finding(
+                    "VC03",
+                    Severity::Error,
+                    subject,
+                    format!(
+                        "done-signal of {} was pruned although its latency is dynamic; no \
+                         waited module can guarantee it has finished",
+                        d.module,
+                    ),
+                    location,
+                    group.len(),
+                    0.0,
+                ));
+                continue;
+            };
+            match cover {
+                Some(c) if c >= lat => {
+                    // Legal prune — but the recorded evidence must agree
+                    // with the actual waited set.
+                    if d.cover_latency != Some(c) {
+                        out.push(finding(
+                            "VC03",
+                            Severity::Error,
+                            subject,
+                            format!(
+                                "prune of {} records cover latency {:?} but the waited set's \
+                                 longest static latency is {c}; the decision evidence is stale",
+                                d.module, d.cover_latency,
+                            ),
+                            location,
+                            group.len(),
+                            0.0,
+                        ));
+                    }
+                }
+                _ => {
+                    out.push(finding(
+                        "VC03",
+                        Severity::Error,
+                        subject,
+                        format!(
+                            "done-signal of {} (latency {lat}) was pruned but the waited set \
+                             covers only {} cycle(s); the FSM can advance before the module \
+                             finishes",
+                            d.module,
+                            cover.map_or(0, |c| c),
+                        ),
+                        location,
+                        group.len(),
+                        0.0,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_delay::HlsPredictedModel;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::types::DataType;
+    use hlsb_rtlgen::{SkidDecision, SkidStorage, SyncDecision};
+    use hlsb_sched::schedule_loop;
+
+    fn scheduled_design() -> (hlsb_ir::Design, Schedule) {
+        let mut b = DesignBuilder::new("c");
+        let fin = b.fifo("in", DataType::Int(32), 2);
+        let fout = b.fifo("out", DataType::Int(32), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("mac", 64, 1);
+        let c = l.invariant_input("c", DataType::Int(32));
+        let x = l.fifo_read(fin, DataType::Int(32));
+        let m = l.mul(c, x);
+        let s = l.add(m, x);
+        l.fifo_write(fout, s);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid design");
+        let sched = schedule_loop(&d.kernels[0].loops[0], &d, &HlsPredictedModel::new(), 3.33);
+        (d, sched)
+    }
+
+    fn contracts(d: &hlsb_ir::Design, sched: &Schedule) -> Vec<Diagnostic> {
+        let lc = LoopContract {
+            kernel: &d.kernels[0].name,
+            looop: &d.kernels[0].loops[0],
+            schedule: sched,
+            splits: &[],
+        };
+        let mut out = Vec::new();
+        check_schedule(&[lc], &mut out);
+        out
+    }
+
+    #[test]
+    fn honest_schedule_is_clean() {
+        let (d, sched) = scheduled_design();
+        assert!(contracts(&d, &sched).is_empty());
+    }
+
+    #[test]
+    fn tampered_offset_fires_vc01() {
+        let (d, mut sched) = scheduled_design();
+        // Push one op's chain end past the budget without recording a
+        // violation — exactly what a stale or corrupted cache would show.
+        let victim = sched.ops.len() - 2;
+        sched.ops[victim].offset_ns = sched.clock_ns * CLOCK_MARGIN + 0.5;
+        let out = contracts(&d, &sched);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VC01");
+        assert!(out[0].est_penalty_ns > 0.4);
+        assert_eq!(out[0].location.looop.as_deref(), Some("mac"));
+    }
+
+    #[test]
+    fn recorded_violation_is_a_legal_exception() {
+        let (d, mut sched) = scheduled_design();
+        let victim = sched.ops.len() - 2;
+        sched.ops[victim].offset_ns = sched.clock_ns * CLOCK_MARGIN + 0.5;
+        sched.violations.push(hlsb_ir::InstId(victim as u32));
+        assert!(contracts(&d, &sched).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_split_record_fires_vc01() {
+        let (d, sched) = scheduled_design();
+        let bad = SplitDecision {
+            round: 1,
+            violator: hlsb_ir::InstId(1),
+            op: hlsb_ir::OpKind::Add,
+            cut: hlsb_ir::InstId(3), // does not dominate the violator
+            broadcast_factor: 0,
+            excess_ns: -0.2,
+            calibrated_ns: 1.0,
+            predicted_ns: 0.5,
+        };
+        let lc = LoopContract {
+            kernel: &d.kernels[0].name,
+            looop: &d.kernels[0].loops[0],
+            schedule: &sched,
+            splits: std::slice::from_ref(&bad),
+        };
+        let mut out = Vec::new();
+        check_schedule(&[lc], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VC01");
+        assert!(out[0].message.contains("does not dominate"));
+        assert!(out[0].message.contains("non-positive excess"));
+    }
+
+    fn skid(looop: &str, cut_stage: usize, depth_slots: u64) -> SkidDecision {
+        SkidDecision {
+            looop: looop.into(),
+            cut_stage,
+            depth_slots,
+            width_bits: 32,
+            bits: depth_slots * 32,
+            storage: SkidStorage::Ff,
+            min_area: true,
+        }
+    }
+
+    #[test]
+    fn skid_bound_holds_per_segment() {
+        let mut info = LowerInfo::default();
+        // Cuts at stages 3 and 8: segments of 3 and 5 stages.
+        info.skid_decisions
+            .push(skid("top_0", 3, 3 + 1 + GATE_PIPELINE));
+        info.skid_decisions
+            .push(skid("top_0", 8, 5 + 1 + GATE_PIPELINE));
+        let mut out = Vec::new();
+        check_lower(&info, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        // Shrink the second buffer below the bound.
+        info.skid_decisions[1].depth_slots -= 1;
+        let mut out = Vec::new();
+        check_lower(&info, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VC02");
+        assert!(out[0].message.contains("5-stage segment"));
+        assert_eq!(out[0].location.kernel.as_deref(), Some("top_0"));
+    }
+
+    fn sync(module: &str, latency: Option<u64>, waited: bool, cover: Option<u64>) -> SyncDecision {
+        SyncDecision {
+            looop: "top_0".into(),
+            module: module.into(),
+            latency,
+            waited,
+            cover_latency: cover,
+        }
+    }
+
+    #[test]
+    fn legal_prune_is_clean() {
+        let mut info = LowerInfo::default();
+        info.sync_decisions
+            .push(sync("pe0", Some(20), true, Some(20)));
+        info.sync_decisions
+            .push(sync("pe1", Some(5), false, Some(20)));
+        info.sync_decisions.push(sync("pe2", None, true, Some(20)));
+        let mut out = Vec::new();
+        check_lower(&info, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn uncovered_prune_fires_vc03() {
+        let mut info = LowerInfo::default();
+        // The pruned module outlasts everything the FSM still waits on.
+        info.sync_decisions
+            .push(sync("pe0", Some(10), true, Some(10)));
+        info.sync_decisions
+            .push(sync("pe1", Some(25), false, Some(10)));
+        let mut out = Vec::new();
+        check_lower(&info, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VC03");
+        assert!(out[0].message.contains("covers only 10"));
+    }
+
+    #[test]
+    fn pruned_dynamic_module_fires_vc03() {
+        let mut info = LowerInfo::default();
+        info.sync_decisions
+            .push(sync("pe0", Some(30), true, Some(30)));
+        info.sync_decisions.push(sync("pe1", None, false, Some(30)));
+        let mut out = Vec::new();
+        check_lower(&info, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VC03");
+        assert!(out[0].message.contains("dynamic"));
+    }
+
+    #[test]
+    fn stale_cover_evidence_fires_vc03() {
+        let mut info = LowerInfo::default();
+        info.sync_decisions
+            .push(sync("pe0", Some(20), true, Some(20)));
+        info.sync_decisions
+            .push(sync("pe1", Some(5), false, Some(7)));
+        let mut out = Vec::new();
+        check_lower(&info, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VC03");
+        assert!(out[0].message.contains("stale"));
+    }
+}

@@ -1,0 +1,788 @@
+//! Dataflow network analysis: the kernel↔FIFO channel graph.
+//!
+//! Works on the *input* [`Design`], before unrolling — unrolling
+//! multiplies a loop's per-iteration channel accesses and divides its
+//! trip count, so every token bound computed here is unroll-invariant.
+//!
+//! Endpoint granularity is the **loop**: HLS streaming discipline allows
+//! one loop to read or write a channel many times per iteration (that is
+//! a wider stream, not a conflict), but two different loops driving one
+//! channel — whether in one kernel or across kernels — make the token
+//! order depend on scheduling and break the single-writer/single-reader
+//! contract the FIFO lowering assumes.
+
+use crate::finding;
+use hlsb_findings::{Diagnostic, Location, Severity};
+use hlsb_ir::{Concurrency, Design, OpKind};
+
+/// One loop's use of a channel: where it is and how many accesses each
+/// iteration performs.
+#[derive(Debug, Clone, Copy)]
+struct Endpoint {
+    kernel: usize,
+    looop: usize,
+    /// Static access count in the loop body (per iteration, pre-unroll).
+    per_iter: usize,
+}
+
+impl Endpoint {
+    /// Total tokens this endpoint moves over the loop's full execution.
+    fn total_tokens(&self, design: &Design) -> u64 {
+        self.per_iter as u64 * design.kernels[self.kernel].loops[self.looop].trip_count
+    }
+
+    /// Execution-order key: kernels run in order under a sequential top
+    /// level, loops run in order within a kernel.
+    fn order(&self) -> (usize, usize) {
+        (self.kernel, self.looop)
+    }
+}
+
+fn location(design: &Design, e: Endpoint) -> Location {
+    Location {
+        kernel: Some(design.kernels[e.kernel].name.clone()),
+        looop: Some(design.kernels[e.kernel].loops[e.looop].name.clone()),
+        pragma: None,
+    }
+}
+
+fn endpoint_list(design: &Design, endpoints: &[Endpoint]) -> String {
+    endpoints
+        .iter()
+        .map(|e| {
+            format!(
+                "{}/{}",
+                design.kernels[e.kernel].name, design.kernels[e.kernel].loops[e.looop].name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Per-channel endpoint sets, in kernel-loop order.
+struct ChannelUse {
+    writers: Vec<Endpoint>,
+    readers: Vec<Endpoint>,
+}
+
+fn collect_channels(design: &Design) -> Vec<ChannelUse> {
+    let mut uses: Vec<ChannelUse> = design
+        .fifos
+        .iter()
+        .map(|_| ChannelUse {
+            writers: Vec::new(),
+            readers: Vec::new(),
+        })
+        .collect();
+    for (ki, kernel) in design.kernels.iter().enumerate() {
+        for (li, lp) in kernel.loops.iter().enumerate() {
+            let mut writes = vec![0usize; design.fifos.len()];
+            let mut reads = vec![0usize; design.fifos.len()];
+            for (_, inst) in lp.body.iter() {
+                match inst.kind {
+                    OpKind::FifoWrite(f) => writes[f.index()] += 1,
+                    OpKind::FifoRead(f) => reads[f.index()] += 1,
+                    _ => {}
+                }
+            }
+            for (fi, &n) in writes.iter().enumerate() {
+                if n > 0 {
+                    uses[fi].writers.push(Endpoint {
+                        kernel: ki,
+                        looop: li,
+                        per_iter: n,
+                    });
+                }
+            }
+            for (fi, &n) in reads.iter().enumerate() {
+                if n > 0 {
+                    uses[fi].readers.push(Endpoint {
+                        kernel: ki,
+                        looop: li,
+                        per_iter: n,
+                    });
+                }
+            }
+        }
+    }
+    uses
+}
+
+/// VN01/VN02: single-writer / single-reader discipline per channel.
+fn check_endpoints(design: &Design, uses: &[ChannelUse], out: &mut Vec<Diagnostic>) {
+    for (fi, u) in uses.iter().enumerate() {
+        let fifo = &design.fifos[fi];
+        if u.writers.len() > 1 {
+            out.push(finding(
+                "VN01",
+                Severity::Error,
+                format!("fifo \"{}\"", fifo.name),
+                format!(
+                    "channel \"{}\" is written from {} loops ({}); FIFO lowering assumes a \
+                     single producer, so the token order depends on scheduling",
+                    fifo.name,
+                    u.writers.len(),
+                    endpoint_list(design, &u.writers),
+                ),
+                location(design, u.writers[1]),
+                u.writers.len(),
+                0.0,
+            ));
+        }
+        if u.readers.len() > 1 {
+            out.push(finding(
+                "VN02",
+                Severity::Error,
+                format!("fifo \"{}\"", fifo.name),
+                format!(
+                    "channel \"{}\" is read from {} loops ({}); FIFO lowering assumes a \
+                     single consumer, so each loop sees a scheduling-dependent subsequence",
+                    fifo.name,
+                    u.readers.len(),
+                    endpoint_list(design, &u.readers),
+                ),
+                location(design, u.readers[1]),
+                u.readers.len(),
+                0.0,
+            ));
+        }
+    }
+}
+
+/// VN03: an array written while several concurrent dataflow kernels
+/// access it — an unsynchronized shared-pool race. Sequential designs
+/// are exempt (one FSM orders every access).
+fn check_array_races(design: &Design, out: &mut Vec<Diagnostic>) {
+    if design.concurrency != Concurrency::Dataflow {
+        return;
+    }
+    for (ai, array) in design.arrays.iter().enumerate() {
+        let mut touching: Vec<usize> = Vec::new();
+        let mut writer: Option<Endpoint> = None;
+        for (ki, kernel) in design.kernels.iter().enumerate() {
+            for (li, lp) in kernel.loops.iter().enumerate() {
+                for (_, inst) in lp.body.iter() {
+                    let (is_access, is_write) = match inst.kind {
+                        OpKind::Load(a) if a.index() == ai => (true, false),
+                        OpKind::Store(a) if a.index() == ai => (true, true),
+                        _ => (false, false),
+                    };
+                    if is_access && !touching.contains(&ki) {
+                        touching.push(ki);
+                    }
+                    if is_write && writer.is_none() {
+                        writer = Some(Endpoint {
+                            kernel: ki,
+                            looop: li,
+                            per_iter: 1,
+                        });
+                    }
+                }
+            }
+        }
+        if touching.len() > 1 {
+            if let Some(w) = writer {
+                let names: Vec<&str> = touching
+                    .iter()
+                    .map(|&k| design.kernels[k].name.as_str())
+                    .collect();
+                out.push(finding(
+                    "VN03",
+                    Severity::Error,
+                    format!("array \"{}\"", array.name),
+                    format!(
+                        "array \"{}\" is written by kernel \"{}\" while {} concurrent \
+                         dataflow kernels access it ({}); accesses are unsynchronized",
+                        array.name,
+                        design.kernels[w.kernel].name,
+                        touching.len(),
+                        names.join(", "),
+                    ),
+                    location(design, w),
+                    touching.len(),
+                    0.0,
+                ));
+            }
+        }
+    }
+}
+
+/// VN04, part 1 — channel cycles between concurrent kernels.
+///
+/// The lowered dataflow network starts with empty FIFOs (no initial
+/// tokens), so *any* directed channel cycle between concurrently running
+/// kernels deadlocks: every kernel on the cycle blocks reading before it
+/// can write. The finding cites the cycle's total FIFO capacity as
+/// evidence that no skid/FIFO sizing can cover the in-flight bound.
+fn check_channel_cycles(design: &Design, uses: &[ChannelUse], out: &mut Vec<Diagnostic>) {
+    if design.concurrency != Concurrency::Dataflow {
+        return;
+    }
+    let n = design.kernels.len();
+    // Cross-kernel edges: writer kernel -> reader kernel, tagged with the
+    // channel index.
+    let mut edges: Vec<(usize, usize, usize)> = Vec::new();
+    for (fi, u) in uses.iter().enumerate() {
+        for w in &u.writers {
+            for r in &u.readers {
+                if w.kernel != r.kernel {
+                    edges.push((w.kernel, r.kernel, fi));
+                }
+            }
+        }
+    }
+    let mut adj = vec![Vec::new(); n];
+    let mut radj = vec![Vec::new(); n];
+    for &(a, b, _) in &edges {
+        adj[a].push(b);
+        radj[b].push(a);
+    }
+
+    // Kosaraju: forward finish order, then reverse-graph sweeps.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        // Iterative DFS with an explicit post-visit marker.
+        let mut stack = vec![(start, false)];
+        while let Some((v, post)) = stack.pop() {
+            if post {
+                order.push(v);
+                continue;
+            }
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            stack.push((v, true));
+            for &w in &adj[v] {
+                if !seen[w] {
+                    stack.push((w, false));
+                }
+            }
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0usize;
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            if comp[v] != usize::MAX {
+                continue;
+            }
+            comp[v] = ncomp;
+            for &w in &radj[v] {
+                if comp[w] == usize::MAX {
+                    stack.push(w);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+
+    for c in 0..ncomp {
+        let members: Vec<usize> = (0..n).filter(|&k| comp[k] == c).collect();
+        if members.len() < 2 {
+            continue;
+        }
+        let cycle_fifos: Vec<usize> = {
+            let mut v: Vec<usize> = edges
+                .iter()
+                .filter(|&&(a, b, _)| comp[a] == c && comp[b] == c)
+                .map(|&(_, _, f)| f)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let capacity: u64 = cycle_fifos
+            .iter()
+            .map(|&f| design.fifos[f].depth as u64)
+            .sum();
+        let kernel_names: Vec<&str> = members
+            .iter()
+            .map(|&k| design.kernels[k].name.as_str())
+            .collect();
+        let fifo_names: Vec<&str> = cycle_fifos
+            .iter()
+            .map(|&f| design.fifos[f].name.as_str())
+            .collect();
+        out.push(finding(
+            "VN04",
+            Severity::Error,
+            format!("cycle {{{}}}", kernel_names.join(" -> ")),
+            format!(
+                "kernels {} form a channel cycle through {{{}}}; the network starts with no \
+                 initial tokens, so every kernel blocks on its read before producing — the \
+                 cycle's total capacity of {capacity} slot(s) can never cover the in-flight \
+                 token bound",
+                kernel_names.join(", "),
+                fifo_names.join(", "),
+            ),
+            Location {
+                kernel: Some(design.kernels[members[0]].name.clone()),
+                looop: None,
+                pragma: None,
+            },
+            members.len(),
+            0.0,
+        ));
+    }
+}
+
+/// VN04, part 2 — sequenced endpoints whose order or capacity cannot
+/// clear. Applies wherever two endpoints of one channel execute under a
+/// single FSM: loops of one kernel (always sequential), and any two
+/// endpoints of a sequential-concurrency design.
+fn check_sequenced_capacity(design: &Design, uses: &[ChannelUse], out: &mut Vec<Diagnostic>) {
+    let sequential_top = design.concurrency == Concurrency::Sequential;
+    for (fi, u) in uses.iter().enumerate() {
+        if u.writers.is_empty() || u.readers.is_empty() {
+            continue; // external channel (pure input or output stream)
+        }
+        let fifo = &design.fifos[fi];
+        // Only endpoints in one sequential domain are comparable.
+        let comparable = |a: &Endpoint, b: &Endpoint| sequential_top || a.kernel == b.kernel;
+        let first_reader = u
+            .readers
+            .iter()
+            .filter(|r| u.writers.iter().any(|w| comparable(w, r)))
+            .min_by_key(|r| r.order());
+        let Some(r) = first_reader else { continue };
+        // Same-loop read/write interleaves per iteration — the scheduler
+        // orders it within the II; not a sequencing hazard.
+        let before: Vec<&Endpoint> = u
+            .writers
+            .iter()
+            .filter(|w| comparable(w, r) && w.order() < r.order())
+            .collect();
+        let any_same_loop = u
+            .writers
+            .iter()
+            .any(|w| w.kernel == r.kernel && w.looop == r.looop);
+        if before.is_empty() {
+            if any_same_loop {
+                continue;
+            }
+            // Every comparable writer runs after the first reader: the
+            // read blocks on an empty FIFO and the FSM never reaches the
+            // writer.
+            out.push(finding(
+                "VN04",
+                Severity::Error,
+                format!("fifo \"{}\"", fifo.name),
+                format!(
+                    "loop {}/{} reads \"{}\" before any sequenced writer has run; the \
+                     blocking read starves and the controlling FSM never reaches the producer",
+                    design.kernels[r.kernel].name,
+                    design.kernels[r.kernel].loops[r.looop].name,
+                    fifo.name,
+                ),
+                location(design, *r),
+                u.writers.len(),
+                0.0,
+            ));
+            continue;
+        }
+        let tokens: u64 = before.iter().map(|w| w.total_tokens(design)).sum();
+        if tokens > fifo.depth as u64 {
+            out.push(finding(
+                "VN04",
+                Severity::Error,
+                format!("fifo \"{}\"", fifo.name),
+                format!(
+                    "{} token(s) are written to \"{}\" (depth {}) before the first sequenced \
+                     read in loop {}/{}; the producer blocks on the full FIFO and the FSM \
+                     never reaches the consumer",
+                    tokens,
+                    fifo.name,
+                    fifo.depth,
+                    design.kernels[r.kernel].name,
+                    design.kernels[r.kernel].loops[r.looop].name,
+                ),
+                location(design, *before[0]),
+                tokens.min(usize::MAX as u64) as usize,
+                0.0,
+            ));
+        }
+    }
+}
+
+/// VN05/VN06: dead channels and unobservable kernels.
+fn check_dead(design: &Design, uses: &[ChannelUse], out: &mut Vec<Diagnostic>) {
+    for (fi, u) in uses.iter().enumerate() {
+        if u.writers.is_empty() && u.readers.is_empty() {
+            let fifo = &design.fifos[fi];
+            out.push(finding(
+                "VN05",
+                Severity::Warning,
+                format!("fifo \"{}\"", fifo.name),
+                format!(
+                    "channel \"{}\" (depth {}) is neither read nor written by any kernel",
+                    fifo.name, fifo.depth,
+                ),
+                Location::default(),
+                0,
+                0.0,
+            ));
+        }
+    }
+
+    let mut called = vec![false; design.kernels.len()];
+    for kernel in &design.kernels {
+        for lp in &kernel.loops {
+            for (_, inst) in lp.body.iter() {
+                if let OpKind::Call(k) = inst.kind {
+                    if k.index() < called.len() {
+                        called[k.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+    for (ki, kernel) in design.kernels.iter().enumerate() {
+        if called[ki] {
+            continue; // a PE's results flow through its caller
+        }
+        let observable = kernel.loops.iter().any(|lp| {
+            lp.body.iter().any(|(_, inst)| {
+                matches!(
+                    inst.kind,
+                    OpKind::FifoWrite(_) | OpKind::Store(_) | OpKind::Output | OpKind::Call(_)
+                )
+            })
+        });
+        if !observable {
+            out.push(finding(
+                "VN06",
+                Severity::Warning,
+                format!("kernel \"{}\"", kernel.name),
+                format!(
+                    "kernel \"{}\" writes no channel, array or output and is never called; \
+                     its computation is unobservable",
+                    kernel.name,
+                ),
+                Location {
+                    kernel: Some(kernel.name.clone()),
+                    looop: None,
+                    pragma: None,
+                },
+                0,
+                0.0,
+            ));
+        }
+    }
+}
+
+/// Runs every network rule over `design`, appending findings to `out`.
+pub fn check_network(design: &Design, out: &mut Vec<Diagnostic>) {
+    let uses = collect_channels(design);
+    check_endpoints(design, &uses, out);
+    check_array_races(design, out);
+    check_channel_cycles(design, &uses, out);
+    check_sequenced_capacity(design, &uses, out);
+    check_dead(design, &uses, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_ir::builder::DesignBuilder;
+    use hlsb_ir::types::DataType;
+
+    fn i32t() -> DataType {
+        DataType::Int(32)
+    }
+
+    fn run(design: &hlsb_ir::Design) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check_network(design, &mut out);
+        out
+    }
+
+    /// producer -> mid -> consumer over two internal channels.
+    fn clean_pipeline() -> hlsb_ir::Design {
+        let mut b = DesignBuilder::new("clean");
+        let fin = b.fifo("in", i32t(), 2);
+        let c1 = b.fifo("c1", i32t(), 2);
+        let c2 = b.fifo("c2", i32t(), 2);
+        let fout = b.fifo("out", i32t(), 2);
+        b.dataflow();
+        let mut k = b.kernel("producer");
+        let mut l = k.pipelined_loop("p", 16, 1);
+        let v = l.fifo_read(fin, i32t());
+        l.fifo_write(c1, v);
+        l.finish();
+        k.finish();
+        let mut k = b.kernel("mid");
+        let mut l = k.pipelined_loop("m", 16, 1);
+        let v = l.fifo_read(c1, i32t());
+        let w = l.add(v, v);
+        l.fifo_write(c2, w);
+        l.finish();
+        k.finish();
+        let mut k = b.kernel("consumer");
+        let mut l = k.pipelined_loop("c", 16, 1);
+        let v = l.fifo_read(c2, i32t());
+        l.fifo_write(fout, v);
+        l.finish();
+        k.finish();
+        b.finish().expect("valid design")
+    }
+
+    #[test]
+    fn clean_dataflow_pipeline_has_no_findings() {
+        assert!(run(&clean_pipeline()).is_empty());
+    }
+
+    #[test]
+    fn double_writer_fires_vn01_at_second_endpoint() {
+        let mut d = clean_pipeline();
+        // The producer's loop also writes c2 (index 2), racing mid's
+        // writes. Downstream-directed, so no channel cycle is created.
+        let fid = hlsb_ir::FifoId(2);
+        let body = &mut d.kernels[0].loops[0].body;
+        let v = body.push(OpKind::IndVar, i32t(), vec![]);
+        body.push(OpKind::FifoWrite(fid), i32t(), vec![v]);
+        let out = run(&d);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VN01");
+        assert_eq!(out[0].severity, Severity::Error);
+        // Endpoints are recorded in kernel order; the second one is mid's.
+        assert_eq!(out[0].location.kernel.as_deref(), Some("mid"));
+        assert_eq!(out[0].broadcast_factor, 2);
+    }
+
+    #[test]
+    fn double_reader_fires_vn02() {
+        let mut d = clean_pipeline();
+        let fid = hlsb_ir::FifoId(1);
+        let body = &mut d.kernels[2].loops[0].body;
+        body.push(OpKind::FifoRead(fid), i32t(), vec![]);
+        let out = run(&d);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VN02");
+        assert_eq!(out[0].location.kernel.as_deref(), Some("consumer"));
+    }
+
+    #[test]
+    fn repeated_access_within_one_loop_is_legal() {
+        // A loop reading its input channel twice per iteration is a wider
+        // stream, not a discipline violation.
+        let mut b = DesignBuilder::new("wide");
+        let fin = b.fifo("in", i32t(), 2);
+        let fout = b.fifo("out", i32t(), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("l", 16, 1);
+        let a = l.fifo_read(fin, i32t());
+        let c = l.fifo_read(fin, i32t());
+        let s = l.add(a, c);
+        l.fifo_write(fout, s);
+        l.fifo_write(fout, a);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid design");
+        assert!(run(&d).is_empty());
+    }
+
+    #[test]
+    fn concurrent_array_write_fires_vn03() {
+        let mut b = DesignBuilder::new("race");
+        let a = b.array("pool", i32t(), 64, hlsb_ir::Partition::None);
+        let fin = b.fifo("in", i32t(), 2);
+        let fout = b.fifo("out", i32t(), 2);
+        b.dataflow();
+        let mut k = b.kernel("writer");
+        let mut l = k.pipelined_loop("w", 16, 1);
+        let i = l.indvar("i");
+        let v = l.fifo_read(fin, i32t());
+        l.store(a, i, v);
+        l.finish();
+        k.finish();
+        let mut k = b.kernel("reader");
+        let mut l = k.pipelined_loop("r", 16, 1);
+        let i = l.indvar("i");
+        let v = l.load(a, i, i32t());
+        l.fifo_write(fout, v);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid design");
+        let out = run(&d);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VN03");
+        assert_eq!(out[0].location.kernel.as_deref(), Some("writer"));
+    }
+
+    #[test]
+    fn sequential_array_sharing_is_legal() {
+        let mut b = DesignBuilder::new("seq_share");
+        let a = b.array("pool", i32t(), 64, hlsb_ir::Partition::None);
+        let fin = b.fifo("in", i32t(), 2);
+        let fout = b.fifo("out", i32t(), 2);
+        let mut k = b.kernel("writer");
+        let mut l = k.pipelined_loop("w", 16, 1);
+        let i = l.indvar("i");
+        let v = l.fifo_read(fin, i32t());
+        l.store(a, i, v);
+        l.finish();
+        k.finish();
+        let mut k = b.kernel("reader");
+        let mut l = k.pipelined_loop("r", 16, 1);
+        let i = l.indvar("i");
+        let v = l.load(a, i, i32t());
+        l.fifo_write(fout, v);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid design");
+        assert!(run(&d).is_empty());
+    }
+
+    #[test]
+    fn channel_cycle_fires_vn04() {
+        let mut b = DesignBuilder::new("cycle");
+        let fin = b.fifo("in", i32t(), 2);
+        let fwd = b.fifo("fwd", i32t(), 4);
+        let back = b.fifo("back", i32t(), 4);
+        let fout = b.fifo("out", i32t(), 2);
+        b.dataflow();
+        let mut k = b.kernel("a");
+        let mut l = k.pipelined_loop("la", 16, 1);
+        let x = l.fifo_read(fin, i32t());
+        let y = l.fifo_read(back, i32t());
+        let s = l.add(x, y);
+        l.fifo_write(fwd, s);
+        l.finish();
+        k.finish();
+        let mut k = b.kernel("bk");
+        let mut l = k.pipelined_loop("lb", 16, 1);
+        let v = l.fifo_read(fwd, i32t());
+        l.fifo_write(back, v);
+        l.fifo_write(fout, v);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid design");
+        let out = run(&d);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VN04");
+        assert_eq!(out[0].broadcast_factor, 2);
+        assert!(out[0].message.contains("8 slot(s)"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn read_before_sequenced_write_fires_vn04() {
+        let mut b = DesignBuilder::new("order");
+        let mid = b.fifo("mid", i32t(), 64);
+        let fout = b.fifo("out", i32t(), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("reads", 16, 1);
+        let v = l.fifo_read(mid, i32t());
+        l.fifo_write(fout, v);
+        l.finish();
+        let mut l = k.pipelined_loop("writes", 16, 1);
+        let i = l.indvar("i");
+        l.fifo_write(mid, i);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid design");
+        let out = run(&d);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VN04");
+        assert_eq!(out[0].location.looop.as_deref(), Some("reads"));
+    }
+
+    #[test]
+    fn sequenced_capacity_bound_is_checked() {
+        let build = |depth: usize| {
+            let mut b = DesignBuilder::new("cap");
+            let mid = b.fifo("mid", i32t(), depth);
+            let fout = b.fifo("out", i32t(), 2);
+            let mut k = b.kernel("top");
+            let mut l = k.pipelined_loop("writes", 16, 1);
+            let i = l.indvar("i");
+            l.fifo_write(mid, i);
+            l.finish();
+            let mut l = k.pipelined_loop("reads", 16, 1);
+            let v = l.fifo_read(mid, i32t());
+            l.fifo_write(fout, v);
+            l.finish();
+            k.finish();
+            b.finish().expect("valid design")
+        };
+        // 16 tokens buffered before the reader starts: depth 16 clears,
+        // depth 15 wedges the writer.
+        assert!(run(&build(16)).is_empty());
+        let out = run(&build(15));
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VN04");
+        assert!(out[0].message.contains("16 token(s)"), "{}", out[0].message);
+        assert_eq!(out[0].location.looop.as_deref(), Some("writes"));
+    }
+
+    #[test]
+    fn dead_channel_fires_vn05() {
+        let mut d = clean_pipeline();
+        d.fifos.push(hlsb_ir::Fifo {
+            name: "orphan".into(),
+            elem: i32t(),
+            depth: 4,
+        });
+        let out = run(&d);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VN05");
+        assert_eq!(out[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unobservable_kernel_fires_vn06() {
+        let mut b = DesignBuilder::new("deadk");
+        let fin = b.fifo("in", i32t(), 2);
+        let fout = b.fifo("out", i32t(), 2);
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("l", 16, 1);
+        let v = l.fifo_read(fin, i32t());
+        l.fifo_write(fout, v);
+        l.finish();
+        k.finish();
+        let mut k = b.kernel("idle");
+        let mut l = k.pipelined_loop("spin", 16, 1);
+        let i = l.indvar("i");
+        let _ = l.add(i, i);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid design");
+        let out = run(&d);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VN06");
+        assert_eq!(out[0].location.kernel.as_deref(), Some("idle"));
+    }
+
+    #[test]
+    fn called_pe_without_sinks_is_not_dead() {
+        let mut b = DesignBuilder::new("pe");
+        let fin = b.fifo("in", i32t(), 2);
+        let fout = b.fifo("out", i32t(), 2);
+        let pe_id = b.next_kernel_id();
+        let mut k = b.kernel("pe");
+        k.set_static_latency(3);
+        let mut l = k.pipelined_loop("body", 1, 1);
+        let x = l.varying_input("x", i32t());
+        let y = l.add(x, x);
+        l.output("y", y);
+        l.finish();
+        k.finish();
+        let mut k = b.kernel("top");
+        let mut l = k.pipelined_loop("main", 16, 1);
+        let v = l.fifo_read(fin, i32t());
+        let r = l.call(pe_id, vec![v], i32t());
+        l.fifo_write(fout, r);
+        l.finish();
+        k.finish();
+        let d = b.finish().expect("valid design");
+        assert!(run(&d).is_empty());
+    }
+}

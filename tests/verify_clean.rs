@@ -1,0 +1,102 @@
+//! Zero-false-positive guarantees of `hlsb-verify`: every shipped
+//! benchmark, a 200-design fuzz corpus, and the hlsb-dse frontier must
+//! all come back clean. Any finding here is an analyzer (or generator)
+//! bug, not a design bug.
+
+use hlsb::{Flow, FlowSession, OptimizationOptions};
+use hlsb_benchmarks::all_benchmarks;
+use hlsb_dse::{Explorer, KnobSpace, Strategy};
+use hlsb_fabric::Device;
+
+#[test]
+fn all_nine_benchmarks_probe_verify_clean() {
+    let benches = all_benchmarks();
+    assert_eq!(benches.len(), 9, "the paper's Table 1 has nine benchmarks");
+    let session = FlowSession::new();
+    for b in &benches {
+        let flow = Flow::new(b.design.clone())
+            .device(b.device.clone())
+            .clock_mhz(b.clock_mhz)
+            .options(OptimizationOptions::all())
+            .verify(true);
+        let probe = session
+            .probe(&flow)
+            .unwrap_or_else(|e| panic!("{} rejected: {e}", b.design.name));
+        let report = probe.verify.expect("probe ran with Flow::verify on");
+        assert!(
+            report.is_clean(),
+            "{} has findings: {}",
+            b.design.name,
+            report.to_table()
+        );
+    }
+}
+
+#[test]
+fn benchmark_network_analysis_is_clean_standalone() {
+    // Same guarantee without the flow in the loop — the raw network pass
+    // on the untouched input IR.
+    for b in &all_benchmarks() {
+        let report = hlsb_verify::verify_network(&b.design, &b.device.name, b.clock_mhz);
+        assert!(
+            report.is_clean(),
+            "{} network findings: {}",
+            b.design.name,
+            report.to_table()
+        );
+    }
+}
+
+#[test]
+fn two_hundred_fuzz_designs_are_verify_clean() {
+    for seed in 0..200u64 {
+        let d = hlsb_sim::random_design(seed);
+        let report = hlsb_verify::verify_network(&d, "fuzz", 300.0);
+        assert!(
+            report.is_clean(),
+            "seed {seed} ({}) has findings: {}",
+            d.name,
+            report.to_table()
+        );
+    }
+}
+
+#[test]
+fn dse_frontier_survives_an_explicit_verify_pass() {
+    // Every flow the explorer evaluates already runs with the verify
+    // pre-gate on; re-probe each frontier config independently to pin the
+    // guarantee down to the surviving points themselves.
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.design.name.contains("stream"))
+        .expect("stream buffer benchmark exists");
+    let device = Device::ultrascale_plus_vu9p();
+    let session = FlowSession::new();
+    let report = Explorer::new(&bench.design, &device)
+        .space(KnobSpace::optimization_cube(vec![300.0]))
+        .strategy(Strategy::Random)
+        .budget(4)
+        .seed(11)
+        .verify_iters(0)
+        .run(&session)
+        .expect("in-memory store");
+    assert!(
+        report.network_report.is_none(),
+        "benchmark must pass the network pre-filter"
+    );
+    let frontier: Vec<_> = report.frontier_points().collect();
+    assert!(!frontier.is_empty(), "explorer found no frontier");
+    for p in &frontier {
+        let flow = p.config.flow(&bench.design, &device, 0).verify(true);
+        let probe = session
+            .probe(&flow)
+            .unwrap_or_else(|e| panic!("frontier config {} rejected: {e}", p.config.label()));
+        let rep = probe.verify.expect("probe ran with Flow::verify on");
+        assert!(
+            rep.is_clean(),
+            "frontier config {} has findings: {}",
+            p.config.label(),
+            rep.to_table()
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Mutation tests of `hlsb-verify`: plant one known defect class into a
+//! known-good benchmark (or its cached flow artifacts) and assert the
+//! verifier reports exactly that defect, with a precise SARIF location.
+//! Where the defect has a dynamic shadow (the channel-cycle deadlock),
+//! the timed simulator confirms the static verdict.
+
+use hlsb_delay::HlsPredictedModel;
+use hlsb_findings::Diagnostic;
+use hlsb_ir::{DataType, Design, Dfg, Kernel, Loop, OpKind, PipelinePragma};
+use hlsb_rtlgen::{lower_design, ControlStyle, RtlOptions, ScheduledDesign, ScheduledLoop};
+use hlsb_sched::{schedule_loop, MemAccessPlan, CLOCK_MARGIN};
+use hlsb_sim::{simulate_design, SimOptions, Stimulus};
+use hlsb_verify::{check_lower, check_schedule, verify_network, LoopContract};
+
+/// FIFO id of `name` in `design`.
+fn fifo_id(design: &Design, name: &str) -> hlsb_ir::FifoId {
+    let idx = design
+        .fifos
+        .iter()
+        .position(|f| f.name == name)
+        .unwrap_or_else(|| panic!("benchmark has a fifo named {name}"));
+    hlsb_ir::FifoId(idx as u32)
+}
+
+/// Every finding must carry the planted rule — a mutation that trips
+/// bystander rules is not a precise detection.
+fn assert_only_rule(diags: &[Diagnostic], rule: &str) {
+    assert!(!diags.is_empty(), "planted {rule} was not detected");
+    for d in diags {
+        assert_eq!(d.rule, rule, "bystander finding: {d:?}");
+    }
+}
+
+/// Schedules every loop of a design with the stock predicted model at a
+/// 300 MHz-ish clock — the raw material the artifact mutations corrupt.
+fn scheduled(design: &Design) -> Vec<Vec<ScheduledLoop>> {
+    let model = HlsPredictedModel::new();
+    design
+        .kernels
+        .iter()
+        .map(|k| {
+            k.loops
+                .iter()
+                .map(|lp| ScheduledLoop {
+                    schedule: schedule_loop(lp, design, &model, 3.33),
+                    looop: lp.clone(),
+                    mem_plan: MemAccessPlan::default(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Contract views over a scheduled design, for `check_schedule`.
+fn contracts<'a>(design: &'a Design, loops: &'a [Vec<ScheduledLoop>]) -> Vec<LoopContract<'a>> {
+    design
+        .kernels
+        .iter()
+        .zip(loops)
+        .flat_map(|(k, sls)| {
+            sls.iter().map(|sl| LoopContract {
+                kernel: &k.name,
+                looop: &sl.looop,
+                schedule: &sl.schedule,
+                splits: &[],
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn planted_double_writer_is_caught_as_exactly_vn01() {
+    // A 2-port HBM stencil scatter, then a rogue kernel that also writes
+    // one of its output channels — the classic merge-without-a-merge-
+    // kernel mistake. The IR stays structurally valid; only the network
+    // discipline is broken.
+    let mut design = hlsb_benchmarks::hbm_stencil::design(2, 2);
+    let target = fifo_id(&design, "ch0_0");
+    let mut body = Dfg::new();
+    let iv = body.push(OpKind::IndVar, DataType::Int(64), vec![]);
+    body.push(OpKind::FifoWrite(target), DataType::Int(64), vec![iv]);
+    design.kernels.push(Kernel {
+        name: "rogue".into(),
+        loops: vec![Loop {
+            name: "w".into(),
+            trip_count: 16,
+            unroll: 1,
+            pipeline: Some(PipelinePragma::ii1()),
+            body,
+        }],
+        static_latency: None,
+    });
+    hlsb_ir::verify::verify_design(&design).expect("mutation keeps the IR valid");
+
+    let report = verify_network(&design, "U50", 333.0);
+    assert_only_rule(&report.diagnostics, "VN01");
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert!(d.subject.contains("ch0_0"), "{d:?}");
+    assert_eq!(d.broadcast_factor, 2, "two writer endpoints");
+    // The finding anchors at the second (rogue) endpoint, and the SARIF
+    // logical location spells out the full design/kernel/loop path.
+    assert_eq!(d.location.kernel.as_deref(), Some("rogue"));
+    assert_eq!(d.location.looop.as_deref(), Some("w"));
+    let sarif = report.to_sarif();
+    assert!(
+        sarif.contains("\"fullyQualifiedName\":\"hbm_stencil_scatter/rogue/w\""),
+        "{sarif}"
+    );
+    assert!(sarif.contains("\"ruleId\":\"VN01\""));
+}
+
+#[test]
+fn planted_channel_cycle_is_caught_statically_and_deadlocks_dynamically() {
+    // Close a feedback path over the stencil scatter: a kernel that reads
+    // a scatter output and writes it back into an HBM input port. The
+    // network starts token-free, so the cycle can never clear — VN04
+    // statically, and a watchdog deadlock in the timed simulator.
+    let mut design = hlsb_benchmarks::hbm_stencil::design(2, 2);
+    let back_in = fifo_id(&design, "ch0_0");
+    let back_out = fifo_id(&design, "hbm0");
+    let mut body = Dfg::new();
+    let narrow = body.push(OpKind::FifoRead(back_in), DataType::Int(64), vec![]);
+    let wide = body.push(OpKind::Repack, DataType::Bits(512), vec![narrow]);
+    body.push(OpKind::FifoWrite(back_out), DataType::Bits(512), vec![wide]);
+    design.kernels.push(Kernel {
+        name: "feedback".into(),
+        loops: vec![Loop {
+            name: "fb".into(),
+            trip_count: 1 << 20,
+            unroll: 1,
+            pipeline: Some(PipelinePragma::ii1()),
+            body,
+        }],
+        static_latency: None,
+    });
+    hlsb_ir::verify::verify_design(&design).expect("mutation keeps the IR valid");
+
+    let report = verify_network(&design, "U50", 333.0);
+    assert_only_rule(&report.diagnostics, "VN04");
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert!(d.subject.starts_with("cycle {"), "{d:?}");
+    assert!(d.message.contains("scatter_all_ports"), "{d:?}");
+    assert!(d.message.contains("feedback"), "{d:?}");
+
+    // Dynamic confirmation: the cycle starves itself from cycle zero and
+    // the simulator's idle watchdog declares a deadlock.
+    let loops = scheduled(&design);
+    let stim = Stimulus::seeded(&design, 7, 16);
+    let out = simulate_design(&design, &loops, &stim, &SimOptions::default());
+    assert!(out.deadlocked, "planted cycle must deadlock the timed sim");
+    assert!(!out.finished);
+}
+
+#[test]
+fn tampered_chain_offset_is_caught_as_vc01_with_loop_location() {
+    // Real benchmark schedule (the stencil scatter loop), then push one
+    // op's chain end past the budget without a violation record — what a
+    // stale or hand-edited cache entry would look like.
+    let design = hlsb_benchmarks::hbm_stencil::design(2, 2);
+    let mut loops = scheduled(&design);
+    {
+        let lcs = contracts(&design, &loops);
+        let mut out = Vec::new();
+        check_schedule(&lcs, &mut out);
+        assert!(
+            out.is_empty(),
+            "benchmark schedule must start clean: {out:?}"
+        );
+    }
+
+    let sl = &mut loops[0][0];
+    let budget = sl.schedule.clock_ns * CLOCK_MARGIN;
+    let victim = sl
+        .looop
+        .body
+        .ids()
+        .find(|id| !sl.schedule.violations.contains(id))
+        .expect("loop has a non-violation op");
+    sl.schedule.ops[victim.index()].offset_ns = budget + 0.5;
+
+    let lcs = contracts(&design, &loops);
+    let mut out = Vec::new();
+    check_schedule(&lcs, &mut out);
+    assert_only_rule(&out, "VC01");
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].location.kernel.as_deref(), Some("scatter_all_ports"));
+    assert_eq!(out[0].location.looop.as_deref(), Some("all_flows"));
+    assert!((out[0].est_penalty_ns - 0.5).abs() < 1e-6, "{out:?}");
+}
+
+#[test]
+fn shrunk_skid_buffer_is_caught_as_vc02() {
+    // Lower the stencil scatter with skid-buffer control, then shave one
+    // slot off a real skid decision — the N+1 bound (§4.3) breaks.
+    let design = hlsb_benchmarks::hbm_stencil::design(2, 2);
+    let loops = scheduled(&design);
+    let sd = ScheduledDesign {
+        design: &design,
+        loops: &loops,
+    };
+    let options = RtlOptions {
+        control: ControlStyle::Skid { min_area: false },
+        sync_pruning: false,
+    };
+    let mut lowered = lower_design(&sd, &options, &HlsPredictedModel::new());
+    assert!(
+        !lowered.info.skid_decisions.is_empty(),
+        "skid lowering records its buffers"
+    );
+    let mut out = Vec::new();
+    check_lower(&lowered.info, &mut out);
+    assert!(
+        out.is_empty(),
+        "benchmark lowering must start clean: {out:?}"
+    );
+
+    lowered.info.skid_decisions[0].depth_slots -= 1;
+    let mut out = Vec::new();
+    check_lower(&lowered.info, &mut out);
+    assert_only_rule(&out, "VC02");
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].message.contains("N+1 bound"), "{out:?}");
+    assert_eq!(
+        out[0].location.kernel.as_deref(),
+        Some(lowered.info.skid_decisions[0].looop.as_str())
+    );
+}
+
+#[test]
+fn illegal_sync_prune_is_caught_as_vc03() {
+    // Vector product with 4 parallel dot PEs, lowered with §4.2 sync
+    // pruning on — the real flow prunes the tied-latency PEs legally.
+    // Then raise one pruned PE's recorded latency above the waited cover:
+    // the FSM would advance before that PE finishes.
+    let design = hlsb_benchmarks::vector_arith::design(64, 4);
+    let loops = scheduled(&design);
+    let sd = ScheduledDesign {
+        design: &design,
+        loops: &loops,
+    };
+    let options = RtlOptions {
+        control: ControlStyle::Stall,
+        sync_pruning: true,
+    };
+    let mut lowered = lower_design(&sd, &options, &HlsPredictedModel::new());
+    let pruned = lowered
+        .info
+        .sync_decisions
+        .iter()
+        .position(|d| !d.waited)
+        .expect("tied-latency PEs leave at least one pruned done-signal");
+    let cover = lowered.info.sync_decisions[pruned]
+        .cover_latency
+        .expect("legal prune records its cover");
+    let mut out = Vec::new();
+    check_lower(&lowered.info, &mut out);
+    assert!(
+        out.is_empty(),
+        "benchmark lowering must start clean: {out:?}"
+    );
+
+    lowered.info.sync_decisions[pruned].latency = Some(cover + 10);
+    let mut out = Vec::new();
+    check_lower(&lowered.info, &mut out);
+    assert_only_rule(&out, "VC03");
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].message.contains("covers only"), "{out:?}");
+    assert!(
+        out[0]
+            .subject
+            .contains(&lowered.info.sync_decisions[pruned].module),
+        "{out:?}"
+    );
+}

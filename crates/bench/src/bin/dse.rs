@@ -5,7 +5,8 @@
 //! dse [--design <name>|all] [--strategy grid|random|halving]
 //!     [--clocks <mhz>[,<mhz>...]] [--budget <n>] [--seed <n>]
 //!     [--seeds <n>[,<n>...]] [--efforts fast|normal|both]
-//!     [--store <path>] [--format table|jsonl] [--verify-iters <n>]
+//!     [--partitions <n>|auto|off[,...]] [--store <path>]
+//!     [--format table|jsonl] [--verify-iters <n>]
 //!     [--trace-out <path>] [--list]
 //! ```
 //!
@@ -26,7 +27,8 @@
 //! Exit status is 2 on usage errors, 1 if any frontier configuration
 //! fails its differential-simulation check, 0 otherwise.
 
-use hlsb::{FlowSession, PlaceEffort};
+use hlsb::{FlowSession, Partitioning, PlaceEffort};
+use hlsb_bench::parse_partitions;
 use hlsb_benchmarks::{all_benchmarks, Benchmark};
 use hlsb_dse::{report, Explorer, KnobSpace, ResultStore, Strategy, DEFAULT_VERIFY_ITERS};
 use std::process::ExitCode;
@@ -39,6 +41,7 @@ struct Args {
     seed: u64,
     place_seeds: Vec<u32>,
     efforts: Vec<PlaceEffort>,
+    partitions: Vec<Partitioning>,
     store: Option<String>,
     format: Format,
     verify_iters: u64,
@@ -57,7 +60,8 @@ fn usage() {
         "usage: dse [--design <name>|all] [--strategy grid|random|halving]\n\
          \x20          [--clocks <mhz>[,<mhz>...]] [--budget <n>] [--seed <n>]\n\
          \x20          [--seeds <n>[,<n>...]] [--efforts fast|normal|both]\n\
-         \x20          [--store <path>] [--format table|jsonl]\n\
+         \x20          [--partitions <n>|auto|off[,...]] [--store <path>]\n\
+         \x20          [--format table|jsonl]\n\
          \x20          [--verify-iters <n>] [--trace-out <path>] [--list]"
     );
 }
@@ -81,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         seed: hlsb_bench::SEED,
         place_seeds: vec![1],
         efforts: vec![PlaceEffort::Fast],
+        partitions: vec![Partitioning::Off],
         store: None,
         format: Format::Table,
         verify_iters: DEFAULT_VERIFY_ITERS,
@@ -129,6 +134,19 @@ fn parse_args() -> Result<Args, String> {
                     e => return Err(format!("unknown efforts `{e}`")),
                 };
             }
+            "--partitions" => {
+                let p = it.next().ok_or("--partitions needs <n>|auto|off[,...]")?;
+                args.partitions = p
+                    .split(',')
+                    .map(|tok| {
+                        parse_partitions(tok.trim())
+                            .ok_or(format!("bad partitions value `{tok}` (want <n>|auto|off)"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.partitions.is_empty() {
+                    return Err(format!("bad partitions `{p}`"));
+                }
+            }
             "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
             "--format" => {
                 args.format = match it.next().ok_or("--format needs a value")?.as_str() {
@@ -162,6 +180,7 @@ fn explore(
     let space = KnobSpace {
         place_seeds: args.place_seeds.clone(),
         efforts: args.efforts.clone(),
+        partitions: args.partitions.clone(),
         ..KnobSpace::optimization_cube(clocks)
     };
     let store = match &args.store {

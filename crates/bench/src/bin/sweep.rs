@@ -3,7 +3,8 @@
 //! the physical fabric has the last word).
 //!
 //! ```text
-//! sweep <benchmark-name-substring> [none|data|skid|all] [--trace-out <path>]
+//! sweep <benchmark-name-substring> [none|data|skid|all]
+//!       [--partitions <n>|auto|off] [--trace-out <path>]
 //! ```
 //!
 //! The targets run through one [`hlsb::FlowSession`]: the front-end
@@ -13,14 +14,15 @@
 //! Chrome trace-event JSON (one process per clock target; load in
 //! Perfetto or `chrome://tracing`).
 
-use hlsb::{chrome_trace, Flow, FlowSession, OptimizationOptions};
-use hlsb_bench::{expect_all, find_benchmark, pass_summary, SEED};
+use hlsb::{chrome_trace, Flow, FlowSession, OptimizationOptions, Partitioning};
+use hlsb_bench::{expect_all, find_benchmark, parse_partitions, pass_summary, SEED};
 
 const TARGETS: [f64; 7] = [150.0, 200.0, 250.0, 300.0, 333.0, 400.0, 500.0];
 
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut trace_out: Option<String> = None;
+    let mut partitions = Partitioning::Off;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -29,6 +31,16 @@ fn main() {
                     eprintln!("sweep: --trace-out needs a path");
                     std::process::exit(2);
                 }));
+            }
+            "--partitions" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("sweep: --partitions needs <n>|auto|off");
+                    std::process::exit(2);
+                });
+                partitions = parse_partitions(&v).unwrap_or_else(|| {
+                    eprintln!("sweep: bad --partitions value `{v}` (want <n>|auto|off)");
+                    std::process::exit(2);
+                });
             }
             _ => positional.push(arg),
         }
@@ -56,6 +68,7 @@ fn main() {
                 .clock_mhz(target)
                 .options(options)
                 .seed(SEED)
+                .partitions(partitions)
                 .trace(trace_out.is_some())
         })
         .collect();

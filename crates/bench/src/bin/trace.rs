@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! trace [<benchmark>|all] [none|data|skid|all]
-//!       [--trace-out <path>] [--jsonl-out <path>]
+//!       [--partitions <n>|auto|off] [--trace-out <path>] [--jsonl-out <path>]
 //! ```
 //!
 //! Runs the selected benchmark(s) at the given optimization level with
@@ -17,14 +17,17 @@
 //! encoding ([`hlsb::TraceTree::from_jsonl`] round-trips it); with
 //! several runs, each tree goes to `<stem>.<idx>.<ext>`.
 
-use hlsb::{chrome_trace, FlowSession, MetricsRegistry, OptimizationOptions, TraceTree};
-use hlsb_bench::{benchmark_flow, expect_all, find_benchmark};
+use hlsb::{
+    chrome_trace, FlowSession, MetricsRegistry, OptimizationOptions, Partitioning, TraceTree,
+};
+use hlsb_bench::{benchmark_flow, expect_all, find_benchmark, parse_partitions};
 use hlsb_benchmarks::all_benchmarks;
 use std::process::ExitCode;
 
 fn usage() {
     eprintln!(
         "usage: trace [<benchmark>|all] [none|data|skid|all]\n\
+         \x20            [--partitions <n>|auto|off]\n\
          \x20            [--trace-out <path>] [--jsonl-out <path>]"
     );
 }
@@ -45,9 +48,17 @@ fn main() -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut trace_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
+    let mut partitions = Partitioning::Off;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--partitions" => match it.next().as_deref().and_then(parse_partitions) {
+                Some(p) => partitions = p,
+                None => {
+                    eprintln!("trace: --partitions needs <n>|auto|off");
+                    return ExitCode::from(2);
+                }
+            },
             "--trace-out" => match it.next() {
                 Some(p) => trace_out = Some(p),
                 None => {
@@ -101,7 +112,11 @@ fn main() -> ExitCode {
 
     let flows: Vec<_> = benches
         .iter()
-        .map(|b| benchmark_flow(b, options).trace(true))
+        .map(|b| {
+            benchmark_flow(b, options)
+                .partitions(partitions)
+                .trace(true)
+        })
         .collect();
     let labels: Vec<String> = benches
         .iter()

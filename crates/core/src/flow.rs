@@ -2,7 +2,7 @@
 //! pipeline (see [`crate::passes`] and [`FlowSession`]).
 
 use crate::error::FlowError;
-use crate::options::{OptimizationOptions, PlaceEffort};
+use crate::options::{OptimizationOptions, Partitioning, PlaceEffort};
 use crate::result::ImplementationResult;
 use crate::session::FlowSession;
 use hlsb_fabric::Device;
@@ -27,6 +27,7 @@ pub struct Flow {
     pub(crate) seed: u64,
     pub(crate) effort: PlaceEffort,
     pub(crate) place_seeds: u32,
+    pub(crate) partitions: Partitioning,
     pub(crate) lint: bool,
     pub(crate) verify: bool,
     pub(crate) trace: bool,
@@ -44,6 +45,7 @@ impl Flow {
             seed: 1,
             effort: PlaceEffort::Normal,
             place_seeds: 3,
+            partitions: Partitioning::Off,
             lint: false,
             verify: false,
             trace: false,
@@ -89,6 +91,21 @@ impl Flow {
     /// the winner is identical either way.
     pub fn place_seeds(mut self, n: u32) -> Self {
         self.place_seeds = n.max(1);
+        self
+    }
+
+    /// Selects island partitioning for the implement stage
+    /// ([`Partitioning`], default [`Partitioning::Off`]). With
+    /// partitioning on, the netlist is cut at its dataflow seams, islands
+    /// are annealed in parallel in reserved device regions, and every
+    /// inter-island net is registered — with the extra channel latency
+    /// provisioned in the skid-buffer contract. The result is a pure
+    /// function of the flow configuration, never of the worker thread
+    /// count; designs that cannot be partitioned (monolithic and tiny, or
+    /// not enough device columns) deterministically fall back to flat
+    /// placement.
+    pub fn partitions(mut self, partitions: Partitioning) -> Self {
+        self.partitions = partitions;
         self
     }
 
@@ -156,6 +173,7 @@ impl Flow {
             self.seed,
             crate::cache::hash_debug(&self.effort),
             u64::from(self.place_seeds),
+            crate::cache::hash_debug(&self.partitions),
         ])
     }
 
@@ -428,6 +446,8 @@ mod tests {
         assert!(keys.insert(base.clone().seed(2).config_key()));
         assert!(keys.insert(base.clone().place_effort(PlaceEffort::Fast).config_key()));
         assert!(keys.insert(base.clone().place_seeds(1).config_key()));
+        assert!(keys.insert(base.clone().partitions(Partitioning::Auto).config_key()));
+        assert!(keys.insert(base.clone().partitions(Partitioning::Fixed(2)).config_key()));
         assert!(keys.insert(Flow::new(unrolled_broadcast(8)).config_key()));
         // ... and is stable for an identical configuration.
         assert_eq!(base.config_key(), Flow::new(d).config_key());

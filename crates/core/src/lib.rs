@@ -62,9 +62,9 @@ mod cache;
 pub use cache::{CacheStats, StageCacheStats};
 pub use error::FlowError;
 pub use flow::Flow;
-pub use options::{OptimizationOptions, PlaceEffort};
+pub use options::{OptimizationOptions, Partitioning, PlaceEffort};
 pub use passes::{FrontEndArtifact, LoopFrontEndInfo, LoopScheduleTrace, ScheduleArtifact};
-pub use result::{ImplementationResult, Utilization};
+pub use result::{ImplementationResult, PartitionSummary, Utilization};
 pub use session::{FlowSession, ProbeOutcome, SimulationOutcome};
 pub use trace::{PassRecord, PassTrace};
 

@@ -60,6 +60,40 @@ pub enum PlaceEffort {
     Normal,
 }
 
+/// Island partitioning of the implement stage.
+///
+/// With partitioning on, the netlist is cut along its dataflow seams
+/// (inter-kernel FIFOs), every island is annealed independently in a
+/// reserved device region, and inter-island nets are registered
+/// (`hlsb-place::partition`). Islands place in parallel, yet the result
+/// is a pure function of `(netlist, seed, partition)` — never of the
+/// worker thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Partitioning {
+    /// Flat placement: one annealer over the whole device (the classic
+    /// flow, bit-identical to pre-partitioning releases).
+    #[default]
+    Off,
+    /// Island count chosen from netlist size and device geometry
+    /// (`hlsb_place::auto_islands`); small designs stay flat.
+    Auto,
+    /// Exactly this many islands (clamped to what the device can host;
+    /// `0` and `1` mean flat).
+    Fixed(u32),
+}
+
+impl Partitioning {
+    /// Whether partitioning is enabled at all (`Fixed(0)` and `Fixed(1)`
+    /// degenerate to flat placement).
+    pub fn is_enabled(self) -> bool {
+        match self {
+            Partitioning::Off => false,
+            Partitioning::Auto => true,
+            Partitioning::Fixed(k) => k >= 2,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@ use hlsb_netlist::Netlist;
 use hlsb_rtlgen::{lower_design, ControlStyle, LowerInfo, RtlOptions, ScheduledDesign};
 
 use crate::error::FlowError;
-use crate::options::OptimizationOptions;
+use crate::options::{OptimizationOptions, Partitioning};
 use crate::passes::ScheduleArtifact;
 
 /// The lower pass output: a validated, capacity-checked netlist.
@@ -20,10 +20,19 @@ pub(crate) struct LowerOutput {
 
 /// Lowers the scheduled design to a netlist and rejects designs that do
 /// not fit the device.
+///
+/// With island partitioning requested, every inter-kernel channel may
+/// gain one registered crossing hop, so the control logic provisions one
+/// extra skid slot (`RtlOptions::crossing_slots`). The provisioning is
+/// uniform — it does not depend on where the cut lands (or whether the
+/// implement stage later falls back to flat placement), which keeps
+/// lowering independent of placement and the VC02 contract honest in
+/// both outcomes.
 pub(crate) fn run(
     design: &Design,
     schedule: &ScheduleArtifact,
     options: &OptimizationOptions,
+    partitions: Partitioning,
     device: &Device,
 ) -> Result<LowerOutput, FlowError> {
     let rtl_options = RtlOptions {
@@ -35,6 +44,7 @@ pub(crate) fn run(
             ControlStyle::Stall
         },
         sync_pruning: options.sync_pruning,
+        crossing_slots: u64::from(partitions.is_enabled()),
     };
     let sd = ScheduledDesign {
         design,

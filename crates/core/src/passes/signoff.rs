@@ -7,18 +7,20 @@ use hlsb_rtlgen::LowerInfo;
 
 use crate::passes::implement::ImplementOutput;
 use crate::passes::ScheduleArtifact;
-use crate::result::{ImplementationResult, Utilization};
+use crate::result::{ImplementationResult, PartitionSummary, Utilization};
 use crate::trace::PassTrace;
 
 /// Assembles the final [`ImplementationResult`] from the stage outputs.
 /// The caller attaches the finished [`PassTrace`] afterwards (this pass
 /// records itself into it too).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble(
     device: &Device,
     schedule: &ScheduleArtifact,
     concurrency: hlsb_ir::Concurrency,
     lower_info: LowerInfo,
     imp: ImplementOutput,
+    partition: Option<PartitionSummary>,
     lint: Option<hlsb_lint::LintReport>,
     verify: Option<hlsb_findings::Report>,
 ) -> (ImplementationResult, Netlist, Placement) {
@@ -61,6 +63,7 @@ pub(crate) fn assemble(
         duplicated_regs: fanout.duplicated_registers,
         retime_moves: retime.moves,
         critical_cells,
+        partition,
         lint,
         verify,
         trace: PassTrace::default(),

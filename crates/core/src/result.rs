@@ -30,6 +30,25 @@ impl fmt::Display for Utilization {
     }
 }
 
+/// How the implement stage partitioned the netlist into islands, when
+/// island partitioning ([`Flow::partitions`](crate::Flow::partitions))
+/// was enabled *and* feasible. `None` on flat runs — including enabled
+/// runs that deterministically fell back to flat placement (design too
+/// small, or no feasible region reservation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSummary {
+    /// Islands placed independently (>= 2).
+    pub islands: u32,
+    /// Nets that crossed an island boundary before stitching.
+    pub cut_nets: u32,
+    /// Registers inserted on inter-island crossings.
+    pub crossing_registers: u32,
+    /// Flip-flop bits those registers cost.
+    pub crossing_register_bits: u64,
+    /// Cells per island (crossing registers included).
+    pub island_cells: Vec<u32>,
+}
+
 /// The outcome of running the flow on one design.
 ///
 /// Equality ignores [`trace`](ImplementationResult::trace): two results
@@ -66,6 +85,9 @@ pub struct ImplementationResult {
     pub retime_moves: usize,
     /// Names and kinds of the cells on the critical path (launch first).
     pub critical_cells: Vec<String>,
+    /// Island-partitioning summary, when the implement stage ran
+    /// partitioned (see [`PartitionSummary`]).
+    pub partition: Option<PartitionSummary>,
     /// Static broadcast lint report, when [`Flow::lint`](crate::Flow::lint)
     /// was enabled.
     pub lint: Option<hlsb_lint::LintReport>,
@@ -99,6 +121,7 @@ impl PartialEq for ImplementationResult {
             && self.duplicated_regs == other.duplicated_regs
             && self.retime_moves == other.retime_moves
             && self.critical_cells == other.critical_cells
+            && self.partition == other.partition
             && self.lint == other.lint
             && self.verify == other.verify
     }
@@ -150,6 +173,7 @@ mod tests {
             duplicated_regs: 0,
             retime_moves: 0,
             critical_cells: vec![],
+            partition: None,
             lint: None,
             verify: None,
             trace: PassTrace::default(),

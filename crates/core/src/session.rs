@@ -380,6 +380,14 @@ impl FlowSession {
                 },
             );
             root.attr("place-seeds", u64::from(flow.place_seeds));
+            root.attr(
+                "partitions",
+                match flow.partitions {
+                    crate::options::Partitioning::Off => "off".to_string(),
+                    crate::options::Partitioning::Auto => "auto".to_string(),
+                    crate::options::Partitioning::Fixed(k) => k.to_string(),
+                },
+            );
             root.attr_volatile("threads", self.threads as u64);
         }
         root
@@ -923,7 +931,13 @@ impl FlowSession {
         // Lower: RTL generation + capacity check.
         let timer = trace.start("lower");
         let span = root.child("lower");
-        let lowered = passes::lower::run(design, &schedule, &flow.options, &flow.device)?;
+        let lowered = passes::lower::run(
+            design,
+            &schedule,
+            &flow.options,
+            flow.partitions,
+            &flow.device,
+        )?;
         let sync_pruned = lowered
             .info
             .sync_decisions
@@ -1003,18 +1017,46 @@ impl FlowSession {
         // Implement: multi-seed place/optimize, best timing wins.
         let timer = trace.start("implement");
         let span = root.child("implement");
-        let (imp, trials, winner) = passes::implement::run(
+        let (imp, trials, winner, partition) = passes::implement::run(
             lowered.netlist,
             &flow.device,
             flow.seed,
             flow.effort,
             flow.place_seeds,
             implement_threads,
+            flow.partitions,
+            &lowered.info.seam_cells,
             &tracer,
         );
-        let counters = vec![("trials".to_string(), u64::from(flow.place_seeds.max(1)))];
+        let mut counters = vec![("trials".to_string(), u64::from(flow.place_seeds.max(1)))];
+        if let Some(t) = trials.iter().find(|t| t.idx == winner) {
+            // Deterministic (pure function of netlist + seed), so safe to
+            // expose as a counter that participates in trace equality.
+            counters.push(("winner-hpwl".to_string(), t.hpwl.round() as u64));
+        }
+        if let Some(p) = &partition {
+            counters.push(("islands".to_string(), u64::from(p.islands)));
+            counters.push((
+                "crossing-registers".to_string(),
+                u64::from(p.crossing_registers),
+            ));
+            counters.push(("cut-nets".to_string(), u64::from(p.cut_nets)));
+        }
         stage_counters(&span, &counters);
         if span.is_enabled() {
+            if let Some(p) = &partition {
+                for (i, (&cells, &(x0, y0, w, h))) in
+                    p.island_cells.iter().zip(&p.island_regions).enumerate()
+                {
+                    hlsb_trace::event!(span, "partition.island",
+                        "island" => i as u64,
+                        "cells" => u64::from(cells),
+                        "region-x0" => u64::from(x0),
+                        "region-y0" => u64::from(y0),
+                        "region-w" => u64::from(w),
+                        "region-h" => u64::from(h));
+                }
+            }
             // Trial spans are emitted post-hoc in trial order with their
             // worker-measured time windows, so the tree shape is the same
             // for sequential and parallel execution.
@@ -1027,8 +1069,20 @@ impl FlowSession {
                 ts.attr("fmax-mhz", t.fmax_mhz);
                 ts.attr("duplicated-regs", t.duplicated_regs as u64);
                 ts.attr("retime-moves", t.retime_moves as u64);
+                ts.attr("hpwl", t.hpwl);
                 ts.attr("winner", t.idx == winner);
                 ts.observe("slack-ns", &SLACK_NS_BOUNDS, clock_ns - t.period_ns);
+                if let Some(p) = &partition {
+                    // Island placements of this trial, as children of the
+                    // trial span (phase A of the partitioned strategy).
+                    for is in p.island_summaries.iter().filter(|s| s.trial == t.idx) {
+                        let isp = ts.child(&format!("island-{}", is.island));
+                        isp.attr("cells", u64::from(is.cells));
+                        isp.attr("hpwl", is.hpwl);
+                        isp.set_window(is.start_us, is.dur_us);
+                        isp.finish();
+                    }
+                }
                 ts.set_window(t.start_us, t.dur_us);
             }
         }
@@ -1038,12 +1092,20 @@ impl FlowSession {
         // Sign-off: assemble the result.
         let timer = trace.start("sign-off");
         let span = root.child("sign-off");
+        let partition_summary = partition.map(|p| crate::result::PartitionSummary {
+            islands: p.islands,
+            cut_nets: p.cut_nets,
+            crossing_registers: p.crossing_registers,
+            crossing_register_bits: p.crossing_register_bits,
+            island_cells: p.island_cells,
+        });
         let (mut result, netlist, placement) = passes::signoff::assemble(
             &flow.device,
             &schedule,
             design.concurrency,
             lowered.info,
             imp,
+            partition_summary,
             lint,
             verify,
         );

@@ -33,4 +33,4 @@ pub mod skid;
 
 pub use distribute::{brute_force_split, min_area_split, SplitPlan};
 pub use sim::{simulate_skid, simulate_stall, SimResult};
-pub use skid::{naive_area_bits, required_depth};
+pub use skid::{naive_area_bits, required_depth, required_depth_with_slack};

@@ -13,6 +13,15 @@ pub fn required_depth(n_stages: usize) -> usize {
     n_stages + 1
 }
 
+/// Minimum safe depth when the path from the pipeline into the buffer
+/// carries extra registered hops — e.g. the inter-island crossing
+/// registers of partitioned placement. Each slack slot is one more cycle
+/// during which elements keep arriving after back-pressure asserts, so
+/// the buffer needs one more entry per slot: `N + 1 + slack_slots`.
+pub fn required_depth_with_slack(n_stages: usize, slack_slots: usize) -> usize {
+    required_depth(n_stages) + slack_slots
+}
+
 /// Area in bits of the naive single end-of-pipeline skid buffer:
 /// `(N + 1) * w` for a pipeline of `N` stages with output width `w`
 /// (the paper's `BufferArea` formula).
@@ -28,6 +37,13 @@ mod tests {
     fn depth_is_n_plus_one() {
         assert_eq!(required_depth(0), 1);
         assert_eq!(required_depth(370), 371);
+    }
+
+    #[test]
+    fn slack_slots_deepen_the_buffer() {
+        assert_eq!(required_depth_with_slack(5, 0), required_depth(5));
+        assert_eq!(required_depth_with_slack(5, 1), 7);
+        assert_eq!(required_depth_with_slack(0, 3), 4);
     }
 
     #[test]

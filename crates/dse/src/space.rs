@@ -12,7 +12,7 @@
 //! configurations onto their `min_area_skid = false` twin instead of
 //! evaluating the same implementation twice.
 
-use hlsb::{Flow, OptimizationOptions, PlaceEffort};
+use hlsb::{Flow, OptimizationOptions, Partitioning, PlaceEffort};
 use hlsb_fabric::Device;
 use hlsb_ir::Design;
 use hlsb_rng::Rng;
@@ -29,6 +29,8 @@ pub struct DseConfig {
     pub place_seeds: u32,
     /// Placement effort.
     pub effort: PlaceEffort,
+    /// Island partitioning of the implement stage.
+    pub partitions: Partitioning,
 }
 
 impl DseConfig {
@@ -52,14 +54,17 @@ impl DseConfig {
             .seed(seed)
             .place_effort(self.effort)
             .place_seeds(self.place_seeds)
+            .partitions(self.partitions)
     }
 
-    /// Compact human-readable label, e.g. `BS-- @300 ×1 fast`: one letter
+    /// Compact human-readable label, e.g. `BS-- @300 ×1 fast` (with a
+    /// `pN`/`pauto` suffix when island partitioning is on): one letter
     /// per enabled optimization (Broadcast-aware, Sync-pruning, sKid,
-    /// Min-area skid), clock target, placement-seed count, effort.
+    /// Min-area skid), clock target, placement-seed count, effort,
+    /// partitioning.
     pub fn label(&self) -> String {
         format!(
-            "{}{}{}{} @{:.0} ×{} {}",
+            "{}{}{}{} @{:.0} ×{} {}{}",
             if self.options.broadcast_aware {
                 'B'
             } else {
@@ -73,13 +78,18 @@ impl DseConfig {
             match self.effort {
                 PlaceEffort::Fast => "fast",
                 PlaceEffort::Normal => "normal",
+            },
+            match self.partitions {
+                Partitioning::Off => String::new(),
+                Partitioning::Auto => " pauto".to_string(),
+                Partitioning::Fixed(k) => format!(" p{k}"),
             }
         )
     }
 
     /// Identity tuple for dedup inside a space (design-independent; use
     /// [`Flow::config_key`] for the persistent store key).
-    fn ident(&self) -> (bool, bool, bool, bool, u64, u32, bool) {
+    fn ident(&self) -> (bool, bool, bool, bool, u64, u32, bool, Partitioning) {
         (
             self.options.broadcast_aware,
             self.options.sync_pruning,
@@ -88,6 +98,7 @@ impl DseConfig {
             self.clock_mhz.to_bits(),
             self.place_seeds,
             self.effort == PlaceEffort::Fast,
+            self.partitions,
         )
     }
 }
@@ -111,6 +122,8 @@ pub struct KnobSpace {
     pub place_seeds: Vec<u32>,
     /// Placement efforts.
     pub efforts: Vec<PlaceEffort>,
+    /// Island partitioning modes of the implement stage.
+    pub partitions: Vec<Partitioning>,
 }
 
 impl KnobSpace {
@@ -126,6 +139,7 @@ impl KnobSpace {
             min_area_skid: vec![false, true],
             place_seeds: vec![1],
             efforts: vec![PlaceEffort::Fast],
+            partitions: vec![Partitioning::Off],
         }
     }
 
@@ -135,26 +149,29 @@ impl KnobSpace {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for &clock_mhz in &self.clocks_mhz {
-            for &effort in &self.efforts {
-                for &place_seeds in &self.place_seeds {
-                    for &broadcast_aware in &self.broadcast_aware {
-                        for &sync_pruning in &self.sync_pruning {
-                            for &skid_buffer in &self.skid_buffer {
-                                for &min_area_skid in &self.min_area_skid {
-                                    let cfg = DseConfig {
-                                        options: OptimizationOptions {
-                                            broadcast_aware,
-                                            sync_pruning,
-                                            skid_buffer,
-                                            min_area_skid,
-                                        },
-                                        clock_mhz,
-                                        place_seeds,
-                                        effort,
-                                    }
-                                    .canonical();
-                                    if seen.insert(cfg.ident()) {
-                                        out.push(cfg);
+            for &partitions in &self.partitions {
+                for &effort in &self.efforts {
+                    for &place_seeds in &self.place_seeds {
+                        for &broadcast_aware in &self.broadcast_aware {
+                            for &sync_pruning in &self.sync_pruning {
+                                for &skid_buffer in &self.skid_buffer {
+                                    for &min_area_skid in &self.min_area_skid {
+                                        let cfg = DseConfig {
+                                            options: OptimizationOptions {
+                                                broadcast_aware,
+                                                sync_pruning,
+                                                skid_buffer,
+                                                min_area_skid,
+                                            },
+                                            clock_mhz,
+                                            place_seeds,
+                                            effort,
+                                            partitions,
+                                        }
+                                        .canonical();
+                                        if seen.insert(cfg.ident()) {
+                                            out.push(cfg);
+                                        }
                                     }
                                 }
                             }
@@ -188,6 +205,7 @@ impl KnobSpace {
             clock_mhz: self.clocks_mhz[rng.gen_index(self.clocks_mhz.len())],
             place_seeds: self.place_seeds[rng.gen_index(self.place_seeds.len())],
             effort: self.efforts[rng.gen_index(self.efforts.len())],
+            partitions: self.partitions[rng.gen_index(self.partitions.len())],
         }
         .canonical()
     }
@@ -265,6 +283,7 @@ mod tests {
             clock_mhz: 333.0,
             place_seeds: 2,
             effort: PlaceEffort::Fast,
+            partitions: Partitioning::Off,
         };
         let flow = cfg.flow(&design, &device, 5);
         let other = cfg.flow(&design, &device, 5);

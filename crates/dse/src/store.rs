@@ -19,7 +19,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
-use hlsb::{OptimizationOptions, PlaceEffort};
+use hlsb::{OptimizationOptions, Partitioning, PlaceEffort};
 
 use crate::objective::Metrics;
 use crate::space::DseConfig;
@@ -45,7 +45,7 @@ impl Record {
         format!(
             "{{\"key\":{},\"design\":\"{}\",\"label\":\"{}\",\
              \"broadcast_aware\":{},\"sync_pruning\":{},\"skid_buffer\":{},\"min_area_skid\":{},\
-             \"clock_mhz\":{:?},\"place_seeds\":{},\"effort\":\"{}\",\
+             \"clock_mhz\":{:?},\"place_seeds\":{},\"effort\":\"{}\",\"partitions\":\"{}\",\
              \"fmax_mhz\":{:?},\"latency_cycles\":{},\"area_cells\":{}}}",
             self.key,
             hlsb_lint::render::json_escape(&self.design),
@@ -59,6 +59,11 @@ impl Record {
             match self.config.effort {
                 PlaceEffort::Fast => "fast",
                 PlaceEffort::Normal => "normal",
+            },
+            match self.config.partitions {
+                Partitioning::Off => "off".to_string(),
+                Partitioning::Auto => "auto".to_string(),
+                Partitioning::Fixed(k) => k.to_string(),
             },
             self.metrics.fmax_mhz,
             self.metrics.latency_cycles,
@@ -79,6 +84,16 @@ impl Record {
             "\"normal\"" => PlaceEffort::Normal,
             _ => return None,
         };
+        // Records written before island partitioning carry no
+        // `partitions` field; they were all flat.
+        let partitions = match raw_field(line, "partitions") {
+            None => Partitioning::Off,
+            Some("\"off\"") => Partitioning::Off,
+            Some("\"auto\"") => Partitioning::Auto,
+            Some(raw) => {
+                Partitioning::Fixed(raw.strip_prefix('"')?.strip_suffix('"')?.parse().ok()?)
+            }
+        };
         Some(Record {
             key: raw_field(line, "key")?.parse().ok()?,
             design: string_field(line, "design")?,
@@ -92,6 +107,7 @@ impl Record {
                 clock_mhz: raw_field(line, "clock_mhz")?.parse().ok()?,
                 place_seeds: raw_field(line, "place_seeds")?.parse().ok()?,
                 effort,
+                partitions,
             },
             metrics: Metrics {
                 fmax_mhz: raw_field(line, "fmax_mhz")?.parse().ok()?,
@@ -230,6 +246,7 @@ mod tests {
                 clock_mhz: 333.25,
                 place_seeds: 2,
                 effort: PlaceEffort::Fast,
+                partitions: Partitioning::Fixed(3),
             },
             metrics: Metrics {
                 fmax_mhz: fmax,
@@ -247,6 +264,17 @@ mod tests {
         assert_eq!(back, rec, "round trip must be bit-exact:\n{line}");
         assert!(Record::from_json("{\"key\":1").is_none(), "truncated line");
         assert!(Record::from_json("").is_none());
+    }
+
+    #[test]
+    fn pre_partitioning_records_parse_as_flat() {
+        // A line written before the `partitions` field existed.
+        let line = "{\"key\":7,\"design\":\"d\",\"label\":\"l\",\
+             \"broadcast_aware\":true,\"sync_pruning\":false,\"skid_buffer\":true,\
+             \"min_area_skid\":false,\"clock_mhz\":300.0,\"place_seeds\":1,\
+             \"effort\":\"fast\",\"fmax_mhz\":312.5,\"latency_cycles\":10,\"area_cells\":20}";
+        let rec = Record::from_json(line).expect("old records still parse");
+        assert_eq!(rec.config.partitions, Partitioning::Off);
     }
 
     #[test]

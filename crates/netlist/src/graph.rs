@@ -82,6 +82,30 @@ impl fmt::Display for NetlistError {
 
 impl Error for NetlistError {}
 
+/// A subgraph extracted by [`Netlist::subgraph`]: a self-contained
+/// netlist over a subset of the parent's cells, plus the mapping back.
+/// Island-partitioned placement extracts one per island, places each
+/// independently, and reassembles the parent placement through
+/// [`Subgraph::to_global`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subgraph {
+    /// The induced netlist (local cell ids).
+    pub netlist: Netlist,
+    /// `global_of[local.index()]` is the cell's id in the parent netlist.
+    pub global_of: Vec<CellId>,
+}
+
+impl Subgraph {
+    /// Maps a local cell id back to the parent netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of bounds.
+    pub fn to_global(&self, local: CellId) -> CellId {
+        self.global_of[local.index()]
+    }
+}
+
 /// A word-level netlist.
 ///
 /// Built incrementally with [`Netlist::add_cell`] and [`Netlist::connect`];
@@ -267,6 +291,51 @@ impl Netlist {
         self.in_nets[sink.index()].push(net);
     }
 
+    /// Extracts the induced subgraph over `cells` (strictly increasing
+    /// global ids). Local cell ids follow the order of `cells`, so the
+    /// mapping is stable: local `CellId(i)` is global `cells[i]`, for any
+    /// thread count and extraction order. A net survives when its driver
+    /// is in the set; only its in-set sinks are kept (cross-boundary arcs
+    /// are dropped — island partitioning registers them separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is not strictly increasing or an id is out of
+    /// bounds.
+    pub fn subgraph(&self, cells: &[CellId]) -> Subgraph {
+        assert!(
+            cells.windows(2).all(|w| w[0] < w[1]),
+            "subgraph cells must be strictly increasing"
+        );
+        let mut local_of = vec![u32::MAX; self.cells.len()];
+        let mut nl = Netlist::new(self.name.clone());
+        for (local, &g) in cells.iter().enumerate() {
+            local_of[g.index()] = local as u32;
+            nl.add_cell(self.cells[g.index()].clone());
+        }
+        for net in &self.nets {
+            let d = local_of[net.driver.index()];
+            if d == u32::MAX {
+                continue;
+            }
+            let sinks: Vec<CellId> = net
+                .sinks
+                .iter()
+                .filter_map(|s| {
+                    let l = local_of[s.index()];
+                    (l != u32::MAX).then_some(CellId(l))
+                })
+                .collect();
+            if !sinks.is_empty() {
+                nl.connect(CellId(d), &sinks);
+            }
+        }
+        Subgraph {
+            netlist: nl,
+            global_of: cells.to_vec(),
+        }
+    }
+
     /// Resource totals.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::default();
@@ -437,6 +506,43 @@ mod tests {
         nl.connect(a, &[b]);
         nl.connect(b, &[a]); // feedback through a register: legal
         nl.validate().expect("sequential loop is valid");
+    }
+
+    #[test]
+    fn subgraph_keeps_internal_arcs_and_mapping() {
+        let (nl, src, mid, dst) = tiny();
+        let sub = nl.subgraph(&[src, mid]);
+        assert_eq!(sub.netlist.cell_count(), 2);
+        assert_eq!(sub.to_global(CellId(0)), src);
+        assert_eq!(sub.to_global(CellId(1)), mid);
+        // src -> mid survives; mid -> dst is a cross-boundary arc and is
+        // dropped (mid keeps no net).
+        let n = sub.netlist.output_net(CellId(0)).expect("src drives");
+        assert_eq!(sub.netlist.net(n).sinks, vec![CellId(1)]);
+        assert!(sub.netlist.output_net(CellId(1)).is_none());
+        assert_eq!(sub.netlist.cell(CellId(1)).name, nl.cell(mid).name);
+        let _ = dst;
+    }
+
+    #[test]
+    fn subgraph_preserves_sink_order_and_duplicates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_cell(Cell::ff("a", 4));
+        let b = nl.add_cell(Cell::comb("b", 4, 0.3, 4));
+        let c = nl.add_cell(Cell::comb("c", 4, 0.3, 4));
+        // b reads the net twice (both operands).
+        nl.connect(a, &[c, b, b]);
+        let sub = nl.subgraph(&[a, b]);
+        let n = sub.netlist.output_net(CellId(0)).unwrap();
+        assert_eq!(sub.netlist.net(n).sinks, vec![CellId(1), CellId(1)]);
+        assert_eq!(sub.netlist.input_nets(CellId(1)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn subgraph_rejects_unsorted_ids() {
+        let (nl, src, mid, ..) = tiny();
+        let _ = nl.subgraph(&[mid, src]);
     }
 
     #[test]

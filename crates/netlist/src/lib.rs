@@ -31,6 +31,6 @@ pub mod stats;
 pub mod verilog;
 
 pub use cell::{Cell, CellId, CellKind};
-pub use graph::{Net, NetId, Netlist, NetlistError};
+pub use graph::{Net, NetId, Netlist, NetlistError, Subgraph};
 pub use stats::Stats;
 pub use verilog::to_verilog;

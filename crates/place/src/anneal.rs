@@ -1,7 +1,15 @@
 //! Levelized seed placement + simulated-annealing refinement.
+//!
+//! Both entry points funnel into one region-parameterized core:
+//! [`place_with`] anneals over the full device grid (the classic flat
+//! flow), while [`place_in_region`] confines seeding, annealing moves and
+//! the zero-temperature polish to a reserved [`Region`] — the per-island
+//! mode of partitioned placement (`crate::partition`). The flat path is
+//! the full-grid special case of the region path, so flat results are
+//! bit-identical to what the pre-partitioning placer produced.
 
-use crate::placement::Placement;
-use crate::sites::{site_legal, snap_column};
+use crate::placement::{Placement, Region};
+use crate::sites::{site_legal, snap_column_in};
 use hlsb_fabric::Device;
 use hlsb_netlist::{CellId, CellKind, Netlist};
 use hlsb_rng::Rng;
@@ -56,8 +64,6 @@ pub fn place_with(
     seed: u64,
     config: AnnealConfig,
 ) -> Placement {
-    let gw = device.grid_w as u16;
-    let gh = device.grid_h as u16;
     let n = netlist.cell_count();
     if n == 0 {
         return Placement::from_locs(Vec::new(), device.grid_w, device.grid_h);
@@ -67,22 +73,67 @@ pub fn place_with(
         "netlist ({n} cells) does not fit on {}",
         device.name
     );
+    place_impl(netlist, device, Region::full(device), seed, config)
+}
 
+/// Places a netlist inside a reserved region of the device (absolute
+/// coordinates): the seed, every annealing move and the polish stay in
+/// `region`, so disjoint regions can be placed concurrently without a
+/// shared occupancy map. Pure function of `(netlist, region, seed,
+/// config)` — island placements are identical no matter which thread
+/// runs them, or in what order.
+///
+/// # Panics
+///
+/// Panics if the netlist does not fit in the region (the same one-cell-
+/// per-two-sites margin the flat placer requires of the whole device),
+/// or if the region leaves the device grid.
+pub fn place_in_region(
+    netlist: &Netlist,
+    device: &Device,
+    region: Region,
+    seed: u64,
+    config: AnnealConfig,
+) -> Placement {
+    let n = netlist.cell_count();
+    if n == 0 {
+        return Placement::from_locs(Vec::new(), device.grid_w, device.grid_h);
+    }
+    assert!(
+        u32::from(region.x1()) <= device.grid_w && u32::from(region.y1()) <= device.grid_h,
+        "region {region:?} leaves the {} grid",
+        device.name
+    );
+    assert!(
+        (n as u64) < region.sites() / 2,
+        "island ({n} cells) does not fit in region {region:?}"
+    );
+    place_impl(netlist, device, region, seed, config)
+}
+
+fn place_impl(
+    netlist: &Netlist,
+    device: &Device,
+    bounds: Region,
+    seed: u64,
+    config: AnnealConfig,
+) -> Placement {
+    let n = netlist.cell_count();
     // Confine small designs to a proportionate region: spreading a tiny
-    // netlist across the whole die would fabricate wire delay out of thin
-    // air. Real placers pack designs into a fraction of the fabric too.
+    // netlist across the whole die (or island across the whole strip)
+    // would fabricate wire delay out of thin air. Real placers pack
+    // designs into a fraction of the fabric too.
     let side = ((3 * n) as f64).sqrt().ceil() as u16 + 4;
-    let rw = side.max(8).min(gw);
-    let rh = side.max(8).min(gh);
+    let rw = side.max(8).min(bounds.w);
+    let rh = side.max(8).min(bounds.h);
 
     let mut occupied: HashMap<(u16, u16), CellId> = HashMap::with_capacity(n * 2);
-    let mut placement = seed_placement(netlist, gw, gh, rw, rh, &mut occupied);
+    let mut placement = seed_placement(netlist, device, bounds, rw, rh, &mut occupied);
     anneal(
         netlist,
         &mut placement,
         &mut occupied,
-        gw,
-        gh,
+        bounds,
         rw.max(rh),
         seed,
         config,
@@ -111,8 +162,8 @@ fn levels(netlist: &Netlist) -> Vec<u32> {
 
 fn seed_placement(
     netlist: &Netlist,
-    gw: u16,
-    gh: u16,
+    device: &Device,
+    bounds: Region,
     rw: u16,
     rh: u16,
     occupied: &mut HashMap<(u16, u16), CellId>,
@@ -121,12 +172,13 @@ fn seed_placement(
     let max_level = level.iter().copied().max().unwrap_or(0).max(1);
     let n = netlist.cell_count();
 
-    // Bucket cells by target column within the [0, rw) x [0, rh) region.
+    // Bucket cells by target column within the seed window `[bounds.x0,
+    // bounds.x0 + rw) x [bounds.y0, bounds.y0 + rh)`.
     let mut by_col: HashMap<u16, Vec<CellId>> = HashMap::new();
     for (id, cell) in netlist.cells() {
         let frac = level[id.index()] as f64 / max_level as f64;
-        let x = (frac * f64::from(rw - 1)).round() as u16;
-        let x = snap_column(cell.kind, x, gw);
+        let x = bounds.x0 + (frac * f64::from(rw - 1)).round() as u16;
+        let x = snap_column_in(cell.kind, x, bounds.x0, bounds.x1());
         by_col.entry(x).or_default().push(id);
     }
 
@@ -137,25 +189,26 @@ fn seed_placement(
         let cells = &by_col[&x];
         let count = cells.len() as f64;
         for (i, &c) in cells.iter().enumerate() {
-            let y = (((i as f64 + 0.5) / count) * f64::from(rh)) as u16;
-            let loc = free_site_near(netlist.cell(c).kind, (x, y.min(gh - 1)), gw, gh, occupied);
+            let y = bounds.y0 + (((i as f64 + 0.5) / count) * f64::from(rh)) as u16;
+            let want = (x, y.min(bounds.y1() - 1));
+            let loc = free_site_near(netlist.cell(c).kind, want, bounds, occupied);
             occupied.insert(loc, c);
             locs[c.index()] = loc;
         }
     }
-    Placement::from_locs(locs, u32::from(gw), u32::from(gh))
+    Placement::from_locs(locs, device.grid_w, device.grid_h)
 }
 
-/// Finds the nearest free legal site to `want` (spiral probe).
+/// Finds the nearest free legal site to `want` within `bounds` (spiral
+/// probe).
 fn free_site_near(
     kind: CellKind,
     want: (u16, u16),
-    gw: u16,
-    gh: u16,
+    bounds: Region,
     occupied: &HashMap<(u16, u16), CellId>,
 ) -> (u16, u16) {
     let (wx, wy) = want;
-    for radius in 0..gw.max(gh) {
+    for radius in 0..bounds.w.max(bounds.h) {
         let r = i32::from(radius);
         for dy in -r..=r {
             for dx in -r..=r {
@@ -164,7 +217,11 @@ fn free_site_near(
                 }
                 let x = i32::from(wx) + dx;
                 let y = i32::from(wy) + dy;
-                if x < 0 || y < 0 || x >= i32::from(gw) || y >= i32::from(gh) {
+                if x < i32::from(bounds.x0)
+                    || y < i32::from(bounds.y0)
+                    || x >= i32::from(bounds.x1())
+                    || y >= i32::from(bounds.y1())
+                {
                     continue;
                 }
                 let loc = (x as u16, y as u16);
@@ -174,7 +231,7 @@ fn free_site_near(
             }
         }
     }
-    panic!("no free site for cell kind {kind:?}");
+    panic!("no free site for cell kind {kind:?} in {bounds:?}");
 }
 
 /// Cost of the wiring adjacent to a cell, as *star* wirelength: the sum of
@@ -195,13 +252,11 @@ fn adjacent_cost(netlist: &Netlist, placement: &Placement, cell: CellId) -> f64 
     cost
 }
 
-#[allow(clippy::too_many_arguments)]
 fn anneal(
     netlist: &Netlist,
     placement: &mut Placement,
     occupied: &mut HashMap<(u16, u16), CellId>,
-    gw: u16,
-    gh: u16,
+    bounds: Region,
     region: u16,
     seed: u64,
     config: AnnealConfig,
@@ -227,9 +282,13 @@ fn anneal(
             let kind_a = netlist.cell(a).kind;
             let (ax, ay) = placement.loc(a);
             let w = i64::from(window.max(2.0) as i32);
-            let tx = (i64::from(ax) + rng.gen_i64(-w, w)).clamp(0, i64::from(gw) - 1) as u16;
-            let ty = (i64::from(ay) + rng.gen_i64(-w, w)).clamp(0, i64::from(gh) - 1) as u16;
-            let target = (snap_column(kind_a, tx, gw), ty);
+            let tx = (i64::from(ax) + rng.gen_i64(-w, w))
+                .clamp(i64::from(bounds.x0), i64::from(bounds.x1()) - 1)
+                as u16;
+            let ty = (i64::from(ay) + rng.gen_i64(-w, w))
+                .clamp(i64::from(bounds.y0), i64::from(bounds.y1()) - 1)
+                as u16;
+            let target = (snap_column_in(kind_a, tx, bounds.x0, bounds.x1()), ty);
             if target == (ax, ay) || !site_legal(kind_a, target.0) {
                 continue;
             }
@@ -271,7 +330,7 @@ fn anneal(
         window = (window * 0.93).max(2.0);
     }
 
-    polish(netlist, placement, occupied, gw, gh);
+    polish(netlist, placement, occupied, bounds);
 }
 
 /// Zero-temperature polish: every cell is offered its neighbourhood-median
@@ -283,13 +342,12 @@ fn polish(
     netlist: &Netlist,
     placement: &mut Placement,
     occupied: &mut HashMap<(u16, u16), CellId>,
-    gw: u16,
-    gh: u16,
+    bounds: Region,
 ) {
     for _sweep in 0..3 {
         let mut improved = false;
         for (a, cell) in netlist.cells() {
-            let Some(target) = median_site(netlist, placement, a, cell.kind, gw, gh) else {
+            let Some(target) = median_site(netlist, placement, a, cell.kind, bounds) else {
                 continue;
             };
             let old = placement.loc(a);
@@ -336,14 +394,14 @@ fn polish(
     }
 }
 
-/// The legal site closest to the median of a cell's connected neighbours.
+/// The legal site closest to the median of a cell's connected neighbours,
+/// clamped into `bounds`.
 fn median_site(
     netlist: &Netlist,
     placement: &Placement,
     cell: CellId,
     kind: CellKind,
-    gw: u16,
-    gh: u16,
+    bounds: Region,
 ) -> Option<(u16, u16)> {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -369,8 +427,8 @@ fn median_site(
     }
     xs.sort_unstable();
     ys.sort_unstable();
-    let x = snap_column(kind, xs[xs.len() / 2], gw);
-    Some((x, ys[ys.len() / 2].min(gh - 1)))
+    let x = snap_column_in(kind, xs[xs.len() / 2], bounds.x0, bounds.x1());
+    Some((x, ys[ys.len() / 2].clamp(bounds.y0, bounds.y1() - 1)))
 }
 
 #[cfg(test)]
@@ -468,5 +526,78 @@ mod tests {
         let nl = Netlist::new("empty");
         let p = place(&nl, &Device::virtex7(), 0);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn region_placement_confines_and_stays_legal() {
+        let nl = chain(120);
+        let d = Device::ultrascale_plus_vu9p();
+        let region = Region {
+            x0: 40,
+            y0: 10,
+            w: 24,
+            h: 60,
+        };
+        let p = place_in_region(&nl, &d, region, 7, AnnealConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for (id, cell) in nl.cells() {
+            let loc = p.loc(id);
+            assert!(region.contains(loc), "cell {id} at {loc:?} left {region:?}");
+            assert!(site_legal(cell.kind, loc.0));
+            assert!(seen.insert(loc), "site collision at {loc:?}");
+        }
+    }
+
+    #[test]
+    fn region_placement_is_a_pure_function_of_inputs() {
+        let nl = chain(80);
+        let d = Device::ultrascale_plus_vu9p();
+        let region = Region {
+            x0: 12,
+            y0: 0,
+            w: 20,
+            h: 120,
+        };
+        let a = place_in_region(&nl, &d, region, 3, AnnealConfig::default());
+        let b = place_in_region(&nl, &d, region, 3, AnnealConfig::default());
+        assert_eq!(a, b);
+        let c = place_in_region(&nl, &d, region, 4, AnnealConfig::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_grid_region_matches_flat_placement() {
+        // The flat path is the full-grid special case of the region path:
+        // the same arithmetic must fall out of both entry points.
+        let nl = chain(100);
+        let d = Device::zynq_zc706();
+        let flat = place_with(&nl, &d, 9, AnnealConfig::default());
+        let region = place_in_region(&nl, &d, Region::full(&d), 9, AnnealConfig::default());
+        assert_eq!(flat, region);
+    }
+
+    #[test]
+    fn region_fits_bram_and_dsp_kinds() {
+        let mut nl = Netlist::new("mix");
+        let src = nl.add_cell(Cell::ff("src", 32));
+        let mut sinks = Vec::new();
+        for i in 0..6 {
+            sinks.push(nl.add_cell(Cell::bram(format!("b{i}"), 32, 1)));
+            sinks.push(nl.add_cell(Cell::dsp(format!("d{i}"), 32, 2.0, 1)));
+        }
+        nl.connect(src, &sinks);
+        let d = Device::ultrascale_plus_vu9p();
+        // Minimum-width strip: still holds one BRAM and one DSP column.
+        let region = Region {
+            x0: 7,
+            y0: 0,
+            w: 12,
+            h: 120,
+        };
+        let p = place_in_region(&nl, &d, region, 5, AnnealConfig::default());
+        for (id, cell) in nl.cells() {
+            assert!(region.contains(p.loc(id)));
+            assert!(site_legal(cell.kind, p.loc(id).0), "{}", cell.name);
+        }
     }
 }

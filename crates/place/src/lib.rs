@@ -14,6 +14,14 @@
 //! like `sqrt(k)` no matter how good the placement is — exactly the
 //! physical phenomenon the paper measures with its skeleton designs.
 //!
+//! Large dataflow designs can alternatively be placed *island by island*:
+//! [`partition()`] cuts the netlist along its FIFO seams, [`reserve_regions`]
+//! assigns each island a vertical strip of the device, [`stitch_crossings`]
+//! registers every inter-island net, and [`place_in_region`] anneals each
+//! island independently — embarrassingly parallel and bit-identical to a
+//! sequential run, because each island placement is a pure function of
+//! `(island netlist, region, seed)`.
+//!
 //! All randomness is seeded (a seeded xoshiro generator (`hlsb-rng`)), so placements are
 //! reproducible.
 //!
@@ -33,9 +41,14 @@
 //! ```
 
 pub mod anneal;
+pub mod partition;
 pub mod placement;
 pub mod sites;
 
-pub use anneal::{place, place_with, AnnealConfig};
-pub use placement::Placement;
-pub use sites::site_legal;
+pub use anneal::{place, place_in_region, place_with, AnnealConfig};
+pub use partition::{
+    auto_islands, max_islands, partition, reserve_regions, stitch_crossings, CrossingReport,
+    Partition, MIN_REGION_W,
+};
+pub use placement::{Placement, Region};
+pub use sites::{site_legal, snap_column_in};

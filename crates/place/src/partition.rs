@@ -1,0 +1,656 @@
+//! Netlist partitioning for island-based parallel placement.
+//!
+//! The implement stage can cut a netlist into *islands* along its dataflow
+//! seams (the FIFO storage macros between kernels, exported by lowering as
+//! `seam` cells), reserve a vertical strip of the device per island, and
+//! anneal every island independently — in parallel, with no shared state.
+//! Nets that cross islands are *stitched* with a register placed on the
+//! sink side ([`stitch_crossings`]), so every inter-island path starts and
+//! ends at a flop and gets a full clock period: the placer never has to
+//! trade island-local quality against crossing wirelength.
+//!
+//! Everything here is deterministic and thread-count independent:
+//! [`partition`] and [`auto_islands`] are pure functions of the netlist
+//! (and device), never of `HLSB_THREADS`, so partitioned placement is a
+//! pure function of `(netlist, seed, partition)`.
+
+use crate::placement::Region;
+use hlsb_fabric::Device;
+use hlsb_netlist::{Cell, CellId, Netlist};
+use std::collections::VecDeque;
+
+/// Minimum width of a reserved island strip, in columns. One full BRAM/DSP
+/// column period (10) plus slack, so every strip is guaranteed to contain
+/// at least one legal column for each dedicated cell kind.
+pub const MIN_REGION_W: u16 = 12;
+
+/// A disjoint cover of a netlist's cells by islands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Island index of every cell (indexed by `CellId::index`).
+    pub island_of: Vec<u32>,
+    /// Cells of each island, strictly ascending — the exact form
+    /// `Netlist::subgraph` requires.
+    pub islands: Vec<Vec<CellId>>,
+}
+
+impl Partition {
+    /// Number of islands.
+    pub fn len(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// Whether the partition has no islands.
+    pub fn is_empty(&self) -> bool {
+        self.islands.is_empty()
+    }
+}
+
+/// Summary of the registers inserted by [`stitch_crossings`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossingReport {
+    /// Nets that had at least one sink in a foreign island.
+    pub cut_nets: u32,
+    /// Crossing registers inserted (one per (net, foreign island) pair).
+    pub registers: u32,
+    /// Total flip-flop bits those registers cost.
+    pub register_bits: u64,
+}
+
+/// The largest island count a device can host: one `MIN_REGION_W`-wide
+/// vertical strip per island.
+pub fn max_islands(device: &Device) -> u32 {
+    (device.grid_w / u32::from(MIN_REGION_W)).max(1)
+}
+
+/// Default island count for a netlist on a device. Pure function of
+/// `(netlist size, device geometry)` — deliberately *not* of the worker
+/// thread count, so the partition (and therefore the placement) is
+/// identical no matter how many threads run the flow.
+///
+/// Small designs stay flat: below ~1200 cells the per-island annealing
+/// floor (`min_moves`) erases the parallel win and the crossing registers
+/// are pure overhead.
+pub fn auto_islands(netlist: &Netlist, device: &Device) -> u32 {
+    let n = netlist.cell_count();
+    if n < 1200 {
+        1
+    } else {
+        ((n / 1500) as u32).clamp(2, 8).min(max_islands(device))
+    }
+}
+
+/// Cuts a netlist into (at most) `k` islands.
+///
+/// `seams` lists the cells whose incident arcs are preferred cut points —
+/// the FIFO storage macros between dataflow kernels. Connected components
+/// of the seam-severed netlist become the initial islands (so kernels
+/// never straddle a cut when the seams separate them); each seam cell then
+/// joins the lowest-numbered island among its neighbours. Components are
+/// balanced into `k` islands by longest-processing-time bin packing; if
+/// the netlist is monolithic (fewer components than `k` — e.g. a single
+/// kernel, or no seams at all), the largest islands are split by a
+/// farthest-point two-seed BFS grower until `k` islands exist or nothing
+/// splittable remains.
+///
+/// The result covers every cell exactly once, each island's cell list is
+/// strictly ascending, islands are ordered by their smallest cell id, and
+/// the whole construction is deterministic.
+pub fn partition(netlist: &Netlist, seams: &[CellId], k: u32) -> Partition {
+    let n = netlist.cell_count();
+    let k = (k as usize).clamp(1, n.max(1));
+    let mut is_seam = vec![false; n];
+    for &s in seams {
+        is_seam[s.index()] = true;
+    }
+
+    // Undirected adjacency over arcs with no seam endpoint.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (_, net) in netlist.nets() {
+        let d = net.driver.index();
+        if is_seam[d] {
+            continue;
+        }
+        for &s in &net.sinks {
+            let s = s.index();
+            if is_seam[s] || s == d {
+                continue;
+            }
+            adj[d].push(s as u32);
+            adj[s].push(d as u32);
+        }
+    }
+
+    // Connected components, discovered in cell-id order.
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut comp_of = vec![UNASSIGNED; n];
+    let mut comp_count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if is_seam[start] || comp_of[start] != UNASSIGNED {
+            continue;
+        }
+        let c = comp_count;
+        comp_count += 1;
+        comp_of[start] = c;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v] {
+                let w = w as usize;
+                if comp_of[w] == UNASSIGNED {
+                    comp_of[w] = c;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    // All cells are seams (degenerate): one island of everything.
+    if comp_count == 0 {
+        return Partition {
+            island_of: vec![0; n],
+            islands: vec![(0..n as u32).map(CellId).collect()],
+        };
+    }
+
+    // Seam cells join the lowest-numbered component among their
+    // neighbours. Seam-to-seam chains resolve over repeated rounds;
+    // anything still orphaned falls into component 0.
+    loop {
+        let mut changed = false;
+        for (id, _) in netlist.cells() {
+            let i = id.index();
+            if !is_seam[i] || comp_of[i] != UNASSIGNED {
+                continue;
+            }
+            let mut best = UNASSIGNED;
+            for &net in netlist.input_nets(id) {
+                let c = comp_of[netlist.net(net).driver.index()];
+                best = best.min(c);
+            }
+            if let Some(net) = netlist.output_net(id) {
+                for &s in &netlist.net(net).sinks {
+                    best = best.min(comp_of[s.index()]);
+                }
+            }
+            if best != UNASSIGNED {
+                comp_of[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for c in comp_of.iter_mut() {
+        if *c == UNASSIGNED {
+            *c = 0;
+        }
+    }
+
+    // Component member lists (ascending by construction).
+    let mut comps: Vec<Vec<CellId>> = vec![Vec::new(); comp_count as usize];
+    for i in 0..n {
+        comps[comp_of[i] as usize].push(CellId(i as u32));
+    }
+
+    // Split any component above ~1.25× the ideal share before packing: a
+    // dominant component (one big kernel plus control crumbs is the
+    // common shape) would otherwise pin all annealing work on one island
+    // and leave the rest nearly empty — no parallel win, no balance.
+    let cap = (n / k).max(1) + (n / (4 * k)).max(1);
+    let mut guard = 8 * k;
+    while guard > 0 {
+        guard -= 1;
+        let (idx, len) = comps
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.len()))
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .expect("comp_count >= 1");
+        if len <= cap || len < 2 {
+            break;
+        }
+        let big = comps.swap_remove(idx);
+        let (a, b) = split_island(netlist, &big);
+        comps.push(a);
+        comps.push(b);
+    }
+
+    let mut islands: Vec<Vec<CellId>> = if comps.len() > k {
+        pack_components(comps, k)
+    } else {
+        comps
+    };
+
+    while islands.len() < k {
+        // Largest island (tie: first in the list). Singletons can't split.
+        let (idx, _) = islands
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.len().cmp(&b.len()).then(ib.cmp(ia)))
+            .expect("at least one island");
+        if islands[idx].len() < 2 {
+            break;
+        }
+        let big = islands.swap_remove(idx);
+        let (a, b) = split_island(netlist, &big);
+        islands.push(a);
+        islands.push(b);
+    }
+
+    islands.retain(|i| !i.is_empty());
+    islands.sort_by_key(|i| i[0]);
+
+    let mut island_of = vec![0u32; n];
+    for (idx, island) in islands.iter().enumerate() {
+        for &c in island {
+            island_of[c.index()] = idx as u32;
+        }
+    }
+    Partition { island_of, islands }
+}
+
+/// Longest-processing-time packing of components into `k` islands:
+/// components by descending size (tie: smallest member id first), each
+/// into the currently smallest island (tie: lowest island index). The
+/// merged member lists are re-sorted to stay strictly ascending.
+fn pack_components(mut comps: Vec<Vec<CellId>>, k: usize) -> Vec<Vec<CellId>> {
+    comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    let mut bins: Vec<Vec<CellId>> = vec![Vec::new(); k];
+    for comp in comps {
+        let (idx, _) = bins
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| a.len().cmp(&b.len()).then(ia.cmp(ib)))
+            .expect("k >= 1");
+        bins[idx].extend(comp);
+    }
+    for bin in bins.iter_mut() {
+        bin.sort_unstable();
+    }
+    bins
+}
+
+/// Splits one island in two by farthest-point seeding: seed A is the
+/// island's smallest cell id, seed B the cell farthest from A by BFS hops
+/// (unreachable counts as farthest; ties go to the smaller id), then the
+/// two sides grow breadth-first with the smaller side claiming next (tie:
+/// side A). Cells unreachable from either seed go to side A.
+fn split_island(netlist: &Netlist, island: &[CellId]) -> (Vec<CellId>, Vec<CellId>) {
+    let n = netlist.cell_count();
+    let mut in_island = vec![false; n];
+    for &c in island {
+        in_island[c.index()] = true;
+    }
+    // Island-local undirected adjacency.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (_, net) in netlist.nets() {
+        let d = net.driver.index();
+        if !in_island[d] {
+            continue;
+        }
+        for &s in &net.sinks {
+            let s = s.index();
+            if s != d && in_island[s] {
+                adj[d].push(s as u32);
+                adj[s].push(d as u32);
+            }
+        }
+    }
+
+    let seed_a = island[0];
+    let dist = bfs_dist(&adj, seed_a, n);
+    let seed_b = island
+        .iter()
+        .copied()
+        .filter(|&c| c != seed_a)
+        .max_by(|x, y| dist[x.index()].cmp(&dist[y.index()]).then(y.cmp(x)))
+        .expect("island has at least two cells");
+
+    const FREE: u8 = 0;
+    let mut side = vec![FREE; n];
+    let mut claimed = [1usize, 1];
+    let mut frontier = [VecDeque::new(), VecDeque::new()];
+    side[seed_a.index()] = 1;
+    side[seed_b.index()] = 2;
+    frontier[0].push_back(seed_a.index());
+    frontier[1].push_back(seed_b.index());
+    let mut remaining = island.len() - 2;
+    while remaining > 0 && (!frontier[0].is_empty() || !frontier[1].is_empty()) {
+        // The smaller side claims next; an exhausted side concedes.
+        let who = if frontier[0].is_empty() {
+            1
+        } else if frontier[1].is_empty() {
+            0
+        } else if claimed[1] < claimed[0] {
+            1
+        } else {
+            0
+        };
+        let v = frontier[who].pop_front().expect("non-empty frontier");
+        for &w in &adj[v] {
+            let w = w as usize;
+            if side[w] == FREE {
+                side[w] = who as u8 + 1;
+                claimed[who] += 1;
+                remaining -= 1;
+                frontier[who].push_back(w);
+            }
+        }
+    }
+
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for &c in island {
+        if side[c.index()] == 2 {
+            b.push(c);
+        } else {
+            a.push(c);
+        }
+    }
+    (a, b)
+}
+
+fn bfs_dist(adj: &[Vec<u32>], from: CellId, n: usize) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; n];
+    dist[from.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(from.index());
+    while let Some(v) = queue.pop_front() {
+        for &w in &adj[v] {
+            let w = w as usize;
+            if dist[w] == u32::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Registers every island-crossing arc: for each net whose driver sits in
+/// island *i* and which has sinks in a foreign island *j*, one crossing
+/// flip-flop `xing_n<net>_i<j>` is inserted *in island j* and the foreign
+/// sinks are re-driven by it. After stitching, no net inside any island's
+/// subgraph reaches outside it, and every driver→crossing-register arc is
+/// the only inter-island wiring — flop-to-flop, so it gets a full clock
+/// period regardless of how far apart the reserved regions are (the
+/// RapidStream recipe). The extra cycle of latency is provisioned in the
+/// control logic via `RtlOptions::crossing_slots`.
+///
+/// New cells are appended to the netlist and to their island's cell list
+/// (ids grow monotonically, so the lists stay ascending).
+pub fn stitch_crossings(netlist: &mut Netlist, part: &mut Partition) -> CrossingReport {
+    let mut report = CrossingReport::default();
+    let net_count = netlist.net_count();
+    for raw in 0..net_count {
+        let net_id = hlsb_netlist::NetId(raw as u32);
+        let driver = netlist.net(net_id).driver;
+        let home = part.island_of[driver.index()];
+        // Foreign islands with sinks on this net, ascending.
+        let mut foreign: Vec<u32> = netlist
+            .net(net_id)
+            .sinks
+            .iter()
+            .map(|s| part.island_of[s.index()])
+            .filter(|&i| i != home)
+            .collect();
+        foreign.sort_unstable();
+        foreign.dedup();
+        if foreign.is_empty() {
+            continue;
+        }
+        report.cut_nets += 1;
+        let width = netlist.cell(driver).width;
+        for island in foreign {
+            let moved: Vec<CellId> = netlist
+                .net(net_id)
+                .sinks
+                .iter()
+                .copied()
+                .filter(|s| part.island_of[s.index()] == island)
+                .collect();
+            let xff = netlist.add_cell(Cell::ff(format!("xing_n{raw}_i{island}"), width));
+            part.island_of.push(island);
+            part.islands[island as usize].push(xff);
+            netlist.move_sinks(driver, xff, &moved);
+            netlist.connect(driver, &[xff]);
+            report.registers += 1;
+            report.register_bits += u64::from(width);
+        }
+    }
+    report
+}
+
+/// Reserves one full-height vertical strip per island, proportional to
+/// island size with a `MIN_REGION_W` floor, covering the device exactly.
+/// Returns `None` when the device cannot host the partition — too many
+/// islands for the grid width, or some island too big for its strip (the
+/// same one-cell-per-two-sites margin `place_in_region` enforces). The
+/// caller falls back to flat placement in that case.
+pub fn reserve_regions(device: &Device, sizes: &[usize]) -> Option<Vec<Region>> {
+    let k = sizes.len();
+    if k == 0 {
+        return Some(Vec::new());
+    }
+    let gw = device.grid_w as u16;
+    let gh = device.grid_h as u16;
+    if (k as u32) * u32::from(MIN_REGION_W) > u32::from(gw) {
+        return None;
+    }
+    let total: usize = sizes.iter().sum::<usize>().max(1);
+    let mut widths: Vec<u16> = sizes
+        .iter()
+        .map(|&s| {
+            let ideal = (u64::from(gw) * s as u64 / total as u64) as u16;
+            ideal.max(MIN_REGION_W)
+        })
+        .collect();
+    // Rebalance to cover the grid exactly: shave the widest strip while
+    // over budget, widen the most-deprived strip while under (ties: lowest
+    // index). Shaving always terminates or fails — every strip has the
+    // MIN_REGION_W floor.
+    loop {
+        let sum: u32 = widths.iter().map(|&w| u32::from(w)).sum();
+        match sum.cmp(&u32::from(gw)) {
+            std::cmp::Ordering::Equal => break,
+            std::cmp::Ordering::Greater => {
+                let (idx, _) = widths
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w > MIN_REGION_W)
+                    .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))?;
+                widths[idx] -= 1;
+            }
+            std::cmp::Ordering::Less => {
+                let (idx, _) = widths
+                    .iter()
+                    .enumerate()
+                    .zip(sizes)
+                    .map(|((i, &w), &s)| {
+                        let ideal = u64::from(gw) * s as u64 / total as u64;
+                        (i, ideal.saturating_sub(u64::from(w)))
+                    })
+                    .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+                    .expect("k >= 1");
+                widths[idx] += 1;
+            }
+        }
+    }
+
+    let mut regions = Vec::with_capacity(k);
+    let mut x0 = 0u16;
+    for (&w, &s) in widths.iter().zip(sizes) {
+        let region = Region {
+            x0,
+            y0: 0,
+            w,
+            h: gh,
+        };
+        if s as u64 >= region.sites() / 2 {
+            return None;
+        }
+        x0 += w;
+        regions.push(region);
+    }
+    Some(regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsb_netlist::CellKind;
+
+    /// Two comb chains joined through a seam BRAM, plus a broadcast net
+    /// from the first chain into the second.
+    fn two_kernel_netlist() -> (Netlist, CellId) {
+        let mut nl = Netlist::new("two_kernels");
+        let mut a = Vec::new();
+        for i in 0..40 {
+            a.push(nl.add_cell(Cell::comb(format!("a{i}"), 32, 0.4, 32)));
+        }
+        for w in a.windows(2) {
+            nl.connect(w[0], &[w[1]]);
+        }
+        let fifo = nl.add_cell(Cell::bram("fifo_link", 32, 1));
+        nl.connect(*a.last().unwrap(), &[fifo]);
+        let mut b = Vec::new();
+        for i in 0..40 {
+            b.push(nl.add_cell(Cell::comb(format!("b{i}"), 32, 0.4, 32)));
+        }
+        nl.connect(fifo, &[b[0]]);
+        for w in b.windows(2) {
+            nl.connect(w[0], &[w[1]]);
+        }
+        (nl, fifo)
+    }
+
+    #[test]
+    fn seam_cut_separates_kernels() {
+        let (nl, fifo) = two_kernel_netlist();
+        let part = partition(&nl, &[fifo], 2);
+        assert_eq!(part.len(), 2);
+        // Kernel A (ids 0..40) and kernel B (ids 41..81) never share an
+        // island; the seam joins one of them.
+        assert_eq!(part.island_of[0], part.island_of[39]);
+        assert_eq!(part.island_of[41], part.island_of[80]);
+        assert_ne!(part.island_of[0], part.island_of[41]);
+        let covered: usize = part.islands.iter().map(Vec::len).sum();
+        assert_eq!(covered, nl.cell_count());
+        for island in &part.islands {
+            assert!(island.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let (nl, fifo) = two_kernel_netlist();
+        let p1 = partition(&nl, &[fifo], 2);
+        let p2 = partition(&nl, &[fifo], 2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn monolithic_netlist_splits_to_k() {
+        let (nl, _) = two_kernel_netlist();
+        // No seams: one component, split by the BFS grower.
+        let part = partition(&nl, &[], 3);
+        assert_eq!(part.len(), 3);
+        let covered: usize = part.islands.iter().map(Vec::len).sum();
+        assert_eq!(covered, nl.cell_count());
+        // Roughly balanced: no island holds everything.
+        assert!(part.islands.iter().all(|i| i.len() < nl.cell_count()));
+    }
+
+    #[test]
+    fn more_components_than_islands_pack_balanced() {
+        let mut nl = Netlist::new("many");
+        for c in 0..6 {
+            let mut chain = Vec::new();
+            for i in 0..10 {
+                chain.push(nl.add_cell(Cell::comb(format!("c{c}_{i}"), 8, 0.4, 8)));
+            }
+            for w in chain.windows(2) {
+                nl.connect(w[0], &[w[1]]);
+            }
+        }
+        let part = partition(&nl, &[], 2);
+        assert_eq!(part.len(), 2);
+        assert_eq!(part.islands[0].len(), 30);
+        assert_eq!(part.islands[1].len(), 30);
+    }
+
+    #[test]
+    fn stitching_registers_every_crossing() {
+        let (mut nl, fifo) = two_kernel_netlist();
+        let mut part = partition(&nl, &[fifo], 2);
+        let before = nl.cell_count();
+        let report = stitch_crossings(&mut nl, &mut part);
+        nl.validate().expect("stitched netlist stays well-formed");
+        assert!(report.registers >= 1);
+        assert_eq!(nl.cell_count(), before + report.registers as usize);
+        assert_eq!(report.register_bits, u64::from(report.registers) * 32);
+        // Every net now stays inside one island, except driver→xing arcs.
+        for (_, net) in nl.nets() {
+            let home = part.island_of[net.driver.index()];
+            for &s in &net.sinks {
+                if part.island_of[s.index()] != home {
+                    let name = &nl.cell(s).name;
+                    assert!(
+                        name.starts_with("xing_"),
+                        "unregistered crossing into {name}"
+                    );
+                    assert_eq!(nl.cell(s).kind, CellKind::Ff);
+                }
+            }
+        }
+        // Island lists still ascending and consistent with island_of.
+        for (idx, island) in part.islands.iter().enumerate() {
+            assert!(island.windows(2).all(|w| w[0] < w[1]));
+            for &c in island {
+                assert_eq!(part.island_of[c.index()], idx as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn reserve_regions_tiles_the_grid() {
+        let d = Device::ultrascale_plus_vu9p();
+        let regions = reserve_regions(&d, &[500, 1000, 250]).expect("fits");
+        assert_eq!(regions.len(), 3);
+        let mut x = 0u16;
+        for r in &regions {
+            assert_eq!(r.x0, x, "strips must tile left to right");
+            assert!(r.w >= MIN_REGION_W);
+            assert_eq!((r.y0, u32::from(r.h)), (0, d.grid_h));
+            x = r.x1();
+        }
+        assert_eq!(u32::from(x), d.grid_w);
+        // Proportionality: the 1000-cell island gets the widest strip.
+        assert!(regions[1].w > regions[0].w && regions[1].w > regions[2].w);
+    }
+
+    #[test]
+    fn reserve_regions_rejects_infeasible() {
+        let d = Device::zynq_zc706();
+        let too_many = vec![10usize; (d.grid_w / u32::from(MIN_REGION_W) + 1) as usize];
+        assert_eq!(reserve_regions(&d, &too_many), None);
+        // One island far too big for any strip share.
+        let sites = d.grid_w as usize * d.grid_h as usize;
+        assert_eq!(reserve_regions(&d, &[1, sites]), None);
+    }
+
+    #[test]
+    fn auto_islands_keeps_small_designs_flat() {
+        let (nl, _) = two_kernel_netlist();
+        let d = Device::ultrascale_plus_vu9p();
+        assert_eq!(auto_islands(&nl, &d), 1);
+        let mut big = Netlist::new("big");
+        for i in 0..4000 {
+            big.add_cell(Cell::ff(format!("f{i}"), 1));
+        }
+        let k = auto_islands(&big, &d);
+        assert!(k >= 2 && k <= max_islands(&d));
+    }
+}

@@ -2,6 +2,54 @@
 
 use hlsb_netlist::{CellId, Net, Netlist};
 
+/// A rectangular placement region in absolute device-grid coordinates:
+/// the half-open window `[x0, x0+w) × [y0, y0+h)`. Flat placement uses
+/// the full device grid; island-partitioned placement reserves one
+/// disjoint region per island (see `crate::partition`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Leftmost column.
+    pub x0: u16,
+    /// Topmost row.
+    pub y0: u16,
+    /// Width in columns.
+    pub w: u16,
+    /// Height in rows.
+    pub h: u16,
+}
+
+impl Region {
+    /// The full grid of a device.
+    pub fn full(device: &hlsb_fabric::Device) -> Self {
+        Region {
+            x0: 0,
+            y0: 0,
+            w: device.grid_w as u16,
+            h: device.grid_h as u16,
+        }
+    }
+
+    /// One past the rightmost column.
+    pub fn x1(&self) -> u16 {
+        self.x0 + self.w
+    }
+
+    /// One past the bottom row.
+    pub fn y1(&self) -> u16 {
+        self.y0 + self.h
+    }
+
+    /// Number of sites in the region.
+    pub fn sites(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.h)
+    }
+
+    /// Whether a location falls inside the region.
+    pub fn contains(&self, loc: (u16, u16)) -> bool {
+        loc.0 >= self.x0 && loc.0 < self.x1() && loc.1 >= self.y0 && loc.1 < self.y1()
+    }
+}
+
 /// Coordinates for every cell of a netlist, in device grid units.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placement {

@@ -29,20 +29,32 @@ pub fn site_legal(kind: CellKind, x: u16) -> bool {
 /// Snaps column `x` to the nearest legal column for `kind` on a grid of
 /// width `grid_w`.
 pub fn snap_column(kind: CellKind, x: u16, grid_w: u16) -> u16 {
+    snap_column_in(kind, x, 0, grid_w)
+}
+
+/// Snaps column `x` to the nearest legal column for `kind` within the
+/// half-open column range `[x0, x1)` — the column window of a reserved
+/// placement region. `snap_column` is the full-grid special case. A range
+/// spanning at least one full BRAM/DSP period (10 columns) is guaranteed
+/// to contain a legal column for every kind; narrower ranges may fall
+/// back to the clamped input.
+pub fn snap_column_in(kind: CellKind, x: u16, x0: u16, x1: u16) -> u16 {
+    debug_assert!(x0 < x1, "empty column range");
+    let x = x.clamp(x0, x1 - 1);
     if site_legal(kind, x) {
-        return x.min(grid_w - 1);
+        return x;
     }
-    for d in 1..grid_w {
-        let lo = x.saturating_sub(d);
+    for d in 1..(x1 - x0) {
+        let lo = x.saturating_sub(d).max(x0);
         if site_legal(kind, lo) {
             return lo;
         }
-        let hi = x.saturating_add(d).min(grid_w - 1);
+        let hi = x.saturating_add(d).min(x1 - 1);
         if site_legal(kind, hi) {
             return hi;
         }
     }
-    x.min(grid_w - 1)
+    x
 }
 
 #[cfg(test)]
@@ -81,5 +93,32 @@ mod tests {
     #[test]
     fn snap_stays_in_bounds() {
         assert!(snap_column(CellKind::Bram, 59, 60) < 60);
+    }
+
+    #[test]
+    fn bounded_snap_stays_in_range_and_finds_legal_columns() {
+        // Any 12-wide window holds one BRAM and one DSP column.
+        for x0 in 0..48u16 {
+            let x1 = x0 + 12;
+            for x in 0..60u16 {
+                for kind in [CellKind::Bram, CellKind::Dsp, CellKind::Comb] {
+                    let c = snap_column_in(kind, x, x0, x1);
+                    assert!(
+                        c >= x0 && c < x1,
+                        "{kind:?} x={x} -> {c} outside [{x0},{x1})"
+                    );
+                    assert!(site_legal(kind, c), "{kind:?} x={x} -> illegal column {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_snap_with_full_range_matches_snap_column() {
+        for x in 0..60u16 {
+            for kind in [CellKind::Bram, CellKind::Dsp, CellKind::Comb, CellKind::Ff] {
+                assert_eq!(snap_column(kind, x, 60), snap_column_in(kind, x, 0, 60));
+            }
+        }
     }
 }

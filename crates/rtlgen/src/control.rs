@@ -132,19 +132,23 @@ fn attach_skid(
     };
 
     // The gate feedback is registered (see below), which costs
-    // GATE_PIPELINE extra cycles of in-flight slack per buffer.
+    // GATE_PIPELINE extra cycles of in-flight slack per buffer. Island-
+    // partitioned placement registers inter-island channels, adding
+    // `crossing_slots` more cycles the buffer must absorb.
+    let crossing_slots = ctx.options.crossing_slots;
     let mut status_ffs = Vec::new();
     let mut prev_cut = 0usize;
     for (ci, &cut) in cuts.iter().enumerate() {
         let seg_len = cut - prev_cut;
         let width = widths[cut - 1];
-        let depth_slots = seg_len as u64 + 1 + GATE_PIPELINE;
+        let depth_slots = seg_len as u64 + 1 + GATE_PIPELINE + crossing_slots;
         let bits = depth_slots * width;
         ctx.info.skid_buffer_bits += bits;
         ctx.info.skid_decisions.push(crate::info::SkidDecision {
             looop: name.to_string(),
             cut_stage: cut,
             depth_slots,
+            crossing_slots,
             width_bits: width,
             bits,
             storage: if bits >= 4096 {

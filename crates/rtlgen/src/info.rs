@@ -32,8 +32,13 @@ pub struct SkidDecision {
     /// for the end-of-pipeline policy).
     pub cut_stage: usize,
     /// Buffer depth in slots: segment length + 1 + the registered-gate
-    /// pipeline slack.
+    /// pipeline slack + the inter-island crossing slack.
     pub depth_slots: u64,
+    /// Extra slots provisioned for registered inter-island crossings
+    /// (`RtlOptions::crossing_slots`; 0 for flat placement). Recorded so
+    /// the VC02 contract check audits the crossing provisioning, not just
+    /// the base `N + 1` bound.
+    pub crossing_slots: u64,
     /// Width of the buffered stage boundary, bits.
     pub width_bits: u64,
     /// Total storage bits.
@@ -85,6 +90,11 @@ pub struct LowerInfo {
     pub skid_decisions: Vec<SkidDecision>,
     /// Per-module sync prune/keep decisions, in lowering order.
     pub sync_decisions: Vec<SyncDecision>,
+    /// Netlist cells of the inter-kernel FIFO storage macros, in creation
+    /// order — the dataflow *seams*. Island partitioning
+    /// (`hlsb-place::partition`) prefers to cut the netlist at exactly
+    /// these cells, so kernels never straddle an island boundary.
+    pub seam_cells: Vec<hlsb_netlist::CellId>,
 }
 
 /// Inter-stage data widths of a scheduled loop: entry `b` is the number of

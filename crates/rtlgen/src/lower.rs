@@ -97,6 +97,9 @@ impl<'a> Ctx<'a> {
             cell.ffs = f.elem.bits();
         }
         let id = self.nl.add_cell(cell);
+        // FIFO macros are the dataflow seams: island partitioning cuts the
+        // netlist at exactly these cells.
+        self.info.seam_cells.push(id);
         self.fifo_cells[fid.index()] = Some(id);
         id
     }

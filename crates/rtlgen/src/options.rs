@@ -31,6 +31,13 @@ pub struct RtlOptions {
     /// Prune parallel-module synchronization to the longest static latency
     /// (§4.2 case 2).
     pub sync_pruning: bool,
+    /// Extra registered hops on inter-kernel channels, provisioned in the
+    /// flow-control logic. Island-partitioned placement registers every
+    /// net that crosses an island boundary, which adds one cycle of
+    /// latency per crossing; skid buffers must grow by the same number of
+    /// slots to keep the no-overflow contract (VC02). Zero for flat
+    /// placement.
+    pub crossing_slots: u64,
 }
 
 impl RtlOptions {
@@ -39,6 +46,7 @@ impl RtlOptions {
         RtlOptions {
             control: ControlStyle::Stall,
             sync_pruning: false,
+            crossing_slots: 0,
         }
     }
 
@@ -47,6 +55,7 @@ impl RtlOptions {
         RtlOptions {
             control: ControlStyle::Skid { min_area: true },
             sync_pruning: true,
+            crossing_slots: 0,
         }
     }
 }

@@ -110,6 +110,7 @@ fn min_area_skid_never_uses_more_bits() {
         &RtlOptions {
             control: ControlStyle::Skid { min_area: false },
             sync_pruning: false,
+            crossing_slots: 0,
         },
         &HlsPredictedModel::new(),
     );
@@ -118,6 +119,7 @@ fn min_area_skid_never_uses_more_bits() {
         &RtlOptions {
             control: ControlStyle::Skid { min_area: true },
             sync_pruning: false,
+            crossing_slots: 0,
         },
         &HlsPredictedModel::new(),
     );
@@ -242,6 +244,7 @@ fn call_sync_reduce_is_generated_and_pruned() {
         &RtlOptions {
             control: ControlStyle::Stall,
             sync_pruning: true,
+            crossing_slots: 0,
         },
         &HlsPredictedModel::new(),
     );

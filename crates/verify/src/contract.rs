@@ -141,7 +141,10 @@ fn check_skid_depths(info: &LowerInfo, out: &mut Vec<Diagnostic>) {
         let mut prev = 0usize;
         for d in cuts {
             let seg_len = d.cut_stage.saturating_sub(prev) as u64;
-            let bound = seg_len + 1 + GATE_PIPELINE;
+            // The decision's own crossing provisioning is part of the
+            // bound: a buffer that *declares* crossing slack (registered
+            // inter-island hops) must actually hold those slots too.
+            let bound = seg_len + 1 + GATE_PIPELINE + d.crossing_slots;
             if d.depth_slots < bound {
                 out.push(finding(
                     "VC02",
@@ -149,9 +152,10 @@ fn check_skid_depths(info: &LowerInfo, out: &mut Vec<Diagnostic>) {
                     format!("skid at stage {} of {}", d.cut_stage, d.looop),
                     format!(
                         "skid buffer holds {} slot(s) but covers a {}-stage segment: the \
-                         N+1 bound with {} cycle(s) of registered-gate slack requires {}; \
-                         an in-flight iteration is dropped when the gate closes",
-                        d.depth_slots, seg_len, GATE_PIPELINE, bound,
+                         N+1 bound with {} cycle(s) of registered-gate slack and {} \
+                         crossing slot(s) requires {}; an in-flight iteration is dropped \
+                         when the gate closes",
+                        d.depth_slots, seg_len, GATE_PIPELINE, d.crossing_slots, bound,
                     ),
                     Location {
                         kernel: Some(d.looop.clone()),
@@ -355,6 +359,7 @@ mod tests {
             looop: looop.into(),
             cut_stage,
             depth_slots,
+            crossing_slots: 0,
             width_bits: 32,
             bits: depth_slots * 32,
             storage: SkidStorage::Ff,
@@ -382,6 +387,27 @@ mod tests {
         assert_eq!(out[0].rule, "VC02");
         assert!(out[0].message.contains("5-stage segment"));
         assert_eq!(out[0].location.kernel.as_deref(), Some("top_0"));
+    }
+
+    #[test]
+    fn skid_bound_audits_crossing_provisioning() {
+        // A buffer that declares one crossing slot must hold it: the base
+        // N+1+GATE_PIPELINE depth alone is now one short.
+        let mut info = LowerInfo::default();
+        let mut d = skid("top_0", 3, 3 + 1 + GATE_PIPELINE);
+        d.crossing_slots = 1;
+        info.skid_decisions.push(d);
+        let mut out = Vec::new();
+        check_lower(&info, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "VC02");
+        assert!(out[0].message.contains("1 crossing slot(s)"), "{out:?}");
+
+        // Provisioning the slot satisfies the audited bound.
+        info.skid_decisions[0].depth_slots += 1;
+        let mut out = Vec::new();
+        check_lower(&info, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     fn sync(module: &str, latency: Option<u64>, waited: bool, cover: Option<u64>) -> SyncDecision {

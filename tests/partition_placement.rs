@@ -1,0 +1,192 @@
+//! Island-partitioned placement: determinism, equivalence and quality.
+//!
+//! The implement stage's partitioned strategy (cut along dataflow seams,
+//! anneal islands in parallel in reserved regions, register the
+//! crossings) must uphold the project's determinism invariants —
+//! parallel ≡ sequential bit-identical, cached ≡ cold trace-identical —
+//! and must not cost frequency: partitioned fmax stays within tolerance
+//! of flat placement on every paper benchmark.
+
+use hlsb::sim::Stimulus;
+use hlsb::{Flow, FlowSession, OptimizationOptions, Partitioning, PlaceEffort};
+
+const SEED: u64 = 0xDAC2_2020;
+
+fn partitioned_flow(bench: &hlsb_benchmarks::Benchmark, partitions: Partitioning) -> Flow {
+    Flow::new(bench.design.clone())
+        .device(bench.device.clone())
+        .clock_mhz(bench.clock_mhz)
+        .options(OptimizationOptions::all())
+        .place_effort(PlaceEffort::Fast)
+        .place_seeds(2)
+        .seed(SEED)
+        .partitions(partitions)
+}
+
+fn vector_product() -> hlsb_benchmarks::Benchmark {
+    hlsb_benchmarks::all_benchmarks()
+        .into_iter()
+        .find(|b| b.design.name == "vector_product")
+        .expect("vector product benchmark exists")
+}
+
+#[test]
+fn partitioned_parallel_is_bit_identical_to_sequential() {
+    // The partitioned strategy places islands on scoped worker threads;
+    // the thread count must never leak into the result — island
+    // placements are keyed by (trial, island), not by completion order.
+    let bench = vector_product();
+    let flows = vec![
+        partitioned_flow(&bench, Partitioning::Auto),
+        partitioned_flow(&bench, Partitioning::Fixed(3)),
+    ];
+    let sequential = FlowSession::with_threads(1).run_many(&flows);
+    let parallel = FlowSession::with_threads(4).run_many(&flows);
+    for ((seq, par), flow) in sequential.iter().zip(&parallel).zip(&flows) {
+        let seq = seq.as_ref().expect("flow");
+        let par = par.as_ref().expect("flow");
+        assert_eq!(seq, par, "parallel != sequential for {flow:?}");
+        assert!(
+            seq.partition.is_some(),
+            "vector product is large enough to actually partition"
+        );
+    }
+    // Single runs with a parallel trial budget agree too.
+    let single = FlowSession::with_threads(4);
+    for (flow, seq) in flows.iter().zip(&sequential) {
+        assert_eq!(
+            &single.run(flow).expect("flow"),
+            seq.as_ref().expect("flow")
+        );
+    }
+}
+
+#[test]
+fn partition_summary_is_recorded_and_consistent() {
+    let bench = vector_product();
+    let result = FlowSession::with_threads(4)
+        .run(&partitioned_flow(&bench, Partitioning::Auto))
+        .expect("flow");
+    let p = result.partition.as_ref().expect("partitioned run");
+    assert!(
+        p.islands >= 2,
+        "auto partitioning chose {} islands",
+        p.islands
+    );
+    assert_eq!(p.island_cells.len(), p.islands as usize);
+    assert!(p.island_cells.iter().all(|&c| c > 0), "no empty islands");
+    assert!(
+        p.cut_nets > 0 && p.crossing_registers > 0,
+        "a multi-kernel dataflow design must have registered crossings"
+    );
+    assert!(p.crossing_register_bits >= u64::from(p.crossing_registers));
+    // Every crossing register is provisioned in the skid bookkeeping
+    // (VC02's audited slack), recorded on each skid decision.
+    assert!(result
+        .lower_info
+        .skid_decisions
+        .iter()
+        .all(|d| d.crossing_slots == 1));
+    // The flat run provisions none.
+    let flat = FlowSession::with_threads(4)
+        .run(&partitioned_flow(&bench, Partitioning::Off))
+        .expect("flow");
+    assert!(flat.partition.is_none());
+    assert!(flat
+        .lower_info
+        .skid_decisions
+        .iter()
+        .all(|d| d.crossing_slots == 0));
+}
+
+#[test]
+fn partitioned_fmax_stays_within_tolerance_of_flat() {
+    // Acceptance: partitioned fmax no worse than flat minus 2% on every
+    // paper benchmark. Small designs deterministically fall back to flat
+    // placement and match exactly.
+    let session = FlowSession::new();
+    for bench in hlsb_benchmarks::all_benchmarks() {
+        let flat = session
+            .run(&partitioned_flow(&bench, Partitioning::Off).place_seeds(1))
+            .expect("flat flow");
+        let part = session
+            .run(&partitioned_flow(&bench, Partitioning::Auto).place_seeds(1))
+            .expect("partitioned flow");
+        assert!(
+            part.fmax_mhz >= flat.fmax_mhz * 0.98,
+            "{}: partitioned {:.1} MHz vs flat {:.1} MHz",
+            bench.name,
+            part.fmax_mhz,
+            flat.fmax_mhz
+        );
+    }
+}
+
+#[test]
+fn partitioned_trace_trees_are_deterministic() {
+    // cached ≡ cold and sequential ≡ parallel on the normalized span
+    // tree, with per-island spans present under every placement trial.
+    let bench = vector_product();
+    let flow = partitioned_flow(&bench, Partitioning::Auto).trace(true);
+    let session = FlowSession::with_threads(1);
+    let cold = session.run(&flow).expect("flow");
+    let cached = session.run(&flow).expect("flow");
+    assert!(session.cache_stats().hits > 0, "rerun must hit the cache");
+    let cold_tree = cold.trace_tree().expect("traced");
+    assert_eq!(
+        cold_tree.normalized(),
+        cached.trace_tree().expect("traced").normalized(),
+        "cached trace != cold trace"
+    );
+    let parallel = FlowSession::with_threads(4).run(&flow).expect("flow");
+    assert_eq!(
+        cold_tree.normalized(),
+        parallel.trace_tree().expect("traced").normalized(),
+        "parallel trace != sequential trace"
+    );
+    // The implement span carries island children under each trial span.
+    let islands = cold.partition.as_ref().expect("partitioned").islands;
+    let rendered = cold_tree.render();
+    for island in 0..islands {
+        assert!(
+            rendered.contains(&format!("island-{island}")),
+            "trace must show island {island}:\n{rendered}"
+        );
+    }
+}
+
+#[test]
+fn differential_simulation_is_green_with_partitioning_on() {
+    // Partitioning is a placement-layer decision: it must be invisible
+    // to the observable semantics of every optimization-cube variant.
+    const ITERS_CAP: u64 = 48;
+    let session = FlowSession::new();
+    let bench = vector_product();
+    let stim = Stimulus::seeded(&bench.design, 1, ITERS_CAP as usize);
+    let mut golden_baseline = None;
+    for bits in 0..8u32 {
+        let opts = OptimizationOptions {
+            broadcast_aware: bits & 1 != 0,
+            sync_pruning: bits & 2 != 0,
+            skid_buffer: bits & 4 != 0,
+            min_area_skid: false,
+        };
+        let flow = Flow::new(bench.design.clone())
+            .device(bench.device.clone())
+            .clock_mhz(bench.clock_mhz)
+            .options(opts)
+            .partitions(Partitioning::Auto);
+        let sim = session
+            .simulate(&flow, &stim, ITERS_CAP)
+            .unwrap_or_else(|e| panic!("{opts:?}: flow rejected: {e}"));
+        sim.check().unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+        match &golden_baseline {
+            None => golden_baseline = Some(sim),
+            Some(base) => {
+                if let Some(diff) = sim.golden.diff(&base.golden) {
+                    panic!("{opts:?}: golden diverges from baseline: {diff}");
+                }
+            }
+        }
+    }
+}

@@ -203,6 +203,7 @@ fn shrunk_skid_buffer_is_caught_as_vc02() {
     let options = RtlOptions {
         control: ControlStyle::Skid { min_area: false },
         sync_pruning: false,
+        crossing_slots: 0,
     };
     let mut lowered = lower_design(&sd, &options, &HlsPredictedModel::new());
     assert!(
@@ -243,6 +244,7 @@ fn illegal_sync_prune_is_caught_as_vc03() {
     let options = RtlOptions {
         control: ControlStyle::Stall,
         sync_pruning: true,
+        crossing_slots: 0,
     };
     let mut lowered = lower_design(&sd, &options, &HlsPredictedModel::new());
     let pruned = lowered

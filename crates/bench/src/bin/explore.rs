@@ -1,0 +1,256 @@
+//! `explore` — closed-loop maximum-frequency search (see the
+//! `hlsb-explore` crate).
+//!
+//! ```text
+//! explore [--design <name>|all] [--configs <spec>[,<spec>...]]
+//!         [--tolerance <mhz>] [--budget <n>] [--start <mhz>]
+//!         [--seed <n>] [--verify-iters <n>] [--log <path>]
+//!         [--format table|jsonl] [--trace-out <path>] [--list]
+//! ```
+//!
+//! For every selected benchmark the explorer searches the HLS clock
+//! target per configuration until it converges — within `--tolerance` —
+//! to the highest target the implementation still signs off at. A
+//! configuration spec is a preset (`none`, `all`), a 4-character toggle
+//! mask (`BS-M`), optionally with a `+rB.B` register-injection suffix
+//! (`all+r1.2`); the default set is `none,all,all+r1`. `--budget` caps
+//! fresh full (place-and-route) evaluations per design; probes and
+//! frequency-log hits are free. `--log` persists every trial as JSONL
+//! keyed by the flow's config key — re-running with the same log resumes
+//! an interrupted search and reproduces the same table without
+//! re-running completed trials. `--trace-out` writes the explorer's
+//! `explore.*` span tree as JSONL (one tree per benchmark,
+//! length-prefixed by a `# design` comment line).
+//!
+//! Exit status is 2 on usage errors, 1 if any converged configuration
+//! fails its differential-simulation or contract check, 0 otherwise.
+
+use hlsb::FlowSession;
+use hlsb_benchmarks::{all_benchmarks, Benchmark};
+use hlsb_explore::{report, ExploreConfig, FmaxExplorer, FreqLog};
+use std::process::ExitCode;
+
+struct Args {
+    design: String,
+    configs: Vec<ExploreConfig>,
+    tolerance_mhz: f64,
+    budget: usize,
+    start_mhz: Option<f64>,
+    seed: u64,
+    verify_iters: u64,
+    log: Option<String>,
+    format: Format,
+    trace_out: Option<String>,
+    list: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Table,
+    Jsonl,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: explore [--design <name>|all] [--configs <spec>[,<spec>...]]\n\
+         \x20              [--tolerance <mhz>] [--budget <n>] [--start <mhz>]\n\
+         \x20              [--seed <n>] [--verify-iters <n>] [--log <path>]\n\
+         \x20              [--format table|jsonl] [--trace-out <path>] [--list]\n\
+         \x20  config specs: none | all | 4-char mask (e.g. BS-M), each with an\n\
+         \x20  optional +rB.B injection suffix (e.g. all+r1.2)"
+    );
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        design: "all".into(),
+        configs: ExploreConfig::default_set(),
+        tolerance_mhz: hlsb_explore::DEFAULT_TOLERANCE_MHZ,
+        budget: hlsb_explore::DEFAULT_BUDGET,
+        start_mhz: None,
+        seed: hlsb_bench::SEED,
+        verify_iters: hlsb_explore::DEFAULT_VERIFY_ITERS,
+        log: None,
+        format: Format::Table,
+        trace_out: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--design" => args.design = it.next().ok_or("--design needs a value")?,
+            "--configs" => {
+                let c = it.next().ok_or("--configs needs a value")?;
+                args.configs = c
+                    .split(',')
+                    .map(|tok| {
+                        ExploreConfig::parse(tok.trim()).ok_or(format!("bad config spec `{tok}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.configs.is_empty() {
+                    return Err(format!("bad configs `{c}`"));
+                }
+            }
+            "--tolerance" => {
+                let t = it.next().ok_or("--tolerance needs a value")?;
+                args.tolerance_mhz = t.parse().map_err(|_| format!("bad tolerance `{t}`"))?;
+                if !(args.tolerance_mhz.is_finite() && args.tolerance_mhz > 0.0) {
+                    return Err(format!("bad tolerance `{t}`"));
+                }
+            }
+            "--budget" => {
+                let b = it.next().ok_or("--budget needs a value")?;
+                args.budget = b.parse().map_err(|_| format!("bad budget `{b}`"))?;
+                if args.budget == 0 {
+                    return Err("budget must be at least 1".into());
+                }
+            }
+            "--start" => {
+                let s = it.next().ok_or("--start needs a value")?;
+                let mhz: f64 = s.parse().map_err(|_| format!("bad start `{s}`"))?;
+                if !(mhz.is_finite() && mhz > 0.0) {
+                    return Err(format!("bad start `{s}`"));
+                }
+                args.start_mhz = Some(mhz);
+            }
+            "--seed" => {
+                let s = it.next().ok_or("--seed needs a value")?;
+                args.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            }
+            "--verify-iters" => {
+                let v = it.next().ok_or("--verify-iters needs a value")?;
+                args.verify_iters = v.parse().map_err(|_| format!("bad verify-iters `{v}`"))?;
+            }
+            "--log" => args.log = Some(it.next().ok_or("--log needs a value")?),
+            "--format" => {
+                args.format = match it.next().ok_or("--format needs a value")?.as_str() {
+                    "table" => Format::Table,
+                    "jsonl" => Format::Jsonl,
+                    f => return Err(format!("unknown format `{f}`")),
+                };
+            }
+            "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            f => return Err(format!("unknown flag `{f}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn explore(
+    bench: &Benchmark,
+    args: &Args,
+    session: &FlowSession,
+) -> std::io::Result<(bool, Option<hlsb::TraceTree>)> {
+    let log = match &args.log {
+        // One log file can serve several benchmarks: the trial key
+        // covers the design, so entries never collide.
+        Some(path) => FreqLog::open(path)?,
+        None => FreqLog::in_memory(),
+    };
+    let report = FmaxExplorer::new(&bench.design, &bench.device)
+        .configs(args.configs.clone())
+        .start_mhz(args.start_mhz.unwrap_or(bench.clock_mhz))
+        .tolerance_mhz(args.tolerance_mhz)
+        .budget(args.budget)
+        .seed(args.seed)
+        .log(log)
+        .verify_iters(args.verify_iters)
+        .trace(args.trace_out.is_some())
+        .run(session)?;
+
+    match args.format {
+        Format::Table => {
+            println!("== {} ({}) ==", bench.name, bench.device.name);
+            print!("{}", report::best_frequencies_table(&report));
+            println!("{}", report::summary_line(&report));
+            println!();
+        }
+        Format::Jsonl => print!("{}", report::report_jsonl(&report)),
+    }
+    Ok((report.semantics_ok(), report.span_tree))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("explore: {e}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    let benches = all_benchmarks();
+    if args.list {
+        for b in &benches {
+            println!(
+                "{:<16} {:>6.0} MHz  {}",
+                b.design.name, b.clock_mhz, b.device.name
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&Benchmark> = if args.design == "all" {
+        benches.iter().collect()
+    } else {
+        benches
+            .iter()
+            .filter(|b| b.design.name == args.design)
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "explore: no benchmark named `{}` (try --list; one of: {})",
+            args.design,
+            benches
+                .iter()
+                .map(|b| b.design.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    }
+
+    let session = FlowSession::new();
+    let mut semantics_ok = true;
+    let mut traces: Vec<(String, hlsb::TraceTree)> = Vec::new();
+    for bench in selected {
+        match explore(bench, &args, &session) {
+            Ok((ok, tree)) => {
+                semantics_ok &= ok;
+                if let Some(tree) = tree {
+                    traces.push((bench.design.name.clone(), tree));
+                }
+            }
+            Err(e) => {
+                eprintln!("explore: log I/O failed for {}: {e}", bench.name);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let mut out = String::new();
+        for (design, tree) in &traces {
+            out.push_str(&format!("# {design}\n"));
+            out.push_str(&tree.to_jsonl());
+        }
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("explore: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote explore span trees for {} benchmarks to {path}",
+            traces.len()
+        );
+    }
+    if !semantics_ok {
+        eprintln!("explore: a converged configuration FAILED its semantics check");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -61,12 +61,16 @@ pub(crate) fn front_end_key(design_hash: u64, split: bool) -> u64 {
 
 /// Schedule stage key; `device_hash`/`seed` contribute only when
 /// `broadcast_aware` (the baseline schedule depends on neither).
+/// `inject` contributes only when enabled (the classic flow keeps its
+/// pre-injection keys), keyed by content so distinct boundary sets never
+/// share a cached schedule.
 pub(crate) fn schedule_key(
     front_end: u64,
     clock_ns: f64,
     broadcast_aware: bool,
     device_hash: u64,
     seed: u64,
+    inject: &crate::options::RegisterInjection,
 ) -> u64 {
     combine(&[
         front_end,
@@ -74,6 +78,11 @@ pub(crate) fn schedule_key(
         u64::from(broadcast_aware),
         if broadcast_aware { device_hash } else { 0 },
         if broadcast_aware { seed } else { 0 },
+        if inject.is_enabled() {
+            hash_debug(inject)
+        } else {
+            0
+        },
     ])
 }
 
@@ -221,12 +230,27 @@ mod tests {
 
     #[test]
     fn schedule_key_ignores_device_and_seed_without_ba() {
-        let k = |dev, seed| schedule_key(7, 3.3, false, dev, seed);
+        use crate::options::RegisterInjection;
+        let off = RegisterInjection::Off;
+        let k = |dev, seed| schedule_key(7, 3.3, false, dev, seed, &off);
         assert_eq!(k(1, 10), k(2, 20));
-        let ba = |dev, seed| schedule_key(7, 3.3, true, dev, seed);
+        let ba = |dev, seed| schedule_key(7, 3.3, true, dev, seed, &off);
         assert_ne!(ba(1, 10), ba(2, 10));
         assert_ne!(ba(1, 10), ba(1, 20));
         assert_ne!(k(1, 10), ba(1, 10));
+    }
+
+    #[test]
+    fn schedule_key_distinguishes_injection_boundary_sets() {
+        use crate::options::RegisterInjection;
+        let k = |inject: &RegisterInjection| schedule_key(7, 3.3, true, 1, 10, inject);
+        let off = k(&RegisterInjection::Off);
+        let one = k(&RegisterInjection::at(vec![1]));
+        let two = k(&RegisterInjection::at(vec![1, 2]));
+        assert_ne!(off, one, "injected schedules must never hit Off's cache");
+        assert_ne!(one, two, "distinct boundary sets must key apart");
+        // Canonicalization: order and duplicates collapse to one key.
+        assert_eq!(two, k(&RegisterInjection::at(vec![2, 1, 2])));
     }
 
     #[test]
@@ -263,7 +287,8 @@ mod tests {
                 // front_end_key takes no clock at all — the shared key is
                 // the same `fe` for every sweep point by construction.
                 for ba in [false, true] {
-                    sched_keys.insert(schedule_key(fe, clock_ns, ba, 7, 3));
+                    let off = crate::options::RegisterInjection::Off;
+                    sched_keys.insert(schedule_key(fe, clock_ns, ba, 7, 3, &off));
                 }
             }
             assert_eq!(sched_keys.len(), 8, "schedules must key per clock");

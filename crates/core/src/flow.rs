@@ -2,7 +2,7 @@
 //! pipeline (see [`crate::passes`] and [`FlowSession`]).
 
 use crate::error::FlowError;
-use crate::options::{OptimizationOptions, Partitioning, PlaceEffort};
+use crate::options::{OptimizationOptions, Partitioning, PlaceEffort, RegisterInjection};
 use crate::result::ImplementationResult;
 use crate::session::FlowSession;
 use hlsb_fabric::Device;
@@ -28,6 +28,7 @@ pub struct Flow {
     pub(crate) effort: PlaceEffort,
     pub(crate) place_seeds: u32,
     pub(crate) partitions: Partitioning,
+    pub(crate) inject: RegisterInjection,
     pub(crate) lint: bool,
     pub(crate) verify: bool,
     pub(crate) trace: bool,
@@ -46,6 +47,7 @@ impl Flow {
             effort: PlaceEffort::Normal,
             place_seeds: 3,
             partitions: Partitioning::Off,
+            inject: RegisterInjection::Off,
             lint: false,
             verify: false,
             trace: false,
@@ -106,6 +108,22 @@ impl Flow {
     /// placement.
     pub fn partitions(mut self, partitions: Partitioning) -> Self {
         self.partitions = partitions;
+        self
+    }
+
+    /// Forces extra pipeline registers at the named stage boundaries
+    /// ([`RegisterInjection`], default [`RegisterInjection::Off`]). The
+    /// injection runs after baseline or broadcast-aware scheduling:
+    /// every value crossing a named boundary of the pre-injection
+    /// schedule through combinational wires is routed through a `Reg`
+    /// module and the loop is rescheduled, trading pipeline depth (the
+    /// added latency is visible to probes and the timed simulator) for
+    /// shorter post-lowering chains. A boundary no loop of the design
+    /// has is rejected with [`FlowError::BadParameter`]. Participates in
+    /// [`config_key`](Flow::config_key) and the schedule-stage cache
+    /// key.
+    pub fn inject(mut self, inject: RegisterInjection) -> Self {
+        self.inject = inject;
         self
     }
 
@@ -174,6 +192,7 @@ impl Flow {
             crate::cache::hash_debug(&self.effort),
             u64::from(self.place_seeds),
             crate::cache::hash_debug(&self.partitions),
+            crate::cache::hash_debug(&self.inject),
         ])
     }
 
@@ -386,6 +405,50 @@ mod tests {
     }
 
     #[test]
+    fn register_injection_pays_latency_and_rejects_bad_boundaries() {
+        let d = unrolled_broadcast(8);
+        let session = crate::FlowSession::new();
+        let base = Flow::new(d.clone())
+            .place_effort(PlaceEffort::Fast)
+            .place_seeds(1);
+        let inj = base.clone().inject(RegisterInjection::at(vec![1]));
+        let pb = session.probe(&base).expect("baseline probes");
+        let pi = session.probe(&inj).expect("injected flow probes");
+        assert!(
+            pi.inserted_regs > pb.inserted_regs,
+            "boundary 1 must force at least one register"
+        );
+        assert!(
+            pi.latency_cycles > pb.latency_cycles,
+            "forced registers must pay real latency ({} vs {})",
+            pi.latency_cycles,
+            pb.latency_cycles
+        );
+        // The injected flow still implements, simulates and verifies.
+        let r = session
+            .run(&inj.clone().verify(true))
+            .expect("injected flow implements");
+        assert_eq!(r.latency_cycles, pi.latency_cycles);
+        assert!(r.verify.expect("verify report").is_clean());
+        let stim = hlsb_sim::Stimulus::seeded(&d, 1, 8);
+        let sim = session.simulate(&inj, &stim, 8).expect("simulates");
+        sim.check().expect("injected pipeline must match golden");
+
+        // A boundary past every loop's depth is a typed error, for
+        // probe, run and simulate alike — and again on the cached path.
+        let bad = base.clone().inject(RegisterInjection::at(vec![250]));
+        for _ in 0..2 {
+            let err = session.probe(&bad).unwrap_err();
+            assert!(matches!(err, FlowError::BadParameter { .. }), "{err}");
+            assert!(err.to_string().contains("boundary 250"), "{err}");
+        }
+        let err = session.run(&bad).unwrap_err();
+        assert!(matches!(err, FlowError::BadParameter { .. }));
+        let err = session.simulate(&bad, &stim, 8).unwrap_err();
+        assert!(matches!(err, FlowError::BadParameter { .. }));
+    }
+
+    #[test]
     fn bad_clock_is_rejected() {
         let d = unrolled_broadcast(2);
         let err = Flow::new(d.clone()).clock_mhz(0.0).run().unwrap_err();
@@ -448,6 +511,16 @@ mod tests {
         assert!(keys.insert(base.clone().place_seeds(1).config_key()));
         assert!(keys.insert(base.clone().partitions(Partitioning::Auto).config_key()));
         assert!(keys.insert(base.clone().partitions(Partitioning::Fixed(2)).config_key()));
+        assert!(keys.insert(
+            base.clone()
+                .inject(RegisterInjection::at(vec![1]))
+                .config_key()
+        ));
+        assert!(keys.insert(
+            base.clone()
+                .inject(RegisterInjection::at(vec![1, 2]))
+                .config_key()
+        ));
         assert!(keys.insert(Flow::new(unrolled_broadcast(8)).config_key()));
         // ... and is stable for an identical configuration.
         assert_eq!(base.config_key(), Flow::new(d).config_key());

@@ -62,7 +62,7 @@ mod cache;
 pub use cache::{CacheStats, StageCacheStats};
 pub use error::FlowError;
 pub use flow::Flow;
-pub use options::{OptimizationOptions, Partitioning, PlaceEffort};
+pub use options::{OptimizationOptions, Partitioning, PlaceEffort, RegisterInjection};
 pub use passes::{FrontEndArtifact, LoopFrontEndInfo, LoopScheduleTrace, ScheduleArtifact};
 pub use result::{ImplementationResult, PartitionSummary, Utilization};
 pub use session::{FlowSession, ProbeOutcome, SimulationOutcome};

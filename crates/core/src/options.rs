@@ -49,6 +49,75 @@ impl OptimizationOptions {
     }
 }
 
+/// Forced pipeline-register injection at named stage boundaries.
+///
+/// Where [`OptimizationOptions::broadcast_aware`] inserts register
+/// modules *reactively* (only where the calibrated model proves a chain
+/// violates the budget), this knob forces them *proactively*: every
+/// value produced in a named boundary cycle of the pre-injection
+/// schedule and consumed combinationally in that same cycle is routed
+/// through an extra `Reg` module (`hlsb_sched::inject_registers`). The
+/// pipeline gets deeper — the extra latency is real, reported by probes
+/// and visible to the timed simulator — in exchange for shorter
+/// combinational chains after lowering, which is what the closed-loop
+/// Fmax explorer (`hlsb-explore`) trades off against the clock target.
+///
+/// Boundaries are cycle indices of the pre-injection schedule. A
+/// boundary that names a stage no loop of the design has is a
+/// configuration error ([`FlowError::BadParameter`]); a boundary that
+/// exists but crosses no combinational chain is a no-op.
+///
+/// [`FlowError::BadParameter`]: crate::FlowError::BadParameter
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum RegisterInjection {
+    /// No forced registers (the classic flow).
+    #[default]
+    Off,
+    /// Force a register after every chain source alive at each of these
+    /// stage boundaries (sorted, deduplicated cycle indices).
+    At(Vec<u32>),
+}
+
+impl RegisterInjection {
+    /// Injection at the given boundaries, canonicalized: sorted,
+    /// deduplicated, and collapsed to [`RegisterInjection::Off`] when
+    /// empty — so equal configurations always hash equally in
+    /// [`Flow::config_key`](crate::Flow::config_key).
+    pub fn at(mut boundaries: Vec<u32>) -> Self {
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        if boundaries.is_empty() {
+            RegisterInjection::Off
+        } else {
+            RegisterInjection::At(boundaries)
+        }
+    }
+
+    /// The requested boundaries (empty when off).
+    pub fn boundaries(&self) -> &[u32] {
+        match self {
+            RegisterInjection::Off => &[],
+            RegisterInjection::At(b) => b,
+        }
+    }
+
+    /// Whether any boundary is requested.
+    pub fn is_enabled(&self) -> bool {
+        !self.boundaries().is_empty()
+    }
+
+    /// Compact label for reports: `off` or `r1.3` (boundaries joined by
+    /// `.`).
+    pub fn label(&self) -> String {
+        if self.is_enabled() {
+            let parts: Vec<String> = self.boundaries().iter().map(u32::to_string).collect();
+            format!("r{}", parts.join("."))
+        } else {
+            "off".to_string()
+        }
+    }
+}
+
 /// Placement effort (trade runtime for quality; results stay
 /// deterministic for a fixed seed and effort).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +166,19 @@ impl Partitioning {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn injection_canonicalizes() {
+        assert_eq!(RegisterInjection::at(vec![]), RegisterInjection::Off);
+        assert_eq!(
+            RegisterInjection::at(vec![3, 1, 3]),
+            RegisterInjection::At(vec![1, 3])
+        );
+        assert_eq!(RegisterInjection::at(vec![3, 1]).label(), "r1.3");
+        assert_eq!(RegisterInjection::Off.label(), "off");
+        assert!(!RegisterInjection::Off.is_enabled());
+        assert_eq!(RegisterInjection::at(vec![2]).boundaries(), &[2]);
+    }
 
     #[test]
     fn presets() {

@@ -1,11 +1,14 @@
 //! Schedule pass: baseline list scheduling, or the paper's §4.1
-//! broadcast-aware scheduling with calibrated delay tables.
+//! broadcast-aware scheduling with calibrated delay tables — optionally
+//! followed by forced register injection at caller-named stage
+//! boundaries ([`crate::options::RegisterInjection`]).
 
 use hlsb_delay::{CalibratedModel, HlsPredictedModel};
 use hlsb_fabric::Device;
 use hlsb_rtlgen::ScheduledLoop;
-use hlsb_sched::{schedule_loop, MemAccessPlan, SplitDecision};
+use hlsb_sched::{schedule_loop, InjectDecision, MemAccessPlan, SplitDecision};
 
+use crate::options::RegisterInjection;
 use crate::passes::FrontEndArtifact;
 use hlsb_ir::Design;
 
@@ -26,11 +29,15 @@ pub struct LoopScheduleTrace {
     pub rounds: usize,
     /// Chain-split decisions, in decision order (empty for the baseline).
     pub splits: Vec<SplitDecision>,
+    /// Forced-injection decisions ([`RegisterInjection`]), in
+    /// boundary-then-instruction order (empty when injection is off).
+    pub injections: Vec<InjectDecision>,
     /// Violations left to physical optimization after all fixes.
     pub residual: usize,
     /// Extra memory pipeline stages: `(instruction index, stages)`,
     /// sorted by instruction for determinism (the underlying plan is a
-    /// `HashMap`).
+    /// `HashMap`). Instruction indices refer to the final (post-
+    /// injection) loop body.
     pub mem_stages: Vec<(u32, u32)>,
 }
 
@@ -44,9 +51,20 @@ pub struct ScheduleArtifact {
     /// Pipeline depth of each loop, in cycles, flattened in kernel-loop
     /// order.
     pub depths: Vec<u32>,
-    /// Registers inserted by broadcast-aware scheduling (0 for the
-    /// baseline).
+    /// Registers inserted by scheduling: broadcast-aware chain cuts plus
+    /// forced injections.
     pub inserted_regs: usize,
+    /// The forced-injection share of [`inserted_regs`]
+    /// (0 when [`RegisterInjection::Off`]).
+    ///
+    /// [`inserted_regs`]: ScheduleArtifact::inserted_regs
+    pub injected_regs: usize,
+    /// Requested injection boundaries that name a stage of *no* loop in
+    /// the design — a configuration error the session rejects with
+    /// [`FlowError::BadParameter`](crate::FlowError::BadParameter).
+    /// Recorded in the artifact (rather than returned) so cold and
+    /// cache-hit paths reject identically.
+    pub invalid_boundaries: Vec<u32>,
     /// Per-loop provenance, flattened in kernel-loop order.
     pub loop_traces: Vec<LoopScheduleTrace>,
 }
@@ -89,7 +107,10 @@ impl ScheduleArtifact {
 /// Schedules every loop of the front-end artifact. With
 /// `broadcast_aware`, delays come from the device- and seed-calibrated
 /// tables and registers are inserted on over-threshold broadcasts;
-/// otherwise the stock predicted model is used as-is.
+/// otherwise the stock predicted model is used as-is. With `inject`
+/// enabled, each scheduled loop is then rewritten with forced registers
+/// at the named stage boundaries and rescheduled
+/// ([`hlsb_sched::inject_registers`]).
 pub(crate) fn run(
     front_end: &FrontEndArtifact,
     design: &Design,
@@ -97,11 +118,14 @@ pub(crate) fn run(
     clock_ns: f64,
     broadcast_aware: bool,
     seed: u64,
+    inject: &RegisterInjection,
 ) -> ScheduleArtifact {
     let predicted = HlsPredictedModel::new();
     let calibrated = broadcast_aware.then(|| CalibratedModel::characterize_analytic(device, seed));
 
     let mut inserted_regs = 0usize;
+    let mut injected_regs = 0usize;
+    let mut boundary_in_some_loop: Vec<u32> = Vec::new();
     let mut depths = Vec::new();
     let mut loop_traces = Vec::new();
     let mut loops = Vec::with_capacity(front_end.unrolled.len());
@@ -113,7 +137,7 @@ pub(crate) fn run(
             .unwrap_or_default();
         let mut ks = Vec::with_capacity(kernel_loops.len());
         for unrolled in kernel_loops {
-            let (sl, rounds, splits, residual) = if let Some(cal) = &calibrated {
+            let (mut sl, rounds, splits, residual) = if let Some(cal) = &calibrated {
                 let out = hlsb_sched::broadcast_aware(unrolled, design, &predicted, cal, clock_ns);
                 inserted_regs += out.inserted_regs;
                 let residual = out.residual_violations.len();
@@ -141,6 +165,41 @@ pub(crate) fn run(
                     residual,
                 )
             };
+            let mut injections = Vec::new();
+            if inject.is_enabled() {
+                let out = hlsb_sched::inject_registers(
+                    &sl.looop,
+                    design,
+                    &predicted,
+                    clock_ns,
+                    inject.boundaries(),
+                );
+                for &b in &out.boundaries_in_range {
+                    if !boundary_in_some_loop.contains(&b) {
+                        boundary_in_some_loop.push(b);
+                    }
+                }
+                if out.inserted_regs > 0 {
+                    // The rewrite renumbered the body: carry the memory
+                    // pipelining plan over to the new instruction ids.
+                    let mem_plan = MemAccessPlan {
+                        extra_stages: sl
+                            .mem_plan
+                            .extra_stages
+                            .iter()
+                            .map(|(id, stages)| (out.id_map[id.index()], *stages))
+                            .collect(),
+                    };
+                    inserted_regs += out.inserted_regs;
+                    injected_regs += out.inserted_regs;
+                    injections = out.decisions;
+                    sl = ScheduledLoop {
+                        looop: out.looop,
+                        schedule: out.schedule,
+                        mem_plan,
+                    };
+                }
+            }
             let mut mem_stages: Vec<(u32, u32)> = sl
                 .mem_plan
                 .extra_stages
@@ -155,6 +214,7 @@ pub(crate) fn run(
                 ii: sl.schedule.ii,
                 rounds,
                 splits,
+                injections,
                 residual,
                 mem_stages,
             });
@@ -163,10 +223,18 @@ pub(crate) fn run(
         }
         loops.push(ks);
     }
+    let invalid_boundaries: Vec<u32> = inject
+        .boundaries()
+        .iter()
+        .copied()
+        .filter(|b| !boundary_in_some_loop.contains(b))
+        .collect();
     ScheduleArtifact {
         loops,
         depths,
         inserted_regs,
+        injected_regs,
+        invalid_boundaries,
         loop_traces,
     }
 }

@@ -234,6 +234,15 @@ pub struct FlowSession {
     threads: usize,
 }
 
+/// What the shared front half of the pipeline produces: the cached
+/// front-end and schedule artifacts plus the lint report when the flow's
+/// options request the pre-pass.
+type StagedArtifacts = (
+    Arc<FrontEndArtifact>,
+    Arc<ScheduleArtifact>,
+    Option<hlsb_lint::LintReport>,
+);
+
 impl Default for FlowSession {
     fn default() -> Self {
         FlowSession::new()
@@ -388,6 +397,7 @@ impl FlowSession {
                     crate::options::Partitioning::Fixed(k) => k.to_string(),
                 },
             );
+            root.attr("inject", flow.inject.label());
             root.attr_volatile("threads", self.threads as u64);
         }
         root
@@ -430,7 +440,7 @@ impl FlowSession {
         let root = self.flow_root(&tracer, flow, "simulate");
         let mut trace = PassTrace::default();
         let (front_end, schedule, _lint) =
-            self.stage_front_end_and_schedule(flow, &mut trace, &root);
+            self.stage_front_end_and_schedule(flow, &mut trace, &root)?;
         let design = front_end.design(&flow.design);
 
         // Simulate: untimed reference, then the scheduled design cycle by
@@ -513,7 +523,7 @@ impl FlowSession {
         let mut trace = PassTrace::default();
         let verify_rep = self.stage_verify_network(flow, &mut trace, &root)?;
         let (front_end, schedule, lint) =
-            self.stage_front_end_and_schedule(flow, &mut trace, &root);
+            self.stage_front_end_and_schedule(flow, &mut trace, &root)?;
         let design = front_end.design(&flow.design);
         let verify =
             self.stage_verify_contracts(verify_rep, design, &schedule, None, &mut trace, &root)?;
@@ -552,17 +562,20 @@ impl FlowSession {
     /// [`ScheduleArtifact::loop_traces`]), so a cache hit emits the same
     /// events as the run that built the artifact.
     ///
+    /// # Errors
+    ///
+    /// [`FlowError::BadParameter`] when the flow requests register
+    /// injection at a stage boundary no loop of the design has. The
+    /// verdict is recorded in the (cached) artifact, so cold and
+    /// cache-hit runs of the same configuration reject identically.
+    ///
     /// [`run_detailed`]: FlowSession::run_detailed
     fn stage_front_end_and_schedule(
         &self,
         flow: &Flow,
         trace: &mut PassTrace,
         root: &SpanGuard,
-    ) -> (
-        Arc<FrontEndArtifact>,
-        Arc<ScheduleArtifact>,
-        Option<hlsb_lint::LintReport>,
-    ) {
+    ) -> Result<StagedArtifacts, FlowError> {
         let clock_ns = 1000.0 / flow.clock_mhz;
 
         // Front-end (cached, clock-independent).
@@ -660,6 +673,7 @@ impl FlowSession {
             flow.options.broadcast_aware,
             device_hash,
             flow.seed,
+            &flow.inject,
         );
         let (schedule, hit) = self.cache.schedule(sched_key, || {
             passes::schedule::run(
@@ -669,6 +683,7 @@ impl FlowSession {
                 clock_ns,
                 flow.options.broadcast_aware,
                 flow.seed,
+                &flow.inject,
             )
         });
         if hit {
@@ -680,7 +695,16 @@ impl FlowSession {
         // design at the same clock.
         let lint_inputs: Option<(Arc<FrontEndArtifact>, Arc<ScheduleArtifact>)> = lint_front_end
             .map(|fe| {
-                let key = cache::schedule_key(unsplit_key, clock_ns, false, device_hash, flow.seed);
+                // The lint baseline stays broadcast-blind *and*
+                // injection-blind: it models what stock HLS would build.
+                let key = cache::schedule_key(
+                    unsplit_key,
+                    clock_ns,
+                    false,
+                    device_hash,
+                    flow.seed,
+                    &crate::options::RegisterInjection::Off,
+                );
                 let (baseline, hit) = self.cache.schedule(key, || {
                     passes::schedule::run(
                         &fe,
@@ -689,6 +713,7 @@ impl FlowSession {
                         clock_ns,
                         false,
                         flow.seed,
+                        &crate::options::RegisterInjection::Off,
                     )
                 });
                 if hit {
@@ -712,6 +737,7 @@ impl FlowSession {
             ("executions".to_string(), executions),
             ("cache-hits".to_string(), hits),
             ("inserted-regs".to_string(), schedule.inserted_regs as u64),
+            ("injected-regs".to_string(), schedule.injected_regs as u64),
             ("splits".to_string(), splits),
             ("residual-violations".to_string(), residual),
         ];
@@ -737,6 +763,16 @@ impl FlowSession {
                         s.broadcast_factor as f64,
                     );
                 }
+                for inj in &lt.injections {
+                    hlsb_trace::event!(span, "schedule.inject",
+                        "kernel" => lt.kernel.as_str(),
+                        "loop" => lt.looop.as_str(),
+                        "boundary" => u64::from(inj.boundary),
+                        "cut" => u64::from(inj.cut.0),
+                        "op" => inj.op.to_string(),
+                        "readers" => inj.readers as u64);
+                    span.count("decisions.schedule.inject", 1);
+                }
                 for &(inst, stages) in &lt.mem_stages {
                     hlsb_trace::event!(span, "schedule.mem-stages",
                         "kernel" => lt.kernel.as_str(),
@@ -754,6 +790,20 @@ impl FlowSession {
         }
         span.finish();
         timer.done(trace, counters);
+
+        // Injection at a boundary no loop of the design has is a
+        // configuration error, not a silent no-op. The verdict lives in
+        // the artifact, so a cache hit rejects exactly like the run that
+        // built it.
+        if let Some(&bad) = schedule.invalid_boundaries.first() {
+            let max_stage = schedule.depths.iter().copied().max().unwrap_or(0);
+            return Err(FlowError::BadParameter {
+                what: format!(
+                    "register-injection boundary {bad} (deepest loop has stage \
+                     boundaries 0..{max_stage})"
+                ),
+            });
+        }
 
         // Lint pre-pass: report-only, borrowing the front-end artifacts
         // instead of re-deriving them.
@@ -797,7 +847,7 @@ impl FlowSession {
             report
         });
 
-        (front_end, schedule, lint)
+        Ok((front_end, schedule, lint))
     }
 
     /// The `verify.network` pre-gate: structural dataflow analysis
@@ -925,7 +975,7 @@ impl FlowSession {
         let mut trace = PassTrace::default();
         let verify_rep = self.stage_verify_network(flow, &mut trace, &root)?;
         let (front_end, schedule, lint) =
-            self.stage_front_end_and_schedule(flow, &mut trace, &root);
+            self.stage_front_end_and_schedule(flow, &mut trace, &root)?;
         let design = front_end.design(&flow.design);
 
         // Lower: RTL generation + capacity check.

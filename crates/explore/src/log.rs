@@ -1,0 +1,290 @@
+//! The persistent frequency log: one JSONL line per decided trial.
+//!
+//! Follows the `hlsb-dse` result-store idiom: hand-rolled JSON (the
+//! workspace builds offline, no serde), floats in Rust's shortest
+//! round-trip notation, append + flush per record so a kill loses at
+//! most the line being written, and a half-written trailing line is
+//! skipped on load. The key is [`Flow::config_key`](hlsb::Flow::config_key)
+//! of the trial's flow — the clock target is part of the key, so one
+//! search produces one record per trial and a resumed search answers
+//! every repeated trial from the log instead of re-running it.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use hlsb_findings::json_escape;
+
+/// How a trial's verdict was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialKind {
+    /// Full place-and-route evaluation; `fmax_mhz` is sign-off timing.
+    Full,
+    /// Probe-only rejection: the schedule already carries violations at
+    /// this target, so the target is unmet without paying for placement.
+    /// `fmax_mhz` is 0 (nothing was implemented).
+    Probe,
+}
+
+impl TrialKind {
+    fn name(self) -> &'static str {
+        match self {
+            TrialKind::Full => "full",
+            TrialKind::Probe => "probe",
+        }
+    }
+}
+
+/// One persisted trial: a configuration evaluated at one clock target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// [`Flow::config_key`](hlsb::Flow::config_key) of the trial's flow
+    /// (covers design, device, every knob *and* the clock target).
+    pub key: u64,
+    /// Design name (informational; the key is authoritative).
+    pub design: String,
+    /// Clock-free configuration label ([`crate::ExploreConfig::label`]).
+    pub label: String,
+    /// The trial's clock target, MHz.
+    pub clock_mhz: f64,
+    /// How the verdict was decided.
+    pub kind: TrialKind,
+    /// Whether the target was met (`fmax >= target` at sign-off).
+    pub met: bool,
+    /// Achieved Fmax, MHz (0 for probe rejections).
+    pub fmax_mhz: f64,
+    /// Static latency, cycles (0 for probe rejections).
+    pub latency_cycles: u64,
+    /// Wall-clock cost of deciding this trial, milliseconds. Varies run
+    /// to run; everything else round-trips bit-exactly.
+    pub wall_ms: f64,
+}
+
+impl TrialRecord {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"key\":{},\"design\":\"{}\",\"label\":\"{}\",\"clock_mhz\":{:?},\
+             \"kind\":\"{}\",\"met\":{},\"fmax_mhz\":{:?},\"latency_cycles\":{},\
+             \"wall_ms\":{:?}}}",
+            self.key,
+            json_escape(&self.design),
+            json_escape(&self.label),
+            self.clock_mhz,
+            self.kind.name(),
+            self.met,
+            self.fmax_mhz,
+            self.latency_cycles,
+            self.wall_ms,
+        )
+    }
+
+    /// Parses one JSON line written by [`to_json`](TrialRecord::to_json).
+    /// Returns `None` for malformed input (e.g. a half-written trailing
+    /// line after a kill).
+    pub fn from_json(line: &str) -> Option<TrialRecord> {
+        let line = line.trim();
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return None;
+        }
+        let kind = match raw_field(line, "kind")? {
+            "\"full\"" => TrialKind::Full,
+            "\"probe\"" => TrialKind::Probe,
+            _ => return None,
+        };
+        Some(TrialRecord {
+            key: raw_field(line, "key")?.parse().ok()?,
+            design: string_field(line, "design")?,
+            label: string_field(line, "label")?,
+            clock_mhz: raw_field(line, "clock_mhz")?.parse().ok()?,
+            kind,
+            met: match raw_field(line, "met")? {
+                "true" => true,
+                "false" => false,
+                _ => return None,
+            },
+            fmax_mhz: raw_field(line, "fmax_mhz")?.parse().ok()?,
+            latency_cycles: raw_field(line, "latency_cycles")?.parse().ok()?,
+            wall_ms: raw_field(line, "wall_ms")?.parse().ok()?,
+        })
+    }
+}
+
+/// The raw token of `"name":<token>` up to the next `,` or the closing
+/// `}` — sufficient for the flat records this log writes (string values
+/// contain no commas by construction of the labels).
+fn raw_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(&rest[..end])
+}
+
+fn string_field(line: &str, name: &str) -> Option<String> {
+    let raw = raw_field(line, name)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Keyed log of trial records, optionally backed by a JSONL file.
+#[derive(Debug, Default)]
+pub struct FreqLog {
+    path: Option<PathBuf>,
+    file: Option<File>,
+    records: HashMap<u64, TrialRecord>,
+    /// Insertion order of keys (load order, then append order).
+    order: Vec<u64>,
+}
+
+impl FreqLog {
+    /// An unbacked log: dedup within one process, nothing persisted.
+    pub fn in_memory() -> Self {
+        FreqLog::default()
+    }
+
+    /// Opens (or creates) a file-backed log and loads every parseable
+    /// record. Later duplicates of a key win, matching append semantics.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or reading the file.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut log = FreqLog {
+            file: None,
+            records: HashMap::new(),
+            order: Vec::new(),
+            path: Some(path.clone()),
+        };
+        if path.exists() {
+            for line in BufReader::new(File::open(&path)?).lines() {
+                if let Some(rec) = TrialRecord::from_json(&line?) {
+                    log.remember(rec);
+                }
+            }
+        }
+        log.file = Some(OpenOptions::new().create(true).append(true).open(&path)?);
+        Ok(log)
+    }
+
+    /// The backing path, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of distinct trials logged.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record for a trial key, if present.
+    pub fn get(&self, key: u64) -> Option<&TrialRecord> {
+        self.records.get(&key)
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> impl Iterator<Item = &TrialRecord> {
+        self.order.iter().filter_map(|k| self.records.get(k))
+    }
+
+    /// Inserts a record, appending it to the backing file (flushed per
+    /// record, so a kill loses at most the line being written). A record
+    /// whose key is already present replaces the in-memory entry but is
+    /// still appended — the file is a log; loads keep the latest.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending to the backing file.
+    pub fn insert(&mut self, rec: TrialRecord) -> std::io::Result<()> {
+        if let Some(file) = &mut self.file {
+            writeln!(file, "{}", rec.to_json())?;
+            file.flush()?;
+        }
+        self.remember(rec);
+        Ok(())
+    }
+
+    fn remember(&mut self, rec: TrialRecord) {
+        if self.records.insert(rec.key, rec.clone()).is_none() {
+            self.order.push(rec.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(key: u64, clock: f64, met: bool) -> TrialRecord {
+        TrialRecord {
+            key,
+            design: "bench \"x\"".into(),
+            label: "BSKM+r1 ×1 fast".into(),
+            clock_mhz: clock,
+            kind: if met {
+                TrialKind::Full
+            } else {
+                TrialKind::Probe
+            },
+            met,
+            fmax_mhz: if met { clock + 11.25 } else { 0.0 },
+            latency_cycles: 1047,
+            wall_ms: 3.5,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let rec = record(0xDEAD_BEEF_0BAD_F00D, 341.229_999_999_7, true);
+        let line = rec.to_json();
+        let back = TrialRecord::from_json(&line).expect("parses");
+        assert_eq!(back, rec, "round trip must be bit-exact:\n{line}");
+        assert!(TrialRecord::from_json("{\"key\":1").is_none());
+        assert!(TrialRecord::from_json("").is_none());
+    }
+
+    #[test]
+    fn file_log_resumes_and_skips_partial_lines() {
+        let dir = std::env::temp_dir().join("hlsb_freq_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("log_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut log = FreqLog::open(&path).unwrap();
+        assert!(log.is_empty());
+        log.insert(record(1, 300.0, true)).unwrap();
+        log.insert(record(2, 375.0, false)).unwrap();
+        log.insert(record(1, 300.0, false)).unwrap(); // same key: latest wins
+        assert_eq!(log.len(), 2);
+        drop(log);
+
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"key\":3,\"design\"").unwrap();
+        }
+
+        let resumed = FreqLog::open(&path).unwrap();
+        assert_eq!(resumed.len(), 2, "partial line skipped");
+        assert!(!resumed.get(1).unwrap().met);
+        assert_eq!(resumed.get(2).unwrap().kind, TrialKind::Probe);
+        let keys: Vec<u64> = resumed.records().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_log_never_touches_disk() {
+        let mut log = FreqLog::in_memory();
+        log.insert(record(9, 200.0, true)).unwrap();
+        assert_eq!(log.len(), 1);
+        assert!(log.path().is_none());
+    }
+}

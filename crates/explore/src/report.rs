@@ -1,0 +1,130 @@
+//! Renderers for [`ExploreReport`]: a human-readable best-frequencies
+//! table and a machine-readable JSONL stream.
+
+use hlsb_findings::json_escape;
+
+use crate::explorer::{ConfigOutcome, ExploreReport};
+
+fn converged_cell(o: &ConfigOutcome) -> String {
+    if o.pruned {
+        "pruned".to_string()
+    } else if o.infeasible.is_some() {
+        "infeasible".to_string()
+    } else {
+        match o.converged_mhz {
+            Some(mhz) => format!("{mhz:.1}"),
+            None => "-".to_string(),
+        }
+    }
+}
+
+fn sim_tag(o: &ConfigOutcome) -> &'static str {
+    match (&o.sim_check, o.verify_ok) {
+        (Some(Err(_)), _) | (_, Some(false)) => "FAIL",
+        (Some(Ok(())), _) => "ok",
+        (None, _) => "-",
+    }
+}
+
+/// The best-frequencies table, one row per configuration:
+///
+/// ```text
+/// config               converged  best MHz  full  probe  log   sim  wall s
+/// BSKM ×1 fast             390.6     402.1     7      2    0    ok     1.3
+/// ```
+pub fn best_frequencies_table(report: &ExploreReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>9} {:>5} {:>6} {:>4}  {:>4} {:>7}\n",
+        "config", "converged", "best MHz", "full", "probe", "log", "sim", "wall s"
+    ));
+    for o in &report.outcomes {
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>9.1} {:>5} {:>6} {:>4}  {:>4} {:>7.1}\n",
+            o.label,
+            converged_cell(o),
+            o.best_fmax_mhz,
+            o.full_evals,
+            o.probe_evals,
+            o.log_hits,
+            sim_tag(o),
+            o.wall_ms / 1e3,
+        ));
+    }
+    out
+}
+
+/// The outcomes as JSON lines — one self-contained object per
+/// configuration (wall-clock included; strip it before comparing runs).
+pub fn report_jsonl(report: &ExploreReport) -> String {
+    let mut out = String::new();
+    for o in &report.outcomes {
+        out.push_str(&format!(
+            "{{\"design\":\"{}\",\"config\":\"{}\",\"converged_mhz\":{},\
+             \"best_fmax_mhz\":{:?},\"full_evals\":{},\"probe_evals\":{},\
+             \"log_hits\":{},\"pruned\":{},\"infeasible\":{},\"exhausted\":{},\
+             \"sim\":\"{}\",\"wall_ms\":{:?}}}\n",
+            json_escape(&report.design),
+            json_escape(&o.label),
+            match o.converged_mhz {
+                Some(mhz) => format!("{mhz:?}"),
+                None => "null".to_string(),
+            },
+            o.best_fmax_mhz,
+            o.full_evals,
+            o.probe_evals,
+            o.log_hits,
+            o.pruned,
+            match &o.infeasible {
+                Some(e) => format!("\"{}\"", json_escape(e)),
+                None => "null".to_string(),
+            },
+            o.exhausted,
+            sim_tag(o),
+            o.wall_ms,
+        ));
+    }
+    out
+}
+
+/// One-paragraph summary of the search effort.
+pub fn summary_line(report: &ExploreReport) -> String {
+    format!(
+        "start={:.0} tol={:.1} budget={} configs={} converged={} \
+         full-evals={} probe-evals={} log-hits={} pruned={} sim={}",
+        report.start_mhz,
+        report.tolerance_mhz,
+        report.budget,
+        report.outcomes.len(),
+        report
+            .outcomes
+            .iter()
+            .filter(|o| o.converged_mhz.is_some())
+            .count(),
+        report.full_evals,
+        report.probe_evals,
+        report.log_hits,
+        report.outcomes.iter().filter(|o| o.pruned).count(),
+        if report.semantics_ok() { "ok" } else { "FAIL" },
+    )
+}
+
+/// The structured rows a comparison between two runs should quantify
+/// over: `(label, converged, best, full-evals-or-log-hits verdict data)`
+/// without wall-clock columns. Two searches of the same design with the
+/// same parameters — e.g. a fresh run and a resume from its log — must
+/// produce equal tables.
+pub fn comparable_rows(report: &ExploreReport) -> Vec<(String, Option<u64>, u64, bool)> {
+    report
+        .outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.label.clone(),
+                o.converged_mhz.map(f64::to_bits),
+                o.best_fmax_mhz.to_bits(),
+                o.pruned,
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,240 @@
+//! The clock-target search: expansion to bracket the feasibility edge,
+//! then bisection to the requested tolerance.
+//!
+//! The search is decoupled from the flow: it drives a caller-supplied
+//! evaluation closure, so the unit tests exercise the convergence logic
+//! against synthetic feasibility curves and the explorer plugs in the
+//! probe-first flow evaluation (with log lookups and budget accounting)
+//! without the algorithm knowing.
+
+/// Search bounds and stopping tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchParams {
+    /// First trial target, MHz (typically the benchmark's Table 1
+    /// clock).
+    pub start_mhz: f64,
+    /// Stop once the met/unmet bracket is at most this wide, MHz.
+    pub tolerance_mhz: f64,
+    /// Never search below this target, MHz.
+    pub floor_mhz: f64,
+    /// Never search above this target, MHz.
+    pub cap_mhz: f64,
+}
+
+impl SearchParams {
+    /// Bounds for a search starting at `start_mhz` with the given
+    /// tolerance: floor 50 MHz (below the slowest fast-effort design in
+    /// the benchmark set), cap 800 MHz (past any achievable Fmax of the
+    /// simulated fabric).
+    pub fn new(start_mhz: f64, tolerance_mhz: f64) -> Self {
+        SearchParams {
+            start_mhz,
+            tolerance_mhz: tolerance_mhz.max(0.5),
+            floor_mhz: 50.0,
+            cap_mhz: 800.0,
+        }
+    }
+}
+
+/// One decided trial, as the search sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trial {
+    /// The clock target that was evaluated, MHz.
+    pub clock_mhz: f64,
+    /// Whether the implementation met the target (`fmax >= target`).
+    pub met: bool,
+    /// Achieved Fmax, MHz (0 when the trial was decided by a probe).
+    pub fmax_mhz: f64,
+}
+
+/// Where the search stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Highest clock target that was met — the converged maximum clock.
+    /// `None` when no trial met its target (including an exhausted or
+    /// empty search).
+    pub converged_mhz: Option<f64>,
+    /// Best achieved Fmax over all met trials, MHz (0 when none met).
+    pub best_fmax_mhz: f64,
+    /// Every decided trial, in evaluation order.
+    pub trials: Vec<Trial>,
+    /// The evaluation closure gave up (budget exhausted) before the
+    /// bracket reached the tolerance.
+    pub exhausted: bool,
+}
+
+/// Round a trial target to 0.01 MHz so resumed searches regenerate
+/// bit-identical targets (and therefore identical trial keys) regardless
+/// of how the midpoints were accumulated.
+fn quantize(mhz: f64) -> f64 {
+    (mhz * 100.0).round() / 100.0
+}
+
+/// Finds the highest clock target the evaluation still meets.
+///
+/// Starting from `params.start_mhz`, the search expands upward while
+/// targets are met (jumping to just past the achieved Fmax when that is
+/// further — the achieved curve is the best available guide) and
+/// contracts geometrically while they are unmet; once one met and one
+/// unmet target bracket the edge it bisects until the bracket is within
+/// `params.tolerance_mhz`. `eval` decides one target and returns `None`
+/// when its budget is exhausted, which stops the search with
+/// [`SearchOutcome::exhausted`] set.
+///
+/// The search is deterministic: targets depend only on `params` and the
+/// verdicts, never on wall-clock or randomness.
+pub fn search_max_clock(
+    params: SearchParams,
+    mut eval: impl FnMut(f64) -> Option<Trial>,
+) -> SearchOutcome {
+    let tol = params.tolerance_mhz;
+    let mut trials = Vec::new();
+    let mut lo: Option<Trial> = None; // highest met
+    let mut hi: Option<f64> = None; // lowest unmet
+    let mut exhausted = false;
+    let mut next = quantize(params.start_mhz.clamp(params.floor_mhz, params.cap_mhz));
+
+    loop {
+        let trial = match eval(next) {
+            Some(t) => t,
+            None => {
+                exhausted = true;
+                break;
+            }
+        };
+        trials.push(trial);
+        if trial.met {
+            if lo.is_none_or(|l| trial.clock_mhz > l.clock_mhz) {
+                lo = Some(trial);
+            }
+        } else if hi.is_none_or(|h| trial.clock_mhz < h) {
+            hi = Some(trial.clock_mhz);
+        }
+
+        next = match (lo, hi) {
+            // Bracketed: bisect until the bracket is tight.
+            (Some(l), Some(h)) => {
+                if h - l.clock_mhz <= tol {
+                    break;
+                }
+                quantize((l.clock_mhz + h) / 2.0)
+            }
+            // Only met so far: expand upward, guided by the achieved
+            // Fmax when it outruns the geometric step.
+            (Some(l), None) => {
+                if l.clock_mhz >= params.cap_mhz {
+                    break;
+                }
+                let geometric = l.clock_mhz * 1.15;
+                let guided = if l.fmax_mhz > l.clock_mhz {
+                    l.fmax_mhz + tol
+                } else {
+                    0.0
+                };
+                quantize(geometric.max(guided).min(params.cap_mhz))
+            }
+            // Only unmet so far: contract downward.
+            (None, Some(h)) => {
+                if h <= params.floor_mhz {
+                    break;
+                }
+                quantize((h * 0.8).max(params.floor_mhz))
+            }
+            (None, None) => unreachable!("a decided trial is met or unmet"),
+        };
+        // A repeated target can only repeat its verdict — the bracket
+        // cannot shrink further at this tolerance.
+        if trials.iter().any(|t| t.clock_mhz == next) {
+            break;
+        }
+    }
+
+    let best_fmax_mhz = trials
+        .iter()
+        .filter(|t| t.met)
+        .map(|t| t.fmax_mhz)
+        .fold(0.0, f64::max);
+    SearchOutcome {
+        converged_mhz: lo.map(|l| l.clock_mhz),
+        best_fmax_mhz,
+        trials,
+        exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic fabric: a target is met iff it is at most `edge`; the
+    /// achieved Fmax rises with the target until the edge.
+    fn step_eval(edge: f64) -> impl FnMut(f64) -> Option<Trial> {
+        move |clock| {
+            let met = clock <= edge;
+            Some(Trial {
+                clock_mhz: clock,
+                met,
+                fmax_mhz: if met { clock + 4.0 } else { 0.0 },
+            })
+        }
+    }
+
+    #[test]
+    fn converges_to_the_edge_within_tolerance() {
+        for edge in [137.0, 320.0, 451.5, 640.0] {
+            let params = SearchParams::new(300.0, 5.0);
+            let out = search_max_clock(params, step_eval(edge));
+            let converged = out.converged_mhz.expect("edge is above the floor");
+            assert!(
+                converged <= edge && edge - converged <= 2.0 * params.tolerance_mhz,
+                "edge {edge}: converged {converged} (trials {:?})",
+                out.trials
+            );
+            assert!(!out.exhausted);
+            assert!(out.best_fmax_mhz >= converged);
+            assert!(
+                out.trials.len() <= 16,
+                "edge {edge}: {} trials",
+                out.trials.len()
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_everywhere_converges_to_none() {
+        let out = search_max_clock(SearchParams::new(300.0, 5.0), step_eval(25.0));
+        assert_eq!(out.converged_mhz, None);
+        assert_eq!(out.best_fmax_mhz, 0.0);
+        assert!(out
+            .trials
+            .iter()
+            .all(|t| !t.met && t.clock_mhz >= 50.0 - 1e-9));
+    }
+
+    #[test]
+    fn met_at_the_cap_stops_expanding() {
+        let out = search_max_clock(SearchParams::new(300.0, 5.0), step_eval(10_000.0));
+        assert_eq!(out.converged_mhz, Some(800.0));
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_and_keeps_the_best_so_far() {
+        let mut budget = 3usize;
+        let mut inner = step_eval(451.5);
+        let out = search_max_clock(SearchParams::new(300.0, 1.0), |clock| {
+            budget = budget.checked_sub(1)?;
+            inner(clock)
+        });
+        assert!(out.exhausted);
+        assert_eq!(out.trials.len(), 3);
+        assert!(out.converged_mhz.is_some());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let a = search_max_clock(SearchParams::new(300.0, 5.0), step_eval(333.0));
+        let b = search_max_clock(SearchParams::new(300.0, 5.0), step_eval(333.0));
+        assert_eq!(a, b);
+    }
+}

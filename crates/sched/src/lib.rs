@@ -43,11 +43,13 @@
 //! ```
 
 pub mod broadcast_aware;
+pub mod inject;
 pub mod list_sched;
 pub mod report;
 pub mod schedule;
 
 pub use broadcast_aware::{broadcast_aware, BroadcastAwareOutcome, MemAccessPlan, SplitDecision};
+pub use inject::{inject_registers, InjectDecision, InjectionOutcome};
 pub use list_sched::{schedule_loop, CHAIN_NET_NS, CLOCK_MARGIN};
 pub use report::{ReportEntry, ScheduleReport};
 pub use schedule::{Schedule, ScheduledOp};

@@ -11,7 +11,7 @@
 
 use crate::finding;
 use hlsb_findings::{Diagnostic, Location, Severity};
-use hlsb_ir::Loop;
+use hlsb_ir::{Loop, OpKind};
 use hlsb_rtlgen::{LowerInfo, GATE_PIPELINE};
 use hlsb_sched::{Schedule, SplitDecision, CLOCK_MARGIN};
 
@@ -47,15 +47,36 @@ fn loop_location(lc: &LoopContract<'_>) -> Location {
 /// delay threshold (`clock_ns * CLOCK_MARGIN`), §4.1. The only legal
 /// exceptions are the schedule's own `violations`: single operations
 /// whose delay exceeds the budget even at a fresh cycle boundary, which
-/// the flow explicitly hands to physical optimization. Also audits each
-/// recorded [`SplitDecision`]: a cut must dominate its violator, cite a
-/// positive excess and a broadcast factor of at least 1.
+/// the flow explicitly hands to physical optimization. Every `Reg`
+/// module — broadcast-aware chain cut or forced injection — must carry
+/// its one cycle of latency: a register recorded with latency 0 would
+/// chain combinationally and the split it paid for never happened. Also
+/// audits each recorded [`SplitDecision`]: a cut must dominate its
+/// violator, cite a positive excess and a broadcast factor of at
+/// least 1.
 pub fn check_schedule(loops: &[LoopContract<'_>], out: &mut Vec<Diagnostic>) {
     for lc in loops {
         let sched = lc.schedule;
         let budget = sched.clock_ns * CLOCK_MARGIN;
         for (id, inst) in lc.looop.body.iter() {
             let op = sched.op(id);
+            if inst.kind == OpKind::Reg && op.latency == 0 {
+                out.push(finding(
+                    "VC01",
+                    Severity::Error,
+                    format!("inst {id} (reg)"),
+                    format!(
+                        "register module {id} is scheduled with latency 0 in cycle {}: \
+                         the inserted register chains combinationally instead of cutting \
+                         the chain it was inserted for (stale or tampered schedule \
+                         artifact)",
+                        op.cycle,
+                    ),
+                    loop_location(lc),
+                    sched.same_cycle_readers(&lc.looop.body, id).max(1),
+                    0.0,
+                ));
+            }
             if op.offset_ns <= budget + EPS_NS || sched.violations.contains(&id) {
                 continue;
             }
@@ -316,6 +337,55 @@ mod tests {
         assert_eq!(out[0].rule, "VC01");
         assert!(out[0].est_penalty_ns > 0.4);
         assert_eq!(out[0].location.looop.as_deref(), Some("mac"));
+    }
+
+    #[test]
+    fn injected_reg_with_zero_latency_fires_vc01() {
+        // Force-inject a register at a real stage boundary, then tamper
+        // its recorded latency down to 0 — the artifact now claims the
+        // register chains combinationally.
+        let (d, _) = scheduled_design();
+        let out = hlsb_sched::inject_registers(
+            &d.kernels[0].loops[0],
+            &d,
+            &HlsPredictedModel::new(),
+            3.33,
+            &[1],
+        );
+        assert!(out.inserted_regs > 0, "boundary 1 should cut the mac chain");
+        let reg = out
+            .looop
+            .body
+            .iter()
+            .find(|(_, inst)| inst.kind == OpKind::Reg)
+            .map(|(id, _)| id)
+            .expect("injected register present");
+
+        let lc = LoopContract {
+            kernel: &d.kernels[0].name,
+            looop: &out.looop,
+            schedule: &out.schedule,
+            splits: &[],
+        };
+        let mut clean = Vec::new();
+        check_schedule(&[lc], &mut clean);
+        assert!(clean.is_empty(), "{clean:?}");
+
+        let mut sched = out.schedule.clone();
+        sched.ops[reg.index()].latency = 0;
+        let lc = LoopContract {
+            kernel: &d.kernels[0].name,
+            looop: &out.looop,
+            schedule: &sched,
+            splits: &[],
+        };
+        let mut fired = Vec::new();
+        check_schedule(&[lc], &mut fired);
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        assert_eq!(fired[0].rule, "VC01");
+        assert!(fired[0].subject.contains(&format!("{reg}")), "{fired:?}");
+        assert!(fired[0].message.contains("latency 0"));
+        assert_eq!(fired[0].location.looop.as_deref(), Some("mac"));
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Closed-loop Fmax explorer properties: deterministic search, agreement
+//! with a brute-force fine-grid sweep, resume-from-log without re-running
+//! completed trials, semantics of every converged configuration, and
+//! crash-durability of the frequency log.
+
+use std::path::PathBuf;
+
+use hlsb::FlowSession;
+use hlsb_benchmarks::{all_benchmarks, Benchmark};
+use hlsb_explore::{report, ExploreConfig, FmaxExplorer, FreqLog, TrialKind, TrialRecord};
+use hlsb_rng::Rng;
+
+const SEED: u64 = 0xDAC2_2020;
+
+fn bench(name: &str) -> Benchmark {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.design.name == name)
+        .unwrap_or_else(|| panic!("no benchmark named {name}"))
+}
+
+fn temp_log(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hlsb_explore_convergence");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}_{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn search_is_deterministic_for_a_fixed_seed() {
+    let b = bench("lstm_gate");
+    let run = || {
+        let session = FlowSession::new();
+        FmaxExplorer::new(&b.design, &b.device)
+            .start_mhz(b.clock_mhz)
+            .seed(SEED)
+            .run(&session)
+            .expect("in-memory log cannot fail")
+    };
+    let (a, c) = (run(), run());
+    assert_eq!(report::comparable_rows(&a), report::comparable_rows(&c));
+    for (oa, oc) in a.outcomes.iter().zip(&c.outcomes) {
+        assert_eq!(oa.trials, oc.trials, "{}: trial sequences differ", oa.label);
+        assert_eq!(oa.full_evals, oc.full_evals, "{}", oa.label);
+    }
+}
+
+#[test]
+fn converged_clock_matches_a_fine_grid_sweep() {
+    // The search's expansion/bisection must land within one tolerance of
+    // what a brute-force fine grid (step = tol/2) around the converged
+    // point finds. Two small benchmarks; the session cache makes the
+    // grid's repeat evaluations cheap.
+    for name in ["lstm_gate", "stream_buffer"] {
+        let b = bench(name);
+        let tol = 8.0;
+        let cfg = ExploreConfig::optimized();
+        let session = FlowSession::new();
+        let rep = FmaxExplorer::new(&b.design, &b.device)
+            .configs(vec![cfg.clone()])
+            .start_mhz(b.clock_mhz)
+            .tolerance_mhz(tol)
+            .seed(SEED)
+            .run(&session)
+            .expect("in-memory log cannot fail");
+        let converged = rep.outcomes[0]
+            .converged_mhz
+            .unwrap_or_else(|| panic!("{name} must converge"));
+
+        let met = |clock_mhz: f64| {
+            session
+                .run(&cfg.flow(&b.design, &b.device, SEED, clock_mhz))
+                .map(|r| r.fmax_mhz >= clock_mhz - 1e-6)
+                .unwrap_or(false)
+        };
+        let mut grid_best = None;
+        let mut target = converged - 3.0 * tol;
+        while target <= converged + 3.0 * tol {
+            if target > 0.0 && met(target) {
+                grid_best = Some(target);
+            }
+            target += tol / 2.0;
+        }
+        let grid_best = grid_best.expect("the converged point itself is on the grid");
+        assert!(
+            grid_best >= converged - 1e-6,
+            "{name}: search converged to {converged} but the grid only met {grid_best}"
+        );
+        assert!(
+            grid_best - converged <= tol,
+            "{name}: grid met {grid_best}, more than one tolerance above {converged}"
+        );
+    }
+}
+
+#[test]
+fn resume_from_log_replays_the_table_without_rerunning() {
+    let b = bench("stream_buffer");
+    let configs = vec![ExploreConfig::optimized(), ExploreConfig::injected(vec![1])];
+    let path = temp_log("resume");
+    let _ = std::fs::remove_file(&path);
+    let explorer = |log: FreqLog, budget: usize| {
+        let session = FlowSession::new();
+        FmaxExplorer::new(&b.design, &b.device)
+            .configs(configs.clone())
+            .start_mhz(b.clock_mhz)
+            .seed(SEED)
+            .budget(budget)
+            .log(log)
+            .run(&session)
+            .expect("log I/O")
+    };
+
+    let reference = explorer(FreqLog::open(&path).expect("open"), 25);
+    let rows = report::comparable_rows(&reference);
+    assert!(reference.full_evals > 0, "reference run must do real work");
+    assert!(
+        reference.outcomes.iter().any(|o| o.converged_mhz.is_some()),
+        "stream_buffer must converge"
+    );
+
+    // Resume over the complete log: the same table, zero fresh full
+    // evaluations, every trial answered from the log.
+    let resumed = explorer(FreqLog::open(&path).expect("reopen"), 25);
+    assert_eq!(report::comparable_rows(&resumed), rows);
+    assert_eq!(
+        resumed.full_evals, 0,
+        "a completed search must replay entirely from its log"
+    );
+    assert!(resumed.log_hits > 0);
+
+    // Interrupted search: a tight budget plays the part of a kill after
+    // N trials. Resuming with the full budget completes the search to
+    // the identical table, paying only for the trials the interrupted
+    // run never reached.
+    let path2 = temp_log("resume_killed");
+    let _ = std::fs::remove_file(&path2);
+    let session = FlowSession::new();
+    let killed = FmaxExplorer::new(&b.design, &b.device)
+        .configs(configs.clone())
+        .start_mhz(b.clock_mhz)
+        .seed(SEED)
+        .budget(3)
+        .log(FreqLog::open(&path2).expect("open"))
+        .run(&session)
+        .expect("log I/O");
+    assert!(
+        killed.outcomes.iter().any(|o| o.exhausted),
+        "budget 3 must interrupt the search"
+    );
+
+    let completed = {
+        let session = FlowSession::new();
+        FmaxExplorer::new(&b.design, &b.device)
+            .configs(configs.clone())
+            .start_mhz(b.clock_mhz)
+            .seed(SEED)
+            .budget(25)
+            .log(FreqLog::open(&path2).expect("reopen"))
+            .run(&session)
+            .expect("log I/O")
+    };
+    assert_eq!(
+        report::comparable_rows(&completed),
+        rows,
+        "resume after an interrupted search must reach the reference table"
+    );
+    assert!(
+        completed.full_evals < reference.full_evals,
+        "resume re-ran completed trials: {} vs {}",
+        completed.full_evals,
+        reference.full_evals
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&path2);
+}
+
+#[test]
+fn converged_configurations_pass_simulation_and_verify() {
+    let b = bench("lstm_gate");
+    let session = FlowSession::new();
+    let rep = FmaxExplorer::new(&b.design, &b.device)
+        .start_mhz(b.clock_mhz)
+        .seed(SEED)
+        .run(&session)
+        .expect("in-memory log cannot fail");
+    let converged: Vec<_> = rep
+        .outcomes
+        .iter()
+        .filter(|o| o.converged_mhz.is_some())
+        .collect();
+    assert!(!converged.is_empty(), "lstm_gate must converge");
+    for o in converged {
+        assert_eq!(
+            o.sim_check,
+            Some(Ok(())),
+            "{}: differential simulation failed",
+            o.label
+        );
+        assert_eq!(
+            o.verify_ok,
+            Some(true),
+            "{}: contract checks failed",
+            o.label
+        );
+    }
+    assert!(rep.semantics_ok());
+}
+
+/// A pseudo-random trial record; quotes and backslashes in the string
+/// fields exercise the JSON escaping.
+fn random_record(rng: &mut Rng) -> TrialRecord {
+    let labels = ["BSKM ×1 fast", "----+r1.2 \"odd\" ×3", "a\\b"];
+    TrialRecord {
+        key: rng.next_u64(),
+        design: "fuzzed".into(),
+        label: labels[rng.gen_index(labels.len())].into(),
+        clock_mhz: 50.0 + rng.gen_f64() * 700.0,
+        kind: if rng.gen_bool(0.8) {
+            TrialKind::Full
+        } else {
+            TrialKind::Probe
+        },
+        met: rng.gen_bool(0.5),
+        fmax_mhz: rng.gen_f64() * 800.0,
+        latency_cycles: rng.gen_u64(0, 1 << 20),
+        wall_ms: rng.gen_f64() * 1e4,
+    }
+}
+
+#[test]
+fn freq_log_never_loses_a_trial_nor_resurrects_a_partial_line() {
+    // 200 random records through serialize -> truncate-at-random-byte ->
+    // reload. Whatever the cut, every record whose line fully precedes it
+    // is preserved (latest duplicate of a key wins) and nothing after the
+    // cut comes back.
+    let mut rng = Rng::seed_from_u64(0xF4E9_0001);
+    let records: Vec<TrialRecord> = (0..200).map(|_| random_record(&mut rng)).collect();
+    let lines: Vec<String> = records
+        .iter()
+        .map(|r| format!("{}\n", r.to_json()))
+        .collect();
+    let blob: String = lines.concat();
+    let path = temp_log("truncate_fuzz");
+
+    for trial in 0..64 {
+        let cut = rng.gen_index(blob.len() + 1);
+        let prefix = &blob.as_bytes()[..cut];
+        std::fs::write(&path, prefix).expect("write truncated log");
+        let log = FreqLog::open(&path).expect("open truncated log");
+
+        // Replay the expected state: a record survives iff its complete
+        // JSON text fits in the prefix (the trailing newline itself may
+        // be cut off — the line still parses), latest duplicate winning.
+        let mut expected: Vec<TrialRecord> = Vec::new();
+        let mut offset = 0usize;
+        for (rec, line) in records.iter().zip(&lines) {
+            if offset + line.len() - 1 <= cut {
+                if let Some(old) = expected.iter_mut().find(|e| e.key == rec.key) {
+                    *old = rec.clone();
+                } else {
+                    expected.push(rec.clone());
+                }
+            }
+            offset += line.len();
+            if offset > cut {
+                break;
+            }
+        }
+
+        assert_eq!(
+            log.len(),
+            expected.len(),
+            "trial {trial}: cut at byte {cut} lost or invented records"
+        );
+        for exp in &expected {
+            assert_eq!(
+                log.get(exp.key),
+                Some(exp),
+                "trial {trial}: record {} corrupted at cut {cut}",
+                exp.key
+            );
+        }
+        let got: Vec<u64> = log.records().map(|r| r.key).collect();
+        let want: Vec<u64> = expected.iter().map(|r| r.key).collect();
+        assert_eq!(
+            got, want,
+            "trial {trial}: insertion order broken at cut {cut}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -131,6 +131,60 @@ fn verilog_export_of_an_implemented_benchmark() {
 }
 
 #[test]
+fn injected_fmax_is_non_increasing_as_boundaries_are_removed() {
+    // Forced pipeline registers pay for their extra latency with cut
+    // combinational chains: peeling injection boundaries off one at a
+    // time can only lose cuts, so the achieved Fmax must not increase
+    // (and the static latency must not grow). Three placement seeds
+    // keep placement noise out of the comparison; the whole chain is
+    // deterministic for a fixed flow seed.
+    use hlsb::{Flow, FlowSession, OptimizationOptions, PlaceEffort, RegisterInjection};
+    let design = hlsb_benchmarks::vector_arith::design(128, 4);
+    let device = Device::ultrascale_plus_vu9p();
+    let session = FlowSession::new();
+    let chain = [vec![1u32, 2, 3], vec![1, 2], vec![1], vec![]];
+    let mut prev: Option<(Vec<u32>, f64, u64)> = None;
+    for bounds in chain {
+        let flow = Flow::new(design.clone())
+            .device(device.clone())
+            .clock_mhz(250.0)
+            .options(OptimizationOptions::all())
+            .inject(RegisterInjection::at(bounds.clone()))
+            .seed(0xDAC2_2020)
+            .place_effort(PlaceEffort::Fast)
+            .place_seeds(3);
+        let r = session.run(&flow).expect("flow");
+        if let Some((pb, pf, pl)) = prev {
+            assert!(
+                r.fmax_mhz <= pf + 1e-9,
+                "removing a boundary raised Fmax: {pb:?} -> {bounds:?} \
+                 went {pf:.2} -> {:.2} MHz",
+                r.fmax_mhz
+            );
+            assert!(
+                r.latency_cycles <= pl,
+                "removing a boundary grew latency: {pb:?} -> {bounds:?} \
+                 went {pl} -> {} cycles",
+                r.latency_cycles
+            );
+        }
+        prev = Some((bounds, r.fmax_mhz, r.latency_cycles));
+    }
+    // The widest injection set genuinely pays latency for its frequency.
+    let (_, _, lat_off) = prev.expect("chain is non-empty");
+    let full = Flow::new(design.clone())
+        .device(device.clone())
+        .clock_mhz(250.0)
+        .options(OptimizationOptions::all())
+        .inject(RegisterInjection::at(vec![1, 2, 3]))
+        .seed(0xDAC2_2020)
+        .place_effort(PlaceEffort::Fast)
+        .place_seeds(3);
+    let r = session.run(&full).expect("flow");
+    assert!(r.latency_cycles > lat_off, "injection must add latency");
+}
+
+#[test]
 fn placement_type_is_reusable_for_manual_analyses() {
     // The Placement API supports hand-built analyses (docs example check).
     let mut nl = Netlist::new("m");

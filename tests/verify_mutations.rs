@@ -230,6 +230,94 @@ fn shrunk_skid_buffer_is_caught_as_vc02() {
 }
 
 #[test]
+fn tampered_injected_register_latency_is_caught_as_vc01() {
+    // Force-inject registers into a real benchmark loop, then zero the
+    // injected register's recorded latency in the (would-be cached)
+    // schedule artifact. A zero-latency register chains combinationally
+    // instead of cutting the chain it was inserted for — VC01, anchored
+    // at the exact kernel/loop.
+    let design = hlsb_benchmarks::vector_arith::design(64, 4);
+    let model = HlsPredictedModel::new();
+    let mut loops = scheduled(&design);
+
+    // First loop where boundary 1 actually cuts a chain.
+    let mut found = None;
+    'search: for (ki, k) in design.kernels.iter().enumerate() {
+        for (li, lp) in k.loops.iter().enumerate() {
+            let o = hlsb_sched::inject_registers(lp, &design, &model, 3.33, &[1]);
+            if o.inserted_regs >= 1 {
+                found = Some((ki, li, o));
+                break 'search;
+            }
+        }
+    }
+    let (ki, li, outcome) = found.expect("boundary 1 cuts at least one benchmark loop");
+    let reg = outcome
+        .decisions
+        .iter()
+        .flat_map(|dec| outcome.looop.body.users(outcome.id_map[dec.cut.index()]))
+        .copied()
+        .find(|&u| outcome.looop.body.inst(u).kind == OpKind::Reg)
+        .expect("each cut feeds its injected register");
+    loops[ki][li] = ScheduledLoop {
+        schedule: outcome.schedule.clone(),
+        looop: outcome.looop.clone(),
+        mem_plan: MemAccessPlan::default(),
+    };
+    {
+        let lcs = contracts(&design, &loops);
+        let mut out = Vec::new();
+        check_schedule(&lcs, &mut out);
+        assert!(
+            out.is_empty(),
+            "injected schedule must start clean: {out:?}"
+        );
+    }
+
+    loops[ki][li].schedule.ops[reg.index()].latency = 0;
+    let lcs = contracts(&design, &loops);
+    let mut out = Vec::new();
+    check_schedule(&lcs, &mut out);
+    assert_only_rule(&out, "VC01");
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert!(out[0].subject.contains(&reg.to_string()), "{out:?}");
+    assert!(out[0].message.contains("latency 0"), "{out:?}");
+    assert_eq!(
+        out[0].location.kernel.as_deref(),
+        Some(design.kernels[ki].name.as_str())
+    );
+    assert_eq!(
+        out[0].location.looop.as_deref(),
+        Some(design.kernels[ki].loops[li].name.as_str())
+    );
+}
+
+#[test]
+fn injection_at_nonexistent_boundary_is_a_typed_config_error() {
+    // A boundary deeper than every loop's pre-injection schedule names no
+    // stage anywhere: the flow must reject the configuration as a typed
+    // error — never a panic — and the cached artifact must reject it
+    // identically on the retry.
+    use hlsb::{Flow, FlowError, FlowSession, RegisterInjection};
+    let design = hlsb_benchmarks::vector_arith::design(64, 4);
+    let session = FlowSession::new();
+    let flow = Flow::new(design)
+        .clock_mhz(333.0)
+        .inject(RegisterInjection::at(vec![10_000]));
+    for attempt in 0..2 {
+        let err = session
+            .run(&flow)
+            .expect_err("boundary 10000 exists nowhere");
+        match err {
+            FlowError::BadParameter { what } => {
+                assert!(what.contains("10000"), "attempt {attempt}: {what}")
+            }
+            other => panic!("attempt {attempt}: wrong error type: {other}"),
+        }
+    }
+}
+
+#[test]
 fn illegal_sync_prune_is_caught_as_vc03() {
     // Vector product with 4 parallel dot PEs, lowered with §4.2 sync
     // pruning on — the real flow prunes the tied-latency PEs legally.

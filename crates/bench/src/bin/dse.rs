@@ -43,6 +43,7 @@ struct Args {
     efforts: Vec<PlaceEffort>,
     partitions: Vec<Partitioning>,
     store: Option<String>,
+    artifacts: Option<String>,
     format: Format,
     verify_iters: u64,
     trace_out: Option<String>,
@@ -61,6 +62,7 @@ fn usage() {
          \x20          [--clocks <mhz>[,<mhz>...]] [--budget <n>] [--seed <n>]\n\
          \x20          [--seeds <n>[,<n>...]] [--efforts fast|normal|both]\n\
          \x20          [--partitions <n>|auto|off[,...]] [--store <path>]\n\
+         \x20          [--artifacts <dir>]\n\
          \x20          [--format table|jsonl]\n\
          \x20          [--verify-iters <n>] [--trace-out <path>] [--list]"
     );
@@ -87,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
         efforts: vec![PlaceEffort::Fast],
         partitions: vec![Partitioning::Off],
         store: None,
+        artifacts: None,
         format: Format::Table,
         verify_iters: DEFAULT_VERIFY_ITERS,
         trace_out: None,
@@ -148,6 +151,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
+            "--artifacts" => args.artifacts = Some(it.next().ok_or("--artifacts needs a value")?),
             "--format" => {
                 args.format = match it.next().ok_or("--format needs a value")?.as_str() {
                     "table" => Format::Table,
@@ -259,7 +263,18 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let session = FlowSession::new();
+    let session = match &args.artifacts {
+        // The persistent artifact store classifies cross-process warm
+        // rebuilds: summary_line's `d` counts come from here.
+        Some(dir) => match hlsb_store::ArtifactStore::open(dir) {
+            Ok(store) => FlowSession::new().with_backend(std::sync::Arc::new(store)),
+            Err(e) => {
+                eprintln!("dse: cannot open artifact store {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => FlowSession::new(),
+    };
     let mut semantics_ok = true;
     let mut traces: Vec<(String, hlsb::TraceTree)> = Vec::new();
     for bench in selected {

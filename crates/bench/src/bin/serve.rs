@@ -1,0 +1,243 @@
+//! `serve` — compile-farm load generator and throughput harness.
+//!
+//! ```text
+//! serve [--load <n>] [--designs <name,...>|all] [--dirty-every <k>]
+//!       [--options <mask>] [--repeat <r>] [--passes <p>]
+//!       [--workers <n>] [--wave <n>] [--store <dir>]
+//!       [--timing-out <file>] [--emit] [--quiet]
+//! ```
+//!
+//! Generates a deterministic job stream — `--load n` fuzzer-generated
+//! designs (`fuzz:0..n`), and/or the named benchmarks — and drives it
+//! through the [`hlsb_serve::JobServer`], measuring throughput. With
+//! `--passes p` the same stream is served `p` times, each pass by a
+//! *fresh* server over the same store, so pass 1 is the cold-store cost
+//! and later passes the warm-store cost (the EXPERIMENTS.md throughput
+//! curve: cold vs warm × worker count). `--repeat r` duplicates the
+//! stream in-pass to measure in-run dedup instead. With `--emit` the
+//! generated job lines are printed instead of served (pipe them to
+//! `hlsb-serve`). `--timing-out` appends one JSONL row per pass — the
+//! tracked throughput artifact.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use hlsb_serve::{JobServer, JobStatus, ServeConfig};
+use hlsb_store::ArtifactStore;
+
+struct Args {
+    load: usize,
+    designs: Vec<String>,
+    dirty_every: usize,
+    options: String,
+    repeat: usize,
+    passes: usize,
+    workers: usize,
+    wave: usize,
+    store: Option<String>,
+    timing_out: Option<String>,
+    emit: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        load: 0,
+        designs: Vec::new(),
+        dirty_every: 0,
+        options: "none".to_string(),
+        repeat: 1,
+        passes: 1,
+        workers: 0,
+        wave: 32,
+        store: None,
+        timing_out: None,
+        emit: false,
+        quiet: false,
+    };
+    let usage = "usage: serve [--load <n>] [--designs <name,...>|all] [--dirty-every <k>]\n\
+                 \x20            [--options <mask>] [--repeat <r>] [--passes <p>]\n\
+                 \x20            [--workers <n>] [--wave <n>] [--store <dir>]\n\
+                 \x20            [--timing-out <file>] [--emit] [--quiet]";
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let num = |name: &str, it: &mut dyn Iterator<Item = String>| -> Result<usize, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse().map_err(|_| format!("bad {name} value {v}"))
+        };
+        match arg.as_str() {
+            "--load" => args.load = num("--load", &mut it)?,
+            "--designs" => {
+                let v = it.next().ok_or("--designs needs a value")?;
+                if v == "all" {
+                    args.designs = hlsb_benchmarks::all_benchmarks()
+                        .iter()
+                        .map(|b| b.design.name.clone())
+                        .collect();
+                } else {
+                    args.designs = v.split(',').map(str::to_string).collect();
+                }
+            }
+            "--dirty-every" => args.dirty_every = num("--dirty-every", &mut it)?,
+            "--options" => args.options = it.next().ok_or("--options needs a value")?,
+            "--repeat" => args.repeat = num("--repeat", &mut it)?.max(1),
+            "--passes" => args.passes = num("--passes", &mut it)?.max(1),
+            "--workers" => args.workers = num("--workers", &mut it)?,
+            "--wave" => args.wave = num("--wave", &mut it)?.max(1),
+            "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
+            "--timing-out" => {
+                args.timing_out = Some(it.next().ok_or("--timing-out needs a value")?);
+            }
+            "--emit" => args.emit = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(usage.to_string()),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if args.load == 0 && args.designs.is_empty() {
+        return Err(format!(
+            "nothing to serve: give --load and/or --designs\n{usage}"
+        ));
+    }
+    if hlsb_serve::parse_options(&args.options).is_none() {
+        return Err(format!("bad --options mask `{}`", args.options));
+    }
+    Ok(args)
+}
+
+/// The deterministic job stream for one pass: named benchmarks first,
+/// then the fuzz load, the whole stream duplicated `repeat` times.
+fn job_lines(args: &Args) -> Vec<String> {
+    let mut base = Vec::new();
+    for design in &args.designs {
+        base.push(format!(
+            "{{\"design\":\"{}\",\"options\":\"{}\"}}",
+            design, args.options
+        ));
+    }
+    for i in 0..args.load {
+        let design = if args.dirty_every > 0 && (i + 1) % args.dirty_every == 0 {
+            format!("dirty:{i}")
+        } else {
+            format!("fuzz:{i}")
+        };
+        base.push(format!(
+            "{{\"design\":\"{design}\",\"options\":\"{}\"}}",
+            args.options
+        ));
+    }
+    let mut lines = Vec::with_capacity(base.len() * args.repeat);
+    for _ in 0..args.repeat {
+        lines.extend(base.iter().cloned());
+    }
+    lines
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let lines = job_lines(&args);
+    if args.emit {
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        for line in &lines {
+            let _ = writeln!(out, "{line}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let store = match &args.store {
+        Some(dir) => match ArtifactStore::open(dir) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(e) => {
+                eprintln!("serve: cannot open store {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let cfg = ServeConfig {
+        workers: args.workers,
+        wave: args.wave,
+        verify: true,
+        trace: false,
+    };
+
+    let mut timing_rows = Vec::new();
+    let mut any_failed = false;
+    let mut first_pass_lines: Vec<String> = Vec::new();
+    for pass in 0..args.passes {
+        // A fresh server per pass: pass 0 measures the cold-store cost,
+        // later passes the warm-store cost (in-run dedup reset).
+        let mut server = match &store {
+            Some(store) => JobServer::with_store(cfg.clone(), store.clone()),
+            None => JobServer::new(cfg.clone()),
+        };
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        let mut pass_lines = Vec::new();
+        let summary = server.process(lines.iter().cloned(), |outcome| {
+            any_failed |= outcome.status == JobStatus::Failed;
+            let line = outcome.to_json();
+            if !args.quiet {
+                let _ = writeln!(out, "{line}");
+            }
+            pass_lines.push(line);
+        });
+        let _ = out.flush();
+        if pass == 0 {
+            first_pass_lines = pass_lines;
+        } else if pass_lines != first_pass_lines {
+            eprintln!("serve: pass {pass} outcome stream DIVERGED from pass 0");
+            any_failed = true;
+        }
+        let phase = if pass == 0 { "cold" } else { "warm" };
+        eprintln!("pass {pass} ({phase}): {}", summary.render());
+        timing_rows.push(format!(
+            "{{\"pass\":{pass},\"phase\":\"{phase}\",\"workers\":{},\"jobs\":{},\
+             \"wall_ms\":{:.1},\"jobs_per_s\":{:.2},\"evaluated\":{},\"store_hits\":{},\
+             \"dedup_hits\":{},\"rejected\":{},\"failed\":{}}}",
+            server.session().threads(),
+            summary.jobs,
+            summary.wall_ms,
+            summary.jobs_per_sec(),
+            summary.evaluated,
+            summary.store_hits,
+            summary.dedup_hits,
+            summary.rejected,
+            summary.failed,
+        ));
+    }
+
+    if let Some(path) = &args.timing_out {
+        let mut file = match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("serve: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for row in &timing_rows {
+            if writeln!(file, "{row}").is_err() {
+                eprintln!("serve: cannot write {path}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("appended {} timing rows to {path}", timing_rows.len());
+    }
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

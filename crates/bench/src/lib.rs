@@ -37,38 +37,10 @@ pub fn parse_partitions(s: &str) -> Option<Partitioning> {
     }
 }
 
-/// Synthetic designs the diagnostic tools (`explain`, `trace`, sweeps)
-/// can address by name alongside the Table-1 set — parameterized
-/// structures the paper analyzes but does not benchmark as a whole
-/// application.
-pub fn synthetic_benchmarks() -> Vec<Benchmark> {
-    vec![Benchmark {
-        name: "dot-scale 512",
-        broadcast_type: "Pipe. Ctrl.",
-        design: hlsb_benchmarks::vector_arith::dot_scale_pipeline(512),
-        device: hlsb::fabric::Device::ultrascale_plus_vu9p(),
-        clock_mhz: 333.0,
-    }]
-}
-
-/// Resolves a benchmark by case-insensitive substring over the Table-1
-/// set plus [`synthetic_benchmarks`]. Non-alphanumerics are ignored on
-/// both sides, so `dotscale` matches "dot-scale 512" and `vector`
-/// matches "Vector Product". Both the display name and the design name
-/// are searched.
-pub fn find_benchmark(pattern: &str) -> Option<Benchmark> {
-    fn norm(s: &str) -> String {
-        s.chars()
-            .filter(char::is_ascii_alphanumeric)
-            .map(|c| c.to_ascii_lowercase())
-            .collect()
-    }
-    let needle = norm(pattern);
-    hlsb_benchmarks::all_benchmarks()
-        .into_iter()
-        .chain(synthetic_benchmarks())
-        .find(|b| norm(b.name).contains(&needle) || norm(&b.design.name).contains(&needle))
-}
+// Benchmark resolution moved into `hlsb-benchmarks` so the compile-farm
+// server (`hlsb-serve`) can address designs by name too; re-exported here
+// so the experiment binaries keep their import paths.
+pub use hlsb_benchmarks::{find_benchmark, synthetic_benchmarks};
 
 /// The flow for one benchmark at its paper settings, ready to run (or to
 /// hand to [`hlsb::FlowSession::run_many`] alongside its variants).
@@ -119,6 +91,10 @@ pub fn expect_all(
 /// times and counters accumulated over all runs, plus the session's
 /// per-stage cache hit rates (front-end reuse is what makes variant
 /// sweeps cheap, so it is reported separately from schedule reuse).
+/// In-memory hits (no rebuild) and on-disk store hits (rebuilt, but the
+/// persistent store already knew the artifact fingerprint) are reported
+/// separately — a cold run against a warm store shows up as store hits,
+/// not as misses.
 pub fn pass_summary(results: &[ImplementationResult], session: &hlsb::FlowSession) -> String {
     let mut total = PassTrace::default();
     for r in results {
@@ -126,14 +102,16 @@ pub fn pass_summary(results: &[ImplementationResult], session: &hlsb::FlowSessio
     }
     let stats = session.cache_stats_by_stage();
     format!(
-        "pass totals over {} runs ({} threads; cache: front-end {} hits / {} misses ({:.0}%), \
-         schedule {} hits / {} misses ({:.0}%)):\n{total}",
+        "pass totals over {} runs ({} threads; cache: front-end {} hits + {} store hits / \
+         {} misses ({:.0}%), schedule {} hits + {} store hits / {} misses ({:.0}%)):\n{total}",
         results.len(),
         session.threads(),
         stats.front_end.hits,
+        stats.front_end.disk_hits,
         stats.front_end.misses,
         stats.front_end.hit_rate() * 100.0,
         stats.schedule.hits,
+        stats.schedule.disk_hits,
         stats.schedule.misses,
         stats.schedule.hit_rate() * 100.0,
     )

@@ -62,6 +62,39 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     ]
 }
 
+/// Synthetic designs the diagnostic tools (`explain`, `trace`, sweeps)
+/// and the compile-farm server can address by name alongside the
+/// Table-1 set — parameterized structures the paper analyzes but does
+/// not benchmark as a whole application.
+pub fn synthetic_benchmarks() -> Vec<Benchmark> {
+    vec![Benchmark {
+        name: "dot-scale 512",
+        broadcast_type: "Pipe. Ctrl.",
+        design: vector_arith::dot_scale_pipeline(512),
+        device: Device::ultrascale_plus_vu9p(),
+        clock_mhz: 333.0,
+    }]
+}
+
+/// Resolves a benchmark by case-insensitive substring over the Table-1
+/// set plus [`synthetic_benchmarks`]. Non-alphanumerics are ignored on
+/// both sides, so `dotscale` matches "dot-scale 512" and `vector`
+/// matches "Vector Product". Both the display name and the design name
+/// are searched.
+pub fn find_benchmark(pattern: &str) -> Option<Benchmark> {
+    fn norm(s: &str) -> String {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    }
+    let needle = norm(pattern);
+    all_benchmarks()
+        .into_iter()
+        .chain(synthetic_benchmarks())
+        .find(|b| norm(b.name).contains(&needle) || norm(&b.design.name).contains(&needle))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,8 @@ use std::fmt::Debug;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use hlsb_store::{ArtifactBackend, StageKind};
+
 use crate::passes::{FrontEndArtifact, ScheduleArtifact};
 
 /// 64-bit FNV-1a.
@@ -86,19 +88,42 @@ pub(crate) fn schedule_key(
     ])
 }
 
+/// Where an artifact request was answered from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheHit {
+    /// Served from this session's in-memory cache — no rebuild.
+    Memory,
+    /// Rebuilt, but the persistent store already held a matching
+    /// fingerprint: a previous process built the identical artifact.
+    Disk,
+    /// Rebuilt, new to both the session and the store (or no store).
+    Miss,
+}
+
 /// Hit/miss totals across all stages of a session's cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Artifact requests served from the cache.
+    /// Artifact requests served from the in-memory cache (no rebuild).
     pub hits: u64,
-    /// Artifact requests that had to build.
+    /// Artifact requests that rebuilt, but whose fingerprint the
+    /// persistent store already knew — cross-process warmth
+    /// ([`CacheHit::Disk`]). Always 0 without a store backend.
+    pub disk_hits: u64,
+    /// Artifact requests that had to build fresh.
     pub misses: u64,
 }
 
 impl CacheStats {
-    /// Hit fraction in `[0, 1]`; 1.0 for an untouched cache.
+    /// Total artifact requests (hits + disk hits + misses).
+    pub fn requests(&self) -> u64 {
+        self.hits + self.disk_hits + self.misses
+    }
+
+    /// In-memory hit fraction in `[0, 1]`; 1.0 for an untouched cache.
+    /// Disk hits count as rebuilds here (the work was redone; only the
+    /// fingerprint was known) — they are reported separately.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.disk_hits + self.misses;
         if total == 0 {
             1.0
         } else {
@@ -123,6 +148,7 @@ impl StageCacheStats {
     pub fn total(&self) -> CacheStats {
         CacheStats {
             hits: self.front_end.hits + self.schedule.hits,
+            disk_hits: self.front_end.disk_hits + self.schedule.disk_hits,
             misses: self.front_end.misses + self.schedule.misses,
         }
     }
@@ -132,6 +158,7 @@ impl StageCacheStats {
 struct StageCache<T> {
     map: Mutex<HashMap<u64, Arc<T>>>,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -140,27 +167,65 @@ impl<T> Default for StageCache<T> {
         StageCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 }
 
-impl<T> StageCache<T> {
+impl<T: Debug> StageCache<T> {
     /// Returns the artifact for `key`, building it on a miss. The lock is
     /// dropped while `build` runs so concurrent flows only serialize on
     /// the map, not on the work; if two flows race on one key, the first
     /// insert wins (builds are deterministic per key, so either is
-    /// correct). The `bool` is true on a hit.
-    fn get_or_build(&self, key: u64, build: impl FnOnce() -> T) -> (Arc<T>, bool) {
+    /// correct).
+    ///
+    /// With a persistent `backend`, an in-memory miss consults the store
+    /// after the rebuild: a matching stored fingerprint classifies the
+    /// request as [`CacheHit::Disk`] (another process already built the
+    /// identical artifact); otherwise the fresh fingerprint is published
+    /// and the request is a [`CacheHit::Miss`]. A *mismatched* stored
+    /// fingerprint — a supposedly pure build that differed across
+    /// processes — is counted as a miss and re-published, so the store's
+    /// later-wins rule converges on this build and the divergence stays
+    /// visible as a miss on a warm store.
+    fn get_or_build(
+        &self,
+        key: u64,
+        stage: StageKind,
+        backend: Option<&dyn ArtifactBackend>,
+        build: impl FnOnce() -> T,
+    ) -> (Arc<T>, CacheHit) {
         if let Some(found) = self.map.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(found), true);
+            return (Arc::clone(found), CacheHit::Memory);
         }
+        let started = std::time::Instant::now();
         let built = Arc::new(build());
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let hit = match backend {
+            Some(store) => {
+                let fingerprint = hash_debug(&*built);
+                match store.lookup(stage, key) {
+                    Some(stored) if stored == fingerprint => {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        CacheHit::Disk
+                    }
+                    _ => {
+                        store.publish(stage, key, fingerprint, wall_ms);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        CacheHit::Miss
+                    }
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CacheHit::Miss
+            }
+        };
         let mut map = self.map.lock().unwrap();
         let kept = Arc::clone(map.entry(key).or_insert(built));
-        (kept, false)
+        (kept, hit)
     }
 
     /// Inserts an already-built artifact under an extra key (no stats) —
@@ -171,20 +236,30 @@ impl<T> StageCache<T> {
     }
 }
 
-/// The session-lifetime artifact cache.
+/// The session-lifetime artifact cache, optionally backed by a
+/// persistent store ([`ArtifactBackend`]). The backend never changes
+/// what an artifact request *returns* — builds are deterministic and the
+/// in-memory map always wins — it only classifies rebuilds as
+/// cross-process warm or cold and feeds fresh fingerprints back.
 #[derive(Default)]
 pub(crate) struct ArtifactCache {
     front_ends: StageCache<FrontEndArtifact>,
     schedules: StageCache<ScheduleArtifact>,
+    backend: Option<Arc<dyn ArtifactBackend>>,
 }
 
 impl ArtifactCache {
+    pub(crate) fn set_backend(&mut self, backend: Arc<dyn ArtifactBackend>) {
+        self.backend = Some(backend);
+    }
+
     pub(crate) fn front_end(
         &self,
         key: u64,
         build: impl FnOnce() -> FrontEndArtifact,
-    ) -> (Arc<FrontEndArtifact>, bool) {
-        self.front_ends.get_or_build(key, build)
+    ) -> (Arc<FrontEndArtifact>, CacheHit) {
+        self.front_ends
+            .get_or_build(key, StageKind::FrontEnd, self.backend.as_deref(), build)
     }
 
     pub(crate) fn seed_front_end(&self, key: u64, artifact: Arc<FrontEndArtifact>) {
@@ -195,8 +270,9 @@ impl ArtifactCache {
         &self,
         key: u64,
         build: impl FnOnce() -> ScheduleArtifact,
-    ) -> (Arc<ScheduleArtifact>, bool) {
-        self.schedules.get_or_build(key, build)
+    ) -> (Arc<ScheduleArtifact>, CacheHit) {
+        self.schedules
+            .get_or_build(key, StageKind::Schedule, self.backend.as_deref(), build)
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
@@ -207,10 +283,12 @@ impl ArtifactCache {
         StageCacheStats {
             front_end: CacheStats {
                 hits: self.front_ends.hits.load(Ordering::Relaxed),
+                disk_hits: self.front_ends.disk_hits.load(Ordering::Relaxed),
                 misses: self.front_ends.misses.load(Ordering::Relaxed),
             },
             schedule: CacheStats {
                 hits: self.schedules.hits.load(Ordering::Relaxed),
+                disk_hits: self.schedules.disk_hits.load(Ordering::Relaxed),
                 misses: self.schedules.misses.load(Ordering::Relaxed),
             },
         }
@@ -299,29 +377,30 @@ mod tests {
     fn stage_cache_hits_and_seeding() {
         let cache: StageCache<u32> = StageCache::default();
         let mut builds = 0;
-        let (a, hit) = cache.get_or_build(1, || {
+        let (a, hit) = cache.get_or_build(1, StageKind::FrontEnd, None, || {
             builds += 1;
             42
         });
-        assert!(!hit);
-        let (b, hit) = cache.get_or_build(1, || {
+        assert_eq!(hit, CacheHit::Miss);
+        let (b, hit) = cache.get_or_build(1, StageKind::FrontEnd, None, || {
             builds += 1;
             42
         });
-        assert!(hit);
+        assert_eq!(hit, CacheHit::Memory);
         assert_eq!(builds, 1);
         assert_eq!(*a, *b);
 
         cache.seed(2, a);
-        let (c, hit) = cache.get_or_build(2, || {
+        let (c, hit) = cache.get_or_build(2, StageKind::FrontEnd, None, || {
             builds += 1;
             0
         });
-        assert!(hit, "seeded key must hit");
+        assert_eq!(hit, CacheHit::Memory, "seeded key must hit");
         assert_eq!(*c, 42);
         assert_eq!(builds, 1);
         assert_eq!(cache.hits.load(Ordering::Relaxed), 2);
         assert_eq!(cache.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.disk_hits.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -332,10 +411,55 @@ mod tests {
         cache.front_end(1, fe);
         cache.front_end(1, fe);
         let by_stage = cache.stats_by_stage();
-        assert_eq!(by_stage.front_end, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            by_stage.front_end,
+            CacheStats {
+                hits: 1,
+                disk_hits: 0,
+                misses: 1
+            }
+        );
         assert_eq!(by_stage.schedule, CacheStats::default());
         assert_eq!(by_stage.total(), cache.stats());
         assert!((by_stage.front_end.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(by_stage.schedule.hit_rate(), 1.0, "empty cache rate is 1");
+    }
+
+    #[test]
+    fn disk_backend_classifies_rebuilds_and_audits_mismatches() {
+        let design = hlsb_sim::random_design(5);
+        let store: Arc<hlsb_store::ArtifactStore> =
+            Arc::new(hlsb_store::ArtifactStore::in_memory());
+
+        // Process 1: cold store → every rebuild is a Miss and publishes.
+        let mut cache = ArtifactCache::default();
+        cache.set_backend(Arc::clone(&store) as Arc<dyn ArtifactBackend>);
+        let fe = || crate::passes::front_end::run(&design, false);
+        let (built, hit) = cache.front_end(1, fe);
+        assert_eq!(hit, CacheHit::Miss);
+        let published = store.lookup(StageKind::FrontEnd, 1).expect("published");
+        assert_eq!(published, hash_debug(&*built));
+        // Same process, same key: the in-memory map answers.
+        assert_eq!(cache.front_end(1, fe).1, CacheHit::Memory);
+
+        // Process 2 (fresh cache, shared store): the rebuild matches the
+        // stored fingerprint → Disk.
+        let mut cache2 = ArtifactCache::default();
+        cache2.set_backend(Arc::clone(&store) as Arc<dyn ArtifactBackend>);
+        assert_eq!(cache2.front_end(1, fe).1, CacheHit::Disk);
+        assert_eq!(cache2.stats_by_stage().front_end.disk_hits, 1);
+        assert_eq!(cache2.stats_by_stage().front_end.misses, 0);
+
+        // A corrupted fingerprint is a mismatch: classified Miss, and the
+        // correct fingerprint is re-published (later wins) so the next
+        // process sees Disk again.
+        store.publish(StageKind::FrontEnd, 1, 0xBAD, 0.0);
+        let mut cache3 = ArtifactCache::default();
+        cache3.set_backend(Arc::clone(&store) as Arc<dyn ArtifactBackend>);
+        assert_eq!(cache3.front_end(1, fe).1, CacheHit::Miss);
+        assert_eq!(store.lookup(StageKind::FrontEnd, 1), Some(published));
+        let mut cache4 = ArtifactCache::default();
+        cache4.set_backend(store as Arc<dyn ArtifactBackend>);
+        assert_eq!(cache4.front_end(1, fe).1, CacheHit::Disk);
     }
 }

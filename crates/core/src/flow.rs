@@ -196,6 +196,37 @@ impl Flow {
         ])
     }
 
+    /// Digest of a finished run as a persistent-store record
+    /// ([`hlsb_store::ResultRecord`]), keyed by
+    /// [`config_key`](Flow::config_key). The record carries everything a
+    /// warm compile-farm lookup needs to answer this configuration again
+    /// without re-running the pipeline; `label` is the human-readable
+    /// configuration name (the key stays authoritative) and `wall_ms`
+    /// the evaluation's wall-clock cost (the one volatile field).
+    pub fn store_record(
+        &self,
+        label: &str,
+        result: &ImplementationResult,
+        wall_ms: f64,
+    ) -> hlsb_store::ResultRecord {
+        hlsb_store::ResultRecord {
+            key: self.config_key(),
+            design: self.design.name.clone(),
+            label: label.to_string(),
+            fmax_mhz: result.fmax_mhz,
+            period_ns: result.period_ns,
+            latency_cycles: result.latency_cycles,
+            luts: result.stats.luts,
+            ffs: result.stats.ffs,
+            brams: result.stats.brams,
+            dsps: result.stats.dsps,
+            inserted_regs: result.inserted_regs as u64,
+            duplicated_regs: result.duplicated_regs as u64,
+            retime_moves: result.retime_moves as u64,
+            wall_ms,
+        }
+    }
+
     /// Runs the flow.
     ///
     /// # Errors

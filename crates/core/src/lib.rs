@@ -59,7 +59,7 @@ pub mod trace;
 
 mod cache;
 
-pub use cache::{CacheStats, StageCacheStats};
+pub use cache::{CacheHit, CacheStats, StageCacheStats};
 pub use error::FlowError;
 pub use flow::Flow;
 pub use options::{OptimizationOptions, Partitioning, PlaceEffort, RegisterInjection};
@@ -85,6 +85,7 @@ pub use hlsb_place as place;
 pub use hlsb_rtlgen as rtlgen;
 pub use hlsb_sched as sched;
 pub use hlsb_sim as sim;
+pub use hlsb_store as store;
 pub use hlsb_sync as sync;
 pub use hlsb_timing as timing;
 pub use hlsb_trace as spantrace;

@@ -35,7 +35,7 @@ use hlsb_lint::{FrontEndSnapshot, SnapshotLoop};
 use hlsb_trace::{SpanGuard, TraceTree, Tracer, Value};
 use std::borrow::Cow;
 
-use crate::cache::{self, ArtifactCache, CacheStats, StageCacheStats};
+use crate::cache::{self, ArtifactCache, CacheHit, CacheStats, StageCacheStats};
 use crate::error::FlowError;
 use crate::flow::Flow;
 use crate::options::{OptimizationOptions, PlaceEffort};
@@ -79,16 +79,17 @@ fn options_label(o: &OptimizationOptions) -> String {
 /// Copies stage counters onto the stage span as unsigned attributes, in
 /// counter order, so the [`PassTrace`] derived from the span tree
 /// ([`PassTrace::from_span_tree`]) is identical to the one the
-/// `PassTimer` path builds. Execution/cache-hit counts legitimately
-/// differ between cold and cached runs, so they are marked volatile:
-/// normalized trace equality (the cached ≡ cold guarantee) skips them,
-/// while the flat `PassRecord` view still reports them as counters.
+/// `PassTimer` path builds. Execution/cache-hit/store-hit counts
+/// legitimately differ between cold, cached and disk-warmed runs, so
+/// they are marked volatile: normalized trace equality (the cached ≡
+/// cold guarantee) skips them, while the flat `PassRecord` view still
+/// reports them as counters.
 fn stage_counters(span: &SpanGuard, counters: &[(String, u64)]) {
     if !span.is_enabled() {
         return;
     }
     for (key, v) in counters {
-        if key == "executions" || key == "cache-hits" {
+        if key == "executions" || key == "cache-hits" || key == "store-hits" {
             span.attr_volatile(key, *v);
         } else {
             span.attr(key, *v);
@@ -273,6 +274,18 @@ impl FlowSession {
             cache: ArtifactCache::default(),
             threads: threads.max(1),
         }
+    }
+
+    /// Attaches a persistent artifact backend (normally an
+    /// [`hlsb_store::ArtifactStore`]) to the session's stage cache.
+    /// The backend never changes any result — disk-backed and in-memory
+    /// runs stay bit-identical — it classifies rebuilds as cross-process
+    /// warm ([`CacheStats::disk_hits`], the volatile `store-hits` stage
+    /// counter) and publishes fresh artifact fingerprints for other
+    /// processes to audit against.
+    pub fn with_backend(mut self, backend: Arc<dyn hlsb_store::ArtifactBackend>) -> Self {
+        self.cache.set_backend(backend);
+        self
     }
 
     /// The session's thread budget.
@@ -578,6 +591,20 @@ impl FlowSession {
     ) -> Result<StagedArtifacts, FlowError> {
         let clock_ns = 1000.0 / flow.clock_mhz;
 
+        // Tallies one artifact request: a memory hit avoided the work, a
+        // disk hit redid it but the persistent store knew the fingerprint
+        // (cross-process warmth), a miss was new everywhere.
+        fn tally(hit: CacheHit, executions: &mut u64, hits: &mut u64, store_hits: &mut u64) {
+            match hit {
+                CacheHit::Memory => *hits += 1,
+                CacheHit::Disk => {
+                    *executions += 1;
+                    *store_hits += 1;
+                }
+                CacheHit::Miss => *executions += 1,
+            }
+        }
+
         // Front-end (cached, clock-independent).
         let timer = trace.start("front-end");
         let span = root.child("front-end");
@@ -585,14 +612,11 @@ impl FlowSession {
         let fe_key = cache::front_end_key(design_hash, flow.options.sync_pruning);
         let mut executions = 0u64;
         let mut hits = 0u64;
+        let mut store_hits = 0u64;
         let (front_end, hit) = self.cache.front_end(fe_key, || {
             passes::front_end::run(&flow.design, flow.options.sync_pruning)
         });
-        if hit {
-            hits += 1;
-        } else {
-            executions += 1;
-        }
+        tally(hit, &mut executions, &mut hits, &mut store_hits);
         // An identity split equals the unsplit front-end: publish the
         // artifact under the unsplit key too, so the lint pre-pass and
         // non-pruning variants of the same design share it.
@@ -607,11 +631,7 @@ impl FlowSession {
                 let (fe, hit) = self
                     .cache
                     .front_end(unsplit_key, || passes::front_end::run(&flow.design, false));
-                if hit {
-                    hits += 1;
-                } else {
-                    executions += 1;
-                }
+                tally(hit, &mut executions, &mut hits, &mut store_hits);
                 fe
             } else {
                 hits += 1;
@@ -626,6 +646,7 @@ impl FlowSession {
         let counters = vec![
             ("executions".to_string(), executions),
             ("cache-hits".to_string(), hits),
+            ("store-hits".to_string(), store_hits),
             ("loops-split".to_string(), front_end.loops_split as u64),
             ("dce-removed".to_string(), dce_removed),
         ];
@@ -667,6 +688,7 @@ impl FlowSession {
         };
         let mut executions = 0u64;
         let mut hits = 0u64;
+        let mut store_hits = 0u64;
         let sched_key = cache::schedule_key(
             content_fe_key,
             clock_ns,
@@ -686,11 +708,7 @@ impl FlowSession {
                 &flow.inject,
             )
         });
-        if hit {
-            hits += 1;
-        } else {
-            executions += 1;
-        }
+        tally(hit, &mut executions, &mut hits, &mut store_hits);
         // The lint baseline: the broadcast-blind schedule of the unsplit
         // design at the same clock.
         let lint_inputs: Option<(Arc<FrontEndArtifact>, Arc<ScheduleArtifact>)> = lint_front_end
@@ -716,11 +734,7 @@ impl FlowSession {
                         &crate::options::RegisterInjection::Off,
                     )
                 });
-                if hit {
-                    hits += 1;
-                } else {
-                    executions += 1;
-                }
+                tally(hit, &mut executions, &mut hits, &mut store_hits);
                 (fe, baseline)
             });
         let splits: u64 = schedule
@@ -736,6 +750,7 @@ impl FlowSession {
         let counters = vec![
             ("executions".to_string(), executions),
             ("cache-hits".to_string(), hits),
+            ("store-hits".to_string(), store_hits),
             ("inserted-regs".to_string(), schedule.inserted_regs as u64),
             ("injected-regs".to_string(), schedule.injected_regs as u64),
             ("splits".to_string(), splits),

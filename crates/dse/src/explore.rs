@@ -357,10 +357,12 @@ impl<'a> Explorer<'a> {
         let cache_delta = StageCacheStats {
             front_end: CacheStats {
                 hits: stats1.front_end.hits - stats0.front_end.hits,
+                disk_hits: stats1.front_end.disk_hits - stats0.front_end.disk_hits,
                 misses: stats1.front_end.misses - stats0.front_end.misses,
             },
             schedule: CacheStats {
                 hits: stats1.schedule.hits - stats0.schedule.hits,
+                disk_hits: stats1.schedule.disk_hits - stats0.schedule.disk_hits,
                 misses: stats1.schedule.misses - stats0.schedule.misses,
             },
         };
@@ -378,8 +380,10 @@ impl<'a> Explorer<'a> {
                 ("sim-checked", sim_checked),
                 ("sim-failed", sim_failed),
                 ("fe-cache-hits", cache_delta.front_end.hits),
+                ("fe-store-hits", cache_delta.front_end.disk_hits),
                 ("fe-cache-misses", cache_delta.front_end.misses),
                 ("sched-cache-hits", cache_delta.schedule.hits),
+                ("sched-store-hits", cache_delta.schedule.disk_hits),
                 ("sched-cache-misses", cache_delta.schedule.misses),
             ]
             .into_iter()

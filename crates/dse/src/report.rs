@@ -68,7 +68,7 @@ pub fn summary_line(report: &DseReport) -> String {
     format!(
         "strategy={} points={} frontier={} probe-evals={} full-evals={} \
          store-hits={} infeasible={} budget-dropped={} \
-         fe-cache={}/{} ({:.0}% hit) sched-cache={}/{} ({:.0}% hit) sim={}",
+         fe-cache={}+{}d/{} ({:.0}% hit) sched-cache={}+{}d/{} ({:.0}% hit) sim={}",
         report.strategy,
         report.points.len(),
         report.frontier.len(),
@@ -78,10 +78,12 @@ pub fn summary_line(report: &DseReport) -> String {
         report.infeasible,
         report.budget_dropped,
         report.cache_delta.front_end.hits,
-        report.cache_delta.front_end.hits + report.cache_delta.front_end.misses,
+        report.cache_delta.front_end.disk_hits,
+        report.cache_delta.front_end.requests(),
         report.cache_delta.front_end.hit_rate() * 100.0,
         report.cache_delta.schedule.hits,
-        report.cache_delta.schedule.hits + report.cache_delta.schedule.misses,
+        report.cache_delta.schedule.disk_hits,
+        report.cache_delta.schedule.requests(),
         report.cache_delta.schedule.hit_rate() * 100.0,
         if report.frontier_semantics_ok() {
             "ok"

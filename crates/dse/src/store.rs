@@ -9,17 +9,18 @@
 //! continues where it stopped and converges to the same frontier as an
 //! uninterrupted run.
 //!
-//! The format is hand-rolled JSON (the workspace builds offline, no
-//! serde): floats are written in Rust's shortest round-trip notation, so
-//! a record read back is bit-identical to the one written. A trailing
-//! half-written line (from a kill mid-append) is skipped on load.
+//! The durability machinery (append+flush per record, partial-line
+//! tolerance, later-duplicate-wins, heal-before-append) lives in
+//! [`hlsb_store::JsonlTable`]; this module only owns the [`Record`]
+//! format — hand-rolled JSON whose floats use Rust's shortest
+//! round-trip notation, so a record read back is bit-identical to the
+//! one written. Files written before the extraction parse unchanged.
 
-use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use hlsb::{OptimizationOptions, Partitioning, PlaceEffort};
+use hlsb_store::json::{bool_field, json_escape, raw_field, string_field};
+use hlsb_store::{JsonlRecord, JsonlTable};
 
 use crate::objective::Metrics;
 use crate::space::DseConfig;
@@ -41,6 +42,23 @@ pub struct Record {
 impl Record {
     /// Renders the record as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
+        JsonlRecord::to_json(self)
+    }
+
+    /// Parses one JSON line written by [`to_json`](Record::to_json).
+    /// Returns `None` for malformed input (e.g. a half-written trailing
+    /// line after a kill).
+    pub fn from_json(line: &str) -> Option<Record> {
+        <Record as JsonlRecord>::from_json(line)
+    }
+}
+
+impl JsonlRecord for Record {
+    fn key(&self) -> u64 {
+        self.key
+    }
+
+    fn to_json(&self) -> String {
         let o = &self.config.options;
         format!(
             "{{\"key\":{},\"design\":\"{}\",\"label\":\"{}\",\
@@ -48,8 +66,8 @@ impl Record {
              \"clock_mhz\":{:?},\"place_seeds\":{},\"effort\":\"{}\",\"partitions\":\"{}\",\
              \"fmax_mhz\":{:?},\"latency_cycles\":{},\"area_cells\":{}}}",
             self.key,
-            hlsb_lint::render::json_escape(&self.design),
-            hlsb_lint::render::json_escape(&self.config.label()),
+            json_escape(&self.design),
+            json_escape(&self.config.label()),
             o.broadcast_aware,
             o.sync_pruning,
             o.skid_buffer,
@@ -71,10 +89,7 @@ impl Record {
         )
     }
 
-    /// Parses one JSON line written by [`to_json`](Record::to_json).
-    /// Returns `None` for malformed input (e.g. a half-written trailing
-    /// line after a kill).
-    pub fn from_json(line: &str) -> Option<Record> {
+    fn from_json(line: &str) -> Option<Record> {
         let line = line.trim();
         if !(line.starts_with('{') && line.ends_with('}')) {
             return None;
@@ -118,39 +133,11 @@ impl Record {
     }
 }
 
-/// The raw token of `"name":<token>` up to the next `,` or the closing
-/// `}` — sufficient for the flat records this store writes (string
-/// values contain no commas by construction of the labels).
-fn raw_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
-    let tag = format!("\"{name}\":");
-    let start = line.find(&tag)? + tag.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}'])?;
-    Some(&rest[..end])
-}
-
-fn bool_field(line: &str, name: &str) -> Option<bool> {
-    match raw_field(line, name)? {
-        "true" => Some(true),
-        "false" => Some(false),
-        _ => None,
-    }
-}
-
-fn string_field(line: &str, name: &str) -> Option<String> {
-    let raw = raw_field(line, name)?;
-    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
-    Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
-}
-
-/// Keyed store of evaluation records, optionally backed by a JSONL file.
+/// Keyed store of evaluation records, optionally backed by a JSONL file
+/// — a thin wrapper over [`hlsb_store::JsonlTable`].
 #[derive(Debug, Default)]
 pub struct ResultStore {
-    path: Option<PathBuf>,
-    file: Option<File>,
-    records: HashMap<u64, Record>,
-    /// Insertion order of keys (load order, then append order).
-    order: Vec<u64>,
+    table: JsonlTable<Record>,
 }
 
 impl ResultStore {
@@ -166,76 +153,53 @@ impl ResultStore {
     ///
     /// I/O errors opening or reading the file.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let mut store = ResultStore {
-            file: None,
-            records: HashMap::new(),
-            order: Vec::new(),
-            path: Some(path.clone()),
-        };
-        if path.exists() {
-            for line in BufReader::new(File::open(&path)?).lines() {
-                if let Some(rec) = Record::from_json(&line?) {
-                    store.remember(rec);
-                }
-            }
-        }
-        store.file = Some(OpenOptions::new().create(true).append(true).open(&path)?);
-        Ok(store)
+        Ok(ResultStore {
+            table: JsonlTable::open(path)?,
+        })
     }
 
     /// The backing path, when file-backed.
     pub fn path(&self) -> Option<&Path> {
-        self.path.as_deref()
+        self.table.path()
     }
 
     /// Number of distinct configurations stored.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.table.len()
     }
 
     /// Whether the store holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.table.is_empty()
     }
 
     /// The record for a configuration key, if present.
     pub fn get(&self, key: u64) -> Option<&Record> {
-        self.records.get(&key)
+        self.table.get(key)
     }
 
     /// All records in insertion order.
     pub fn records(&self) -> impl Iterator<Item = &Record> {
-        self.order.iter().filter_map(|k| self.records.get(k))
+        self.table.records()
     }
 
-    /// Inserts a record, appending it to the backing file (flushed per
-    /// record, so a kill loses at most the line being written). A record
-    /// whose key is already present replaces the in-memory entry but is
-    /// still appended — the file is a log; loads keep the latest.
+    /// Inserts a record, appending it to the backing file (see
+    /// [`JsonlTable::insert`] for the append/flush/heal semantics). A
+    /// record whose key is already present replaces the in-memory entry
+    /// but is still appended — the file is a log; loads keep the latest.
     ///
     /// # Errors
     ///
     /// I/O errors appending to the backing file.
     pub fn insert(&mut self, rec: Record) -> std::io::Result<()> {
-        if let Some(file) = &mut self.file {
-            writeln!(file, "{}", rec.to_json())?;
-            file.flush()?;
-        }
-        self.remember(rec);
-        Ok(())
-    }
-
-    fn remember(&mut self, rec: Record) {
-        if self.records.insert(rec.key, rec.clone()).is_none() {
-            self.order.push(rec.key);
-        }
+        self.table.insert(rec)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn record(key: u64, fmax: f64) -> Record {
         Record {

@@ -1,20 +1,20 @@
 //! The persistent frequency log: one JSONL line per decided trial.
 //!
-//! Follows the `hlsb-dse` result-store idiom: hand-rolled JSON (the
-//! workspace builds offline, no serde), floats in Rust's shortest
-//! round-trip notation, append + flush per record so a kill loses at
-//! most the line being written, and a half-written trailing line is
-//! skipped on load. The key is [`Flow::config_key`](hlsb::Flow::config_key)
-//! of the trial's flow — the clock target is part of the key, so one
-//! search produces one record per trial and a resumed search answers
-//! every repeated trial from the log instead of re-running it.
+//! The durability machinery (append+flush per record, partial-line
+//! tolerance, later-duplicate-wins, heal-before-append) lives in
+//! [`hlsb_store::JsonlTable`]; this module only owns the
+//! [`TrialRecord`] format — hand-rolled JSON (the workspace builds
+//! offline, no serde) with floats in Rust's shortest round-trip
+//! notation, so files written before the extraction parse unchanged.
+//! The key is [`Flow::config_key`](hlsb::Flow::config_key) of the
+//! trial's flow — the clock target is part of the key, so one search
+//! produces one record per trial and a resumed search answers every
+//! repeated trial from the log instead of re-running it.
 
-use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-use hlsb_findings::json_escape;
+use hlsb_store::json::{json_escape, raw_field, string_field};
+use hlsb_store::{JsonlRecord, JsonlTable};
 
 /// How a trial's verdict was decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,23 @@ pub struct TrialRecord {
 impl TrialRecord {
     /// Renders the record as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
+        JsonlRecord::to_json(self)
+    }
+
+    /// Parses one JSON line written by [`to_json`](TrialRecord::to_json).
+    /// Returns `None` for malformed input (e.g. a half-written trailing
+    /// line after a kill).
+    pub fn from_json(line: &str) -> Option<TrialRecord> {
+        <TrialRecord as JsonlRecord>::from_json(line)
+    }
+}
+
+impl JsonlRecord for TrialRecord {
+    fn key(&self) -> u64 {
+        self.key
+    }
+
+    fn to_json(&self) -> String {
         format!(
             "{{\"key\":{},\"design\":\"{}\",\"label\":\"{}\",\"clock_mhz\":{:?},\
              \"kind\":\"{}\",\"met\":{},\"fmax_mhz\":{:?},\"latency_cycles\":{},\
@@ -80,10 +97,7 @@ impl TrialRecord {
         )
     }
 
-    /// Parses one JSON line written by [`to_json`](TrialRecord::to_json).
-    /// Returns `None` for malformed input (e.g. a half-written trailing
-    /// line after a kill).
-    pub fn from_json(line: &str) -> Option<TrialRecord> {
+    fn from_json(line: &str) -> Option<TrialRecord> {
         let line = line.trim();
         if !(line.starts_with('{') && line.ends_with('}')) {
             return None;
@@ -111,31 +125,11 @@ impl TrialRecord {
     }
 }
 
-/// The raw token of `"name":<token>` up to the next `,` or the closing
-/// `}` — sufficient for the flat records this log writes (string values
-/// contain no commas by construction of the labels).
-fn raw_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
-    let tag = format!("\"{name}\":");
-    let start = line.find(&tag)? + tag.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}'])?;
-    Some(&rest[..end])
-}
-
-fn string_field(line: &str, name: &str) -> Option<String> {
-    let raw = raw_field(line, name)?;
-    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
-    Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
-}
-
-/// Keyed log of trial records, optionally backed by a JSONL file.
+/// Keyed log of trial records, optionally backed by a JSONL file — a
+/// thin wrapper over [`hlsb_store::JsonlTable`].
 #[derive(Debug, Default)]
 pub struct FreqLog {
-    path: Option<PathBuf>,
-    file: Option<File>,
-    records: HashMap<u64, TrialRecord>,
-    /// Insertion order of keys (load order, then append order).
-    order: Vec<u64>,
+    table: JsonlTable<TrialRecord>,
 }
 
 impl FreqLog {
@@ -151,76 +145,53 @@ impl FreqLog {
     ///
     /// I/O errors opening or reading the file.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let mut log = FreqLog {
-            file: None,
-            records: HashMap::new(),
-            order: Vec::new(),
-            path: Some(path.clone()),
-        };
-        if path.exists() {
-            for line in BufReader::new(File::open(&path)?).lines() {
-                if let Some(rec) = TrialRecord::from_json(&line?) {
-                    log.remember(rec);
-                }
-            }
-        }
-        log.file = Some(OpenOptions::new().create(true).append(true).open(&path)?);
-        Ok(log)
+        Ok(FreqLog {
+            table: JsonlTable::open(path)?,
+        })
     }
 
     /// The backing path, when file-backed.
     pub fn path(&self) -> Option<&Path> {
-        self.path.as_deref()
+        self.table.path()
     }
 
     /// Number of distinct trials logged.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.table.len()
     }
 
     /// Whether the log holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.table.is_empty()
     }
 
     /// The record for a trial key, if present.
     pub fn get(&self, key: u64) -> Option<&TrialRecord> {
-        self.records.get(&key)
+        self.table.get(key)
     }
 
     /// All records in insertion order.
     pub fn records(&self) -> impl Iterator<Item = &TrialRecord> {
-        self.order.iter().filter_map(|k| self.records.get(k))
+        self.table.records()
     }
 
-    /// Inserts a record, appending it to the backing file (flushed per
-    /// record, so a kill loses at most the line being written). A record
-    /// whose key is already present replaces the in-memory entry but is
-    /// still appended — the file is a log; loads keep the latest.
+    /// Inserts a record, appending it to the backing file (see
+    /// [`JsonlTable::insert`] for the append/flush/heal semantics). A
+    /// record whose key is already present replaces the in-memory entry
+    /// but is still appended — the file is a log; loads keep the latest.
     ///
     /// # Errors
     ///
     /// I/O errors appending to the backing file.
     pub fn insert(&mut self, rec: TrialRecord) -> std::io::Result<()> {
-        if let Some(file) = &mut self.file {
-            writeln!(file, "{}", rec.to_json())?;
-            file.flush()?;
-        }
-        self.remember(rec);
-        Ok(())
-    }
-
-    fn remember(&mut self, rec: TrialRecord) {
-        if self.records.insert(rec.key, rec.clone()).is_none() {
-            self.order.push(rec.key);
-        }
+        self.table.insert(rec)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn record(key: u64, clock: f64, met: bool) -> TrialRecord {
         TrialRecord {

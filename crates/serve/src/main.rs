@@ -1,0 +1,145 @@
+//! `hlsb-serve` — compile-farm batch job server CLI.
+//!
+//! ```text
+//! hlsb-serve [--jobs <file>] [--store <dir>] [--workers <n>] [--wave <n>]
+//!            [--no-verify] [--trace-out <file>] [--summary-out <file>]
+//! ```
+//!
+//! Reads one JSONL job per line from `--jobs` (or stdin), writes one
+//! JSONL outcome per job to stdout in input order, and the volatile run
+//! summary (throughput, hit/dedup accounting, `serve.*` metrics) to
+//! stderr — and, with `--summary-out`, to a file. With `--store`, the
+//! persistent artifact store at that directory answers repeated
+//! configurations across invocations and processes. Exit code: 0 when
+//! every job was answered (`done` or `rejected`), 1 when any job
+//! `failed`, 2 for usage errors.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use hlsb_serve::{JobServer, JobStatus, ServeConfig};
+use hlsb_store::ArtifactStore;
+
+struct Args {
+    jobs: Option<String>,
+    store: Option<String>,
+    workers: usize,
+    wave: usize,
+    verify: bool,
+    trace_out: Option<String>,
+    summary_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: None,
+        store: None,
+        workers: 0,
+        wave: 32,
+        verify: true,
+        trace_out: None,
+        summary_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => args.jobs = Some(it.next().ok_or("--jobs needs a value")?),
+            "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.workers = v.parse().map_err(|_| format!("bad --workers {v}"))?;
+            }
+            "--wave" => {
+                let v = it.next().ok_or("--wave needs a value")?;
+                args.wave = v.parse().map_err(|_| format!("bad --wave {v}"))?;
+            }
+            "--no-verify" => args.verify = false,
+            "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a value")?),
+            "--summary-out" => {
+                args.summary_out = Some(it.next().ok_or("--summary-out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: hlsb-serve [--jobs <file>] [--store <dir>] \
+                            [--workers <n>] [--wave <n>] [--no-verify] \
+                            [--trace-out <file>] [--summary-out <file>]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = ServeConfig {
+        workers: args.workers,
+        wave: args.wave.max(1),
+        verify: args.verify,
+        trace: args.trace_out.is_some(),
+    };
+    let mut server = match &args.store {
+        Some(dir) => match ArtifactStore::open(dir) {
+            Ok(store) => JobServer::with_store(cfg, Arc::new(store)),
+            Err(e) => {
+                eprintln!("hlsb-serve: cannot open store {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => JobServer::new(cfg),
+    };
+
+    let lines: Box<dyn Iterator<Item = String>> = match &args.jobs {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Box::new(
+                text.lines()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            ),
+            Err(e) => {
+                eprintln!("hlsb-serve: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Box::new(std::io::stdin().lock().lines().map_while(Result::ok)),
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut any_failed = false;
+    let summary = server.process(lines, |outcome| {
+        any_failed |= outcome.status == JobStatus::Failed;
+        let _ = writeln!(out, "{}", outcome.to_json());
+    });
+    let _ = out.flush();
+
+    let rendered = format!("{}\n{}", summary.render(), server.metrics().render());
+    eprintln!("{rendered}");
+    if let Some(path) = &args.summary_out {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("hlsb-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let tree = server.take_trace();
+        if let Err(e) = std::fs::write(path, tree.to_jsonl()) {
+            eprintln!("hlsb-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if any_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,85 @@
+//! Hand-rolled JSON field helpers shared by every JSONL record codec in
+//! the workspace (the container that builds this workspace has no network
+//! access, so no serde). The conventions are those the `hlsb-dse` result
+//! store established: flat one-line objects, floats in Rust's shortest
+//! round-trip notation (`{:?}`), strings escaped with
+//! [`json_escape`].
+
+pub use hlsb_findings::json_escape;
+
+/// The raw token of `"name":<token>` up to the next `,` or the closing
+/// `}` — sufficient for flat records whose string values contain no
+/// commas (true by construction of every label this workspace writes).
+pub fn raw_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(&rest[..end])
+}
+
+/// The string value of `"name":"..."`, unescaped (quote and backslash).
+pub fn string_field(line: &str, name: &str) -> Option<String> {
+    let raw = raw_field(line, name)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// The boolean value of `"name":true|false`.
+pub fn bool_field(line: &str, name: &str) -> Option<bool> {
+    match raw_field(line, name)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// The bracketed token of `"name":[...]` including the brackets —
+/// [`raw_field`] stops at the first comma, so arrays need their own
+/// scanner. Only flat arrays of unquoted scalars are supported (no
+/// nesting, no strings), which is all the store formats use.
+pub fn array_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":[");
+    let start = line.find(&tag)? + tag.len() - 1;
+    let rest = &line[start..];
+    let end = rest.find(']')?;
+    Some(&rest[..=end])
+}
+
+/// Parses the output of [`array_field`] into numbers.
+pub fn parse_u32_array(raw: &str) -> Option<Vec<u32>> {
+    let inner = raw.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|tok| tok.trim().parse().ok())
+        .collect()
+}
+
+/// Renders a `u32` slice as a flat JSON array.
+pub fn render_u32_array(values: &[u32]) -> String {
+    let parts: Vec<String> = values.iter().map(u32::to_string).collect();
+    format!("[{}]", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction() {
+        let line = "{\"key\":7,\"name\":\"a \\\"b\\\"\",\"ok\":true,\"v\":[1,2,3],\"f\":1.25}";
+        assert_eq!(raw_field(line, "key"), Some("7"));
+        assert_eq!(string_field(line, "name").as_deref(), Some("a \"b\""));
+        assert_eq!(bool_field(line, "ok"), Some(true));
+        assert_eq!(array_field(line, "v"), Some("[1,2,3]"));
+        assert_eq!(parse_u32_array("[1,2,3]"), Some(vec![1, 2, 3]));
+        assert_eq!(parse_u32_array("[]"), Some(vec![]));
+        assert_eq!(raw_field(line, "f"), Some("1.25"));
+        assert_eq!(raw_field(line, "missing"), None);
+        assert_eq!(render_u32_array(&[1, 2, 3]), "[1,2,3]");
+        assert_eq!(render_u32_array(&[]), "[]");
+    }
+}

@@ -1,0 +1,101 @@
+//! Advisory cross-process locking for a shared store directory.
+//!
+//! The lock is a plain OS file lock (`std::fs::File::lock`) on a
+//! dedicated `LOCK` file inside the store directory — never on a data
+//! segment, so readers can scan segments while a writer appends. Within
+//! one process the [`ArtifactStore`](crate::ArtifactStore) additionally
+//! serializes writers with a mutex; the file lock exists for the
+//! multi-process case (several `hlsb-serve` or DSE invocations sharing
+//! one store).
+//!
+//! Advisory means cooperative: every writer in this workspace takes the
+//! lock around its read-tail/heal/append critical section, and crashed
+//! holders are harmless — the OS releases the lock when the process
+//! dies, and the append discipline (one `write` per full line, heal
+//! before append) keeps the segment parseable regardless.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+/// Name of the lock file inside a store directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// An exclusive advisory lock, held until dropped.
+#[derive(Debug)]
+pub struct StoreLock {
+    file: File,
+}
+
+impl StoreLock {
+    /// Blocks until the exclusive lock on `path` is acquired. The file
+    /// is created if missing; its contents are never read or written.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or locking the file.
+    pub fn acquire(path: impl AsRef<Path>) -> io::Result<StoreLock> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        file.lock()?;
+        Ok(StoreLock { file })
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        // Best effort: the OS also releases the lock when the
+        // descriptor closes.
+        let _ = self.file.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_is_reacquirable_after_drop() {
+        let dir = std::env::temp_dir().join("hlsb_store_lock_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("LOCK_{}", std::process::id()));
+        let a = StoreLock::acquire(&path).expect("first acquire");
+        drop(a);
+        let b = StoreLock::acquire(&path).expect("reacquire after drop");
+        drop(b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lock_excludes_across_handles() {
+        // Hold the lock, have a thread try to take it, and observe that
+        // the thread only succeeds after the holder drops. The release
+        // happens-before the acquire, so the counter order is exact.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join("hlsb_store_lock_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("LOCK_excl_{}", std::process::id()));
+        let holder = StoreLock::acquire(&path).expect("holder acquires");
+
+        let step = Arc::new(AtomicU32::new(0));
+        let (step2, path2) = (Arc::clone(&step), path.clone());
+        let waiter = std::thread::spawn(move || {
+            let _lock = StoreLock::acquire(&path2).expect("waiter acquires");
+            step2.store(2, Ordering::SeqCst);
+        });
+
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // The waiter must still be blocked while we hold the lock.
+        assert_eq!(step.load(Ordering::SeqCst), 0, "lock did not exclude");
+        step.store(1, Ordering::SeqCst);
+        drop(holder);
+        waiter.join().unwrap();
+        assert_eq!(step.load(Ordering::SeqCst), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

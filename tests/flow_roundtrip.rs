@@ -158,6 +158,70 @@ fn cached_artifacts_do_not_change_results() {
 }
 
 #[test]
+fn disk_warmed_results_are_bit_identical_to_cold_and_cached() {
+    // Guarantee: the persistent artifact store never changes what a flow
+    // returns — cold == cached == disk-warmed, bit for bit. The store
+    // only classifies rebuilds (disk hits) and feeds fingerprints back.
+    use hlsb_store::{ArtifactBackend, ArtifactStore};
+    use std::sync::Arc;
+    let dir = std::env::temp_dir()
+        .join("hlsb_flow_roundtrip_store")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    let flows = equivalence_flows();
+
+    // Cold: a disk-backed session populates the store from nothing.
+    let store = Arc::new(ArtifactStore::open(&dir).expect("store opens"));
+    let cold_session =
+        FlowSession::with_threads(1).with_backend(store.clone() as Arc<dyn ArtifactBackend>);
+    let cold: Vec<_> = flows
+        .iter()
+        .map(|f| cold_session.run(f).expect("flow"))
+        .collect();
+    assert_eq!(
+        cold_session.cache_stats().disk_hits,
+        0,
+        "nothing stored yet"
+    );
+    assert!(store.stage_count() > 0, "cold run publishes fingerprints");
+
+    // Cached: the same session again, answered from memory.
+    let cached: Vec<_> = flows
+        .iter()
+        .map(|f| cold_session.run(f).expect("flow"))
+        .collect();
+    assert!(cold_session.cache_stats().hits > 0);
+
+    // Disk-warmed: a fresh session and a freshly reopened store — the
+    // cross-process case. Rebuilds must match the stored fingerprints.
+    let reopened = Arc::new(ArtifactStore::open(&dir).expect("store reopens"));
+    let warmed_session =
+        FlowSession::with_threads(1).with_backend(reopened as Arc<dyn ArtifactBackend>);
+    let warmed: Vec<_> = flows
+        .iter()
+        .map(|f| warmed_session.run(f).expect("flow"))
+        .collect();
+    let stats = warmed_session.cache_stats();
+    assert!(
+        stats.disk_hits > 0 && stats.misses == 0,
+        "every warmed rebuild must match a stored fingerprint: {stats:?}"
+    );
+
+    // And a plain in-memory session agrees with all three.
+    let plain = FlowSession::with_threads(1);
+    for (((flow, cold), cached), warmed) in flows.iter().zip(&cold).zip(&cached).zip(&warmed) {
+        assert_eq!(cold, cached, "cached != cold for {flow:?}");
+        assert_eq!(cold, warmed, "disk-warmed != cold for {flow:?}");
+        assert_eq!(
+            &plain.run(flow).expect("flow"),
+            cold,
+            "in-memory != disk-backed for {flow:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn parallel_execution_is_bit_identical_to_sequential() {
     // Guarantee: thread count never changes results — neither for the
     // placement trials inside one flow nor for whole flows in run_many.

@@ -1,0 +1,325 @@
+//! Durability of the persistent artifact store under concurrent writers,
+//! kill/resume cycles and arbitrary truncation — the compile-farm store
+//! must never lose a completed append, never resurrect a partial line,
+//! and always converge when several handles share one directory.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hlsb_rng::Rng;
+use hlsb_store::{
+    ArtifactBackend, ArtifactStore, JsonlRecord, ResultRecord, StageKind, SHARD_COUNT,
+};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("hlsb_store_concurrency_test")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A pseudo-random result record; quotes and backslashes in the string
+/// fields exercise the JSON escaping, and the raw `next_u64` key spreads
+/// records across every shard.
+fn random_result(rng: &mut Rng) -> ResultRecord {
+    let designs = ["spam_filter", "face \"detect\"", "a\\b"];
+    let labels = ["bskm s1 x2 fast", "---- @300.0MHz", "×weird×"];
+    ResultRecord {
+        key: rng.next_u64(),
+        design: designs[rng.gen_index(designs.len())].into(),
+        label: labels[rng.gen_index(labels.len())].into(),
+        fmax_mhz: 50.0 + rng.gen_f64() * 700.0,
+        period_ns: 1.0 + rng.gen_f64() * 20.0,
+        latency_cycles: rng.gen_u64(1, 1 << 20),
+        luts: rng.gen_u64(0, 1 << 20),
+        ffs: rng.gen_u64(0, 1 << 20),
+        brams: rng.gen_u64(0, 2048),
+        dsps: rng.gen_u64(0, 6840),
+        inserted_regs: rng.gen_u64(0, 4096),
+        duplicated_regs: rng.gen_u64(0, 4096),
+        retime_moves: rng.gen_u64(0, 256),
+        wall_ms: rng.gen_f64() * 1e4,
+    }
+}
+
+/// Every line of every segment file must parse — concurrent appends may
+/// interleave records but never tear a line.
+fn assert_all_lines_whole(dir: &std::path::Path) -> usize {
+    let mut lines = 0;
+    for shard in 0..SHARD_COUNT {
+        let path = dir.join(format!("results-{shard}.jsonl"));
+        if !path.exists() {
+            continue;
+        }
+        for line in std::fs::read_to_string(&path).unwrap().lines() {
+            assert!(
+                ResultRecord::from_json(line).is_some(),
+                "torn line in shard {shard}: {line}"
+            );
+            lines += 1;
+        }
+    }
+    lines
+}
+
+#[test]
+fn two_handles_appending_concurrently_converge() {
+    // Two store handles on one directory — the same setup as two
+    // processes, since each append takes the directory's file lock.
+    // Writers use disjoint keys plus a contended overlap; afterwards a
+    // fresh handle must see the union, with every overlap key holding
+    // one of the two written records (no torn or interleaved lines).
+    let dir = scratch("two_handles");
+    let a = ArtifactStore::open(&dir).unwrap();
+    let b = ArtifactStore::open(&dir).unwrap();
+
+    let mut rng = Rng::seed_from_u64(0xC0_FFEE);
+    let mut a_recs: Vec<ResultRecord> = (0..60).map(|_| random_result(&mut rng)).collect();
+    let mut b_recs: Vec<ResultRecord> = (0..60).map(|_| random_result(&mut rng)).collect();
+    // Overlap: the last 10 keys are shared, with different payloads.
+    for (ra, rb) in a_recs
+        .iter_mut()
+        .rev()
+        .zip(b_recs.iter_mut().rev())
+        .take(10)
+    {
+        rb.key = ra.key;
+        rb.fmax_mhz = ra.fmax_mhz + 1.0;
+    }
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for rec in &a_recs {
+                a.put_result(rec.clone()).unwrap();
+                a.publish(StageKind::FrontEnd, rec.key, rec.key ^ 0xF00D, 0.5);
+                a.publish(StageKind::Schedule, rec.key, rec.key ^ 0xBEEF, 0.5);
+            }
+        });
+        s.spawn(|| {
+            for rec in &b_recs {
+                b.put_result(rec.clone()).unwrap();
+                b.publish(StageKind::FrontEnd, rec.key, rec.key ^ 0xF00D, 0.5);
+                b.publish(StageKind::Schedule, rec.key, rec.key ^ 0xBEEF, 0.5);
+            }
+        });
+    });
+    assert_eq!(a.io_errors(), 0);
+    assert_eq!(b.io_errors(), 0);
+
+    let merged = ArtifactStore::open(&dir).unwrap();
+    assert_eq!(merged.result_count(), 110, "60 + 60 - 10 overlapping keys");
+    assert_eq!(
+        merged.stage_count(),
+        220,
+        "two stage kinds per distinct key"
+    );
+    for rec in a_recs.iter().chain(&b_recs) {
+        let got = merged.get_result(rec.key).expect("no record lost");
+        let a_wrote = a_recs.iter().any(|r| r.to_json() == got.to_json());
+        let b_wrote = b_recs.iter().any(|r| r.to_json() == got.to_json());
+        assert!(
+            a_wrote || b_wrote,
+            "key {} holds a record neither writer produced: {}",
+            rec.key,
+            got.to_json()
+        );
+        assert_eq!(
+            merged.lookup(StageKind::FrontEnd, rec.key),
+            Some(rec.key ^ 0xF00D)
+        );
+        assert_eq!(
+            merged.lookup(StageKind::Schedule, rec.key),
+            Some(rec.key ^ 0xBEEF)
+        );
+    }
+    assert_eq!(
+        assert_all_lines_whole(&dir),
+        120,
+        "one whole line per append"
+    );
+
+    // The original handles converge too, via reload.
+    a.reload().unwrap();
+    assert_eq!(a.result_count(), 110);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_resume_cycles_never_lose_completed_appends() {
+    // Each round: open a fresh handle (a resumed process), append a few
+    // records, then die mid-append — simulated by writing a partial line
+    // straight to a random shard segment. Completed records must survive
+    // every cycle; partial lines must never resurrect and never glue
+    // onto the next round's appends.
+    let dir = scratch("kill_resume");
+    let mut rng = Rng::seed_from_u64(0xDEAD_0001);
+    let mut latest: std::collections::HashMap<u64, ResultRecord> = std::collections::HashMap::new();
+
+    for round in 0..8 {
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert_eq!(
+            store.result_count(),
+            latest.len(),
+            "round {round}: resumed handle lost or invented records"
+        );
+        for _ in 0..6 {
+            let mut rec = random_result(&mut rng);
+            // Every third round rewrites an existing key: later wins.
+            if round % 3 == 2 && !latest.is_empty() {
+                let keys: Vec<u64> = latest.keys().copied().collect();
+                rec.key = keys[rng.gen_index(keys.len())];
+            }
+            store.put_result(rec.clone()).unwrap();
+            latest.insert(rec.key, rec);
+        }
+        drop(store);
+
+        // The kill: a half-written line at the tail of a random shard.
+        let shard = rng.gen_index(SHARD_COUNT);
+        let path = dir.join(format!("results-{shard}.jsonl"));
+        let mut bytes = std::fs::read(&path).unwrap_or_default();
+        bytes.extend_from_slice(b"{\"key\":12345,\"design\":\"half");
+        std::fs::write(&path, bytes).unwrap();
+    }
+
+    let survivor = ArtifactStore::open(&dir).unwrap();
+    assert_eq!(survivor.result_count(), latest.len());
+    for (key, rec) in &latest {
+        assert_eq!(
+            survivor.get_result(*key).map(|r| r.to_json()),
+            Some(rec.to_json()),
+            "key {key} must hold its latest append"
+        );
+    }
+    // One more append per shard heals every tail; after that the files
+    // hold only whole lines (the healed partials end with a newline and
+    // are skipped as malformed, not parsed).
+    for shard in 0..SHARD_COUNT as u64 {
+        let mut rec = random_result(&mut rng);
+        rec.key = rec.key - (rec.key % SHARD_COUNT as u64) + shard;
+        survivor.put_result(rec.clone()).unwrap();
+        latest.insert(rec.key, rec);
+    }
+    let reopened = ArtifactStore::open(&dir).unwrap();
+    assert_eq!(reopened.result_count(), latest.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_at_random_byte_never_corrupts_a_shard() {
+    // The PR 8 log-fuzz pattern lifted to the sharded store: fill every
+    // shard, then repeatedly truncate one segment at a random byte and
+    // reopen. Records whose line fully precedes the cut survive exactly;
+    // records after it vanish; every other shard is untouched.
+    let dir = scratch("truncate_fuzz");
+    let mut rng = Rng::seed_from_u64(0xF4E9_0002);
+    let store = ArtifactStore::open(&dir).unwrap();
+    let records: Vec<ResultRecord> = (0..96).map(|_| random_result(&mut rng)).collect();
+    // Per-shard append order, replayed below to predict survivors.
+    let mut per_shard: Vec<Vec<&ResultRecord>> = vec![Vec::new(); SHARD_COUNT];
+    for rec in &records {
+        store.put_result(rec.clone()).unwrap();
+        per_shard[ArtifactStore::shard_of(rec.key)].push(rec);
+    }
+    drop(store);
+    let pristine: Vec<Vec<u8>> = (0..SHARD_COUNT)
+        .map(|s| std::fs::read(dir.join(format!("results-{s}.jsonl"))).unwrap())
+        .collect();
+
+    for trial in 0..48 {
+        let shard = rng.gen_index(SHARD_COUNT);
+        let blob = &pristine[shard];
+        let cut = rng.gen_index(blob.len() + 1);
+        let path = dir.join(format!("results-{shard}.jsonl"));
+        std::fs::write(&path, &blob[..cut]).unwrap();
+
+        let store = ArtifactStore::open(&dir).unwrap();
+        // Replay: a record survives iff its complete JSON text fits in
+        // the prefix (losing only the trailing newline still parses),
+        // later duplicates winning. Keys are random u64s here, so
+        // duplicates cannot occur and order alone decides.
+        let mut expected = 0usize;
+        let mut offset = 0usize;
+        for rec in &per_shard[shard] {
+            let line_len = rec.to_json().len() + 1;
+            if offset + line_len - 1 <= cut {
+                expected += 1;
+                assert_eq!(
+                    store.get_result(rec.key).map(|r| r.to_json()),
+                    Some(rec.to_json()),
+                    "trial {trial}: record before cut {cut} corrupted"
+                );
+            } else {
+                assert!(
+                    store.get_result(rec.key).is_none(),
+                    "trial {trial}: record cut at byte {cut} resurrected"
+                );
+            }
+            offset += line_len;
+        }
+        let surviving_elsewhere: usize = (0..SHARD_COUNT)
+            .filter(|&s| s != shard)
+            .map(|s| per_shard[s].len())
+            .sum();
+        assert_eq!(
+            store.result_count(),
+            expected + surviving_elsewhere,
+            "trial {trial}: cut at byte {cut} of shard {shard} leaked across shards"
+        );
+
+        std::fs::write(&path, blob).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn contended_single_shard_appends_stay_line_atomic() {
+    // Worst-case contention: every key lands in shard 0, two handles
+    // hammer it from two threads. The directory lock must serialize the
+    // appends into whole lines, and both record families must survive.
+    let dir = scratch("single_shard");
+    let a = Arc::new(ArtifactStore::open(&dir).unwrap());
+    let b = Arc::new(ArtifactStore::open(&dir).unwrap());
+
+    let mut rng = Rng::seed_from_u64(0x5EED_0003);
+    let mut make = || -> Vec<ResultRecord> {
+        (0..40u64)
+            .map(|_| {
+                let mut rec = random_result(&mut rng);
+                // Shifting left by 3 forces shard 0 (key % 8 == 0) while
+                // the random high bits keep keys distinct across writers.
+                rec.key <<= 3;
+                rec
+            })
+            .collect()
+    };
+    let a_recs = make();
+    let b_recs = make();
+    assert!(a_recs
+        .iter()
+        .chain(&b_recs)
+        .all(|r| ArtifactStore::shard_of(r.key) == 0));
+
+    std::thread::scope(|s| {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        let (ar, br) = (&a_recs, &b_recs);
+        s.spawn(move || {
+            for rec in ar {
+                a.put_result(rec.clone()).unwrap();
+            }
+        });
+        s.spawn(move || {
+            for rec in br {
+                b.put_result(rec.clone()).unwrap();
+            }
+        });
+    });
+
+    let distinct: std::collections::HashSet<u64> =
+        a_recs.iter().chain(&b_recs).map(|r| r.key).collect();
+    assert_eq!(assert_all_lines_whole(&dir), 80);
+    let merged = ArtifactStore::open(&dir).unwrap();
+    assert_eq!(merged.result_count(), distinct.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -7,7 +7,8 @@
 //!     [--seeds <n>[,<n>...]] [--efforts fast|normal|both]
 //!     [--partitions <n>|auto|off[,...]] [--store <path>]
 //!     [--format table|jsonl] [--verify-iters <n>]
-//!     [--trace-out <path>] [--list]
+//!     [--trace-out <path>] [--ledger <path>] [--metrics-out <path>]
+//!     [--list]
 //! ```
 //!
 //! For every selected benchmark the explorer searches the paper's 4-bit
@@ -22,7 +23,10 @@
 //! same store resumes an interrupted sweep without re-placing anything.
 //! `--trace-out` enables span tracing on every fresh full evaluation and
 //! writes the collected trees as Chrome trace-event JSON (one process
-//! per evaluated configuration; load in Perfetto).
+//! per evaluated configuration; load in Perfetto). `--ledger` appends one
+//! run-ledger record per flow evaluation plus one `dse` campaign record
+//! per benchmark; `--metrics-out` writes the merged per-evaluation
+//! metrics in the Prometheus text format.
 //!
 //! Exit status is 2 on usage errors, 1 if any frontier configuration
 //! fails its differential-simulation check, 0 otherwise.
@@ -31,7 +35,10 @@ use hlsb::{FlowSession, Partitioning, PlaceEffort};
 use hlsb_bench::parse_partitions;
 use hlsb_benchmarks::{all_benchmarks, Benchmark};
 use hlsb_dse::{report, Explorer, KnobSpace, ResultStore, Strategy, DEFAULT_VERIFY_ITERS};
+use hlsb_telemetry::{render_prometheus, RunLedger, RunRecord};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 struct Args {
     design: String,
@@ -47,6 +54,8 @@ struct Args {
     format: Format,
     verify_iters: u64,
     trace_out: Option<String>,
+    ledger: Option<String>,
+    metrics_out: Option<String>,
     list: bool,
 }
 
@@ -64,7 +73,8 @@ fn usage() {
          \x20          [--partitions <n>|auto|off[,...]] [--store <path>]\n\
          \x20          [--artifacts <dir>]\n\
          \x20          [--format table|jsonl]\n\
-         \x20          [--verify-iters <n>] [--trace-out <path>] [--list]"
+         \x20          [--verify-iters <n>] [--trace-out <path>]\n\
+         \x20          [--ledger <path>] [--metrics-out <path>] [--list]"
     );
 }
 
@@ -93,6 +103,8 @@ fn parse_args() -> Result<Args, String> {
         format: Format::Table,
         verify_iters: DEFAULT_VERIFY_ITERS,
         trace_out: None,
+        ledger: None,
+        metrics_out: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -164,6 +176,10 @@ fn parse_args() -> Result<Args, String> {
                 args.verify_iters = v.parse().map_err(|_| format!("bad verify-iters `{v}`"))?;
             }
             "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
+            "--ledger" => args.ledger = Some(it.next().ok_or("--ledger needs a path")?),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             f => return Err(format!("unknown flag `{f}`")),
@@ -176,6 +192,7 @@ fn explore(
     bench: &Benchmark,
     args: &Args,
     session: &FlowSession,
+    ledger: Option<&RunLedger>,
 ) -> std::io::Result<(bool, Vec<(String, hlsb::TraceTree)>)> {
     let clocks = args
         .clocks_mhz
@@ -193,6 +210,7 @@ fn explore(
         Some(path) => ResultStore::open(path)?,
         None => ResultStore::in_memory(),
     };
+    let campaign_start = Instant::now();
     let mut report = Explorer::new(&bench.design, &bench.device)
         .space(space)
         .strategy(args.strategy)
@@ -200,8 +218,29 @@ fn explore(
         .seed(args.seed)
         .store(store)
         .verify_iters(args.verify_iters)
-        .trace(args.trace_out.is_some())
+        .trace(args.trace_out.is_some() || args.metrics_out.is_some())
         .run(session)?;
+
+    if let Some(ledger) = ledger {
+        let status = if report.frontier_semantics_ok() {
+            "ok"
+        } else {
+            "failed"
+        };
+        let wall_ms = campaign_start.elapsed().as_secs_f64() * 1e3;
+        let mut rec = RunRecord::new("dse", &bench.design.name, 0, status, wall_ms);
+        for pass in &report.trace.records {
+            rec.add_stage(&pass.pass, pass.wall_ms);
+        }
+        rec.add_count("full-evals", report.full_evals as u64);
+        rec.add_count("probe-evals", report.probe_evals as u64);
+        rec.add_count("store-hits", report.store_hits as u64);
+        rec.add_count("infeasible", report.infeasible as u64);
+        rec.add_count("budget-dropped", report.budget_dropped as u64);
+        rec.add_count("points", report.points.len() as u64);
+        rec.add_count("frontier", report.frontier.len() as u64);
+        ledger.append(rec)?;
+    }
 
     match args.format {
         Format::Table => {
@@ -263,11 +302,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let session = match &args.artifacts {
+    let mut session = match &args.artifacts {
         // The persistent artifact store classifies cross-process warm
         // rebuilds: summary_line's `d` counts come from here.
         Some(dir) => match hlsb_store::ArtifactStore::open(dir) {
-            Ok(store) => FlowSession::new().with_backend(std::sync::Arc::new(store)),
+            Ok(store) => FlowSession::new().with_backend(Arc::new(store)),
             Err(e) => {
                 eprintln!("dse: cannot open artifact store {dir}: {e}");
                 return ExitCode::from(2);
@@ -275,10 +314,24 @@ fn main() -> ExitCode {
         },
         None => FlowSession::new(),
     };
+    let ledger = match &args.ledger {
+        Some(path) => match RunLedger::open(path) {
+            Ok(ledger) => {
+                let ledger = Arc::new(ledger);
+                session = session.with_ledger(ledger.clone());
+                Some(ledger)
+            }
+            Err(e) => {
+                eprintln!("dse: cannot open ledger {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let mut semantics_ok = true;
     let mut traces: Vec<(String, hlsb::TraceTree)> = Vec::new();
     for bench in selected {
-        match explore(bench, &args, &session) {
+        match explore(bench, &args, &session, ledger.as_deref()) {
             Ok((ok, trees)) => {
                 semantics_ok &= ok;
                 traces.extend(trees);
@@ -287,6 +340,16 @@ fn main() -> ExitCode {
                 eprintln!("dse: store I/O failed for {}: {e}", bench.name);
                 return ExitCode::from(2);
             }
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        let mut metrics = hlsb::MetricsRegistry::default();
+        for (_, tree) in &traces {
+            metrics.merge(&tree.metrics);
+        }
+        if let Err(e) = std::fs::write(path, render_prometheus(&metrics, &[("tool", "dse")])) {
+            eprintln!("dse: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if let Some(path) = &args.trace_out {

@@ -5,7 +5,8 @@
 //! explore [--design <name>|all] [--configs <spec>[,<spec>...]]
 //!         [--tolerance <mhz>] [--budget <n>] [--start <mhz>]
 //!         [--seed <n>] [--verify-iters <n>] [--log <path>]
-//!         [--format table|jsonl] [--trace-out <path>] [--list]
+//!         [--format table|jsonl] [--trace-out <path>]
+//!         [--ledger <path>] [--metrics-out <path>] [--list]
 //! ```
 //!
 //! For every selected benchmark the explorer searches the HLS clock
@@ -20,7 +21,10 @@
 //! an interrupted search and reproduces the same table without
 //! re-running completed trials. `--trace-out` writes the explorer's
 //! `explore.*` span tree as JSONL (one tree per benchmark,
-//! length-prefixed by a `# design` comment line).
+//! length-prefixed by a `# design` comment line). `--ledger` appends one
+//! run-ledger record per flow evaluation plus one `explore` campaign
+//! record per benchmark; `--metrics-out` writes the merged search
+//! metrics in the Prometheus text format.
 //!
 //! Exit status is 2 on usage errors, 1 if any converged configuration
 //! fails its differential-simulation or contract check, 0 otherwise.
@@ -28,7 +32,10 @@
 use hlsb::FlowSession;
 use hlsb_benchmarks::{all_benchmarks, Benchmark};
 use hlsb_explore::{report, ExploreConfig, FmaxExplorer, FreqLog};
+use hlsb_telemetry::{render_prometheus, RunLedger, RunRecord};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 struct Args {
     design: String,
@@ -41,6 +48,8 @@ struct Args {
     log: Option<String>,
     format: Format,
     trace_out: Option<String>,
+    ledger: Option<String>,
+    metrics_out: Option<String>,
     list: bool,
 }
 
@@ -55,7 +64,8 @@ fn usage() {
         "usage: explore [--design <name>|all] [--configs <spec>[,<spec>...]]\n\
          \x20              [--tolerance <mhz>] [--budget <n>] [--start <mhz>]\n\
          \x20              [--seed <n>] [--verify-iters <n>] [--log <path>]\n\
-         \x20              [--format table|jsonl] [--trace-out <path>] [--list]\n\
+         \x20              [--format table|jsonl] [--trace-out <path>]\n\
+         \x20              [--ledger <path>] [--metrics-out <path>] [--list]\n\
          \x20  config specs: none | all | 4-char mask (e.g. BS-M), each with an\n\
          \x20  optional +rB.B injection suffix (e.g. all+r1.2)"
     );
@@ -73,6 +83,8 @@ fn parse_args() -> Result<Args, String> {
         log: None,
         format: Format::Table,
         trace_out: None,
+        ledger: None,
+        metrics_out: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -130,6 +142,10 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?),
+            "--ledger" => args.ledger = Some(it.next().ok_or("--ledger needs a path")?),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+            }
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             f => return Err(format!("unknown flag `{f}`")),
@@ -142,6 +158,7 @@ fn explore(
     bench: &Benchmark,
     args: &Args,
     session: &FlowSession,
+    ledger: Option<&RunLedger>,
 ) -> std::io::Result<(bool, Option<hlsb::TraceTree>)> {
     let log = match &args.log {
         // One log file can serve several benchmarks: the trial key
@@ -149,6 +166,7 @@ fn explore(
         Some(path) => FreqLog::open(path)?,
         None => FreqLog::in_memory(),
     };
+    let campaign_start = Instant::now();
     let report = FmaxExplorer::new(&bench.design, &bench.device)
         .configs(args.configs.clone())
         .start_mhz(args.start_mhz.unwrap_or(bench.clock_mhz))
@@ -157,8 +175,32 @@ fn explore(
         .seed(args.seed)
         .log(log)
         .verify_iters(args.verify_iters)
-        .trace(args.trace_out.is_some())
+        .trace(args.trace_out.is_some() || args.metrics_out.is_some())
         .run(session)?;
+
+    if let Some(ledger) = ledger {
+        let status = if report.semantics_ok() {
+            "ok"
+        } else {
+            "failed"
+        };
+        let wall_ms = campaign_start.elapsed().as_secs_f64() * 1e3;
+        let mut rec = RunRecord::new("explore", &bench.design.name, 0, status, wall_ms);
+        for pass in &report.trace.records {
+            rec.add_stage(&pass.pass, pass.wall_ms);
+        }
+        rec.add_count("full-evals", report.full_evals as u64);
+        rec.add_count("probe-evals", report.probe_evals as u64);
+        rec.add_count("log-hits", report.log_hits as u64);
+        rec.add_count("configs", report.outcomes.len() as u64);
+        let converged = report
+            .outcomes
+            .iter()
+            .filter(|o| o.converged_mhz.is_some())
+            .count();
+        rec.add_count("converged", converged as u64);
+        ledger.append(rec)?;
+    }
 
     match args.format {
         Format::Table => {
@@ -216,11 +258,25 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let session = FlowSession::new();
+    let mut session = FlowSession::new();
+    let ledger = match &args.ledger {
+        Some(path) => match RunLedger::open(path) {
+            Ok(ledger) => {
+                let ledger = Arc::new(ledger);
+                session = session.with_ledger(ledger.clone());
+                Some(ledger)
+            }
+            Err(e) => {
+                eprintln!("explore: cannot open ledger {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let mut semantics_ok = true;
     let mut traces: Vec<(String, hlsb::TraceTree)> = Vec::new();
     for bench in selected {
-        match explore(bench, &args, &session) {
+        match explore(bench, &args, &session, ledger.as_deref()) {
             Ok((ok, tree)) => {
                 semantics_ok &= ok;
                 if let Some(tree) = tree {
@@ -247,6 +303,16 @@ fn main() -> ExitCode {
             "wrote explore span trees for {} benchmarks to {path}",
             traces.len()
         );
+    }
+    if let Some(path) = &args.metrics_out {
+        let mut metrics = hlsb::MetricsRegistry::default();
+        for (_, tree) in &traces {
+            metrics.merge(&tree.metrics);
+        }
+        if let Err(e) = std::fs::write(path, render_prometheus(&metrics, &[("tool", "explore")])) {
+            eprintln!("explore: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if !semantics_ok {
         eprintln!("explore: a converged configuration FAILED its semantics check");

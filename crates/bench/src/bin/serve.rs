@@ -199,10 +199,27 @@ fn main() -> ExitCode {
         }
         let phase = if pass == 0 { "cold" } else { "warm" };
         eprintln!("pass {pass} ({phase}): {}", summary.render());
+        // Self-explaining throughput rows: the hit-rate and wave-latency
+        // quantiles make results/serve.txt readable without cross-
+        // referencing the summary stream. `verify_rejected` is named for
+        // what it counts — jobs turned away by the sign-off contract,
+        // not scheduler drops.
+        let store_hit_rate = if summary.jobs > 0 {
+            summary.store_hits as f64 / summary.jobs as f64
+        } else {
+            0.0
+        };
+        let metrics = server.metrics();
+        let wave_ms = metrics.histogram("serve.wave-ms");
+        let (wave_p50_ms, wave_p95_ms) = match wave_ms {
+            Some(h) => (h.quantile(0.5), h.quantile(0.95)),
+            None => (0.0, 0.0),
+        };
         timing_rows.push(format!(
             "{{\"pass\":{pass},\"phase\":\"{phase}\",\"workers\":{},\"jobs\":{},\
              \"wall_ms\":{:.1},\"jobs_per_s\":{:.2},\"evaluated\":{},\"store_hits\":{},\
-             \"dedup_hits\":{},\"rejected\":{},\"failed\":{}}}",
+             \"dedup_hits\":{},\"verify_rejected\":{},\"failed\":{},\
+             \"store_hit_rate\":{:.3},\"wave_p50_ms\":{:.1},\"wave_p95_ms\":{:.1}}}",
             server.session().threads(),
             summary.jobs,
             summary.wall_ms,
@@ -212,6 +229,9 @@ fn main() -> ExitCode {
             summary.dedup_hits,
             summary.rejected,
             summary.failed,
+            store_hit_rate,
+            wave_p50_ms,
+            wave_p95_ms,
         ));
     }
 

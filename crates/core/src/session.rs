@@ -29,6 +29,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 use hlsb_ir::verify::verify_design;
 use hlsb_lint::{FrontEndSnapshot, SnapshotLoop};
@@ -233,6 +234,9 @@ impl SimulationOutcome {
 pub struct FlowSession {
     cache: ArtifactCache,
     threads: usize,
+    /// Optional persistent run ledger: every pipeline run (including
+    /// the ones `run_many` workers execute) appends one record.
+    ledger: Option<Arc<hlsb_telemetry::RunLedger>>,
 }
 
 /// What the shared front half of the pipeline produces: the cached
@@ -273,6 +277,7 @@ impl FlowSession {
         FlowSession {
             cache: ArtifactCache::default(),
             threads: threads.max(1),
+            ledger: None,
         }
     }
 
@@ -286,6 +291,23 @@ impl FlowSession {
     pub fn with_backend(mut self, backend: Arc<dyn hlsb_store::ArtifactBackend>) -> Self {
         self.cache.set_backend(backend);
         self
+    }
+
+    /// Attaches a persistent run ledger
+    /// ([`hlsb_telemetry::RunLedger`]): every pipeline run appends one
+    /// [`hlsb_telemetry::RunRecord`] with its status, per-stage wall
+    /// times and counters. Purely observational — results stay
+    /// bit-identical with and without a ledger, and ledger I/O errors
+    /// never fail a flow.
+    pub fn with_ledger(mut self, ledger: Arc<hlsb_telemetry::RunLedger>) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Attaches a run ledger in place (for owners that hold the session
+    /// in a larger struct, e.g. the serve `JobServer`).
+    pub fn set_ledger(&mut self, ledger: Arc<hlsb_telemetry::RunLedger>) {
+        self.ledger = Some(ledger);
     }
 
     /// The session's thread budget.
@@ -958,10 +980,54 @@ impl FlowSession {
         Ok(Some(rep))
     }
 
-    /// The staged pipeline for one flow. `implement_threads` caps the
-    /// placement-trial parallelism (run_many sets it to 1 when flows
-    /// already run concurrently).
+    /// The staged pipeline for one flow, plus the run-ledger hook.
+    /// `implement_threads` caps the placement-trial parallelism
+    /// (run_many sets it to 1 when flows already run concurrently).
     fn run_pipeline(
+        &self,
+        flow: &Flow,
+        implement_threads: usize,
+    ) -> Result<
+        (
+            ImplementationResult,
+            hlsb_netlist::Netlist,
+            hlsb_place::Placement,
+        ),
+        FlowError,
+    > {
+        let Some(ledger) = &self.ledger else {
+            return self.run_pipeline_inner(flow, implement_threads);
+        };
+        let start = Instant::now();
+        let out = self.run_pipeline_inner(flow, implement_threads);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let status = match &out {
+            Ok(_) => "ok",
+            Err(FlowError::VerifyRejected { .. }) => "rejected",
+            Err(_) => "failed",
+        };
+        let mut rec = hlsb_telemetry::RunRecord::new(
+            "flow",
+            &flow.design.name,
+            flow.config_key(),
+            status,
+            wall_ms,
+        );
+        if let Ok((result, _, _)) = &out {
+            for pass in &result.trace.records {
+                rec.add_stage(&pass.pass, pass.wall_ms);
+                for (name, v) in &pass.counters {
+                    rec.add_count(name, *v);
+                }
+            }
+        }
+        // Telemetry must never fail the flow; a full disk loses the
+        // record, not the result.
+        let _ = ledger.append(rec);
+        out
+    }
+
+    fn run_pipeline_inner(
         &self,
         flow: &Flow,
         implement_threads: usize,

@@ -3,6 +3,7 @@
 //! ```text
 //! hlsb-serve [--jobs <file>] [--store <dir>] [--workers <n>] [--wave <n>]
 //!            [--no-verify] [--trace-out <file>] [--summary-out <file>]
+//!            [--ledger <file>] [--metrics-out <file>] [--listen <addr>]
 //! ```
 //!
 //! Reads one JSONL job per line from `--jobs` (or stdin), writes one
@@ -10,9 +11,17 @@
 //! summary (throughput, hit/dedup accounting, `serve.*` metrics) to
 //! stderr — and, with `--summary-out`, to a file. With `--store`, the
 //! persistent artifact store at that directory answers repeated
-//! configurations across invocations and processes. Exit code: 0 when
-//! every job was answered (`done` or `rejected`), 1 when any job
-//! `failed`, 2 for usage errors.
+//! configurations across invocations and processes.
+//!
+//! Telemetry: `--ledger` appends one run-ledger record per wave (plus
+//! one per fresh flow evaluation) to a JSONL file shared safely across
+//! processes; `--metrics-out` writes the final metrics snapshot in the
+//! Prometheus text format; `--listen <addr>` (e.g. `127.0.0.1:9184`)
+//! serves live snapshots of the wave metrics over HTTP for the whole
+//! run — bind port 0 for an ephemeral port, printed on stderr.
+//!
+//! Exit code: 0 when every job was answered (`done` or `rejected`), 1
+//! when any job `failed`, 2 for usage errors.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -20,6 +29,7 @@ use std::sync::Arc;
 
 use hlsb_serve::{JobServer, JobStatus, ServeConfig};
 use hlsb_store::ArtifactStore;
+use hlsb_telemetry::{render_prometheus, MetricsServer, RunLedger};
 
 struct Args {
     jobs: Option<String>,
@@ -29,6 +39,9 @@ struct Args {
     verify: bool,
     trace_out: Option<String>,
     summary_out: Option<String>,
+    ledger: Option<String>,
+    metrics_out: Option<String>,
+    listen: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
         verify: true,
         trace_out: None,
         summary_out: None,
+        ledger: None,
+        metrics_out: None,
+        listen: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -59,10 +75,16 @@ fn parse_args() -> Result<Args, String> {
             "--summary-out" => {
                 args.summary_out = Some(it.next().ok_or("--summary-out needs a value")?);
             }
+            "--ledger" => args.ledger = Some(it.next().ok_or("--ledger needs a value")?),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a value")?);
+            }
+            "--listen" => args.listen = Some(it.next().ok_or("--listen needs a value")?),
             "--help" | "-h" => {
                 return Err("usage: hlsb-serve [--jobs <file>] [--store <dir>] \
                             [--workers <n>] [--wave <n>] [--no-verify] \
-                            [--trace-out <file>] [--summary-out <file>]"
+                            [--trace-out <file>] [--summary-out <file>] \
+                            [--ledger <file>] [--metrics-out <file>] [--listen <addr>]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -97,6 +119,36 @@ fn main() -> ExitCode {
         None => JobServer::new(cfg),
     };
 
+    if let Some(path) = &args.ledger {
+        match RunLedger::open(path) {
+            Ok(ledger) => server = server.with_ledger(Arc::new(ledger)),
+            Err(e) => {
+                eprintln!("hlsb-serve: cannot open ledger {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut metrics_server = None;
+    if let Some(addr) = &args.listen {
+        let handle = server.metrics_handle();
+        match MetricsServer::start(addr, move || {
+            render_prometheus(&handle.lock().unwrap(), &[("tool", "serve")])
+        }) {
+            Ok(srv) => {
+                eprintln!(
+                    "hlsb-serve: metrics listening on http://{}/metrics",
+                    srv.addr()
+                );
+                metrics_server = Some(srv);
+            }
+            Err(e) => {
+                eprintln!("hlsb-serve: cannot listen on {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let lines: Box<dyn Iterator<Item = String>> = match &args.jobs {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => Box::new(
@@ -130,6 +182,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &args.metrics_out {
+        let text = render_prometheus(&server.metrics(), &[("tool", "serve")]);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("hlsb-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(path) = &args.trace_out {
         let tree = server.take_trace();
         if let Err(e) = std::fs::write(path, tree.to_jsonl()) {
@@ -137,6 +196,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    drop(metrics_server);
     if any_failed {
         ExitCode::FAILURE
     } else {

@@ -25,13 +25,14 @@
 //! metrics instead.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hlsb::{FlowError, FlowSession};
 use hlsb_findings::Severity;
 use hlsb_store::json::json_escape;
 use hlsb_store::{ArtifactStore, ResultRecord};
+use hlsb_telemetry::{RunLedger, RunRecord};
 use hlsb_trace::{MetricsRegistry, TraceTree, Tracer};
 
 use crate::job::JobSpec;
@@ -240,7 +241,12 @@ pub struct JobServer {
     store: Option<Arc<ArtifactStore>>,
     /// Config keys answered in this serve run → their records.
     answered: HashMap<u64, ResultRecord>,
-    metrics: MetricsRegistry,
+    /// Shared so a live scrape endpoint ([`metrics_handle`]
+    /// (JobServer::metrics_handle)) can snapshot mid-run.
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    /// Optional run ledger: one `serve-wave` record per executed wave
+    /// (the session also appends one `flow` record per evaluation).
+    ledger: Option<Arc<RunLedger>>,
     tracer: Tracer,
     jobs_seen: usize,
 }
@@ -277,10 +283,20 @@ impl JobServer {
             session,
             store,
             answered: HashMap::new(),
-            metrics: MetricsRegistry::default(),
+            metrics: Arc::new(Mutex::new(MetricsRegistry::default())),
+            ledger: None,
             tracer,
             jobs_seen: 0,
         }
+    }
+
+    /// Attaches a persistent run ledger: the server appends one
+    /// `serve-wave` record per executed wave, and the underlying
+    /// session appends one `flow` record per fresh evaluation.
+    pub fn with_ledger(mut self, ledger: Arc<RunLedger>) -> Self {
+        self.session.set_ledger(ledger.clone());
+        self.ledger = Some(ledger);
+        self
     }
 
     /// The server's flow session (for cache statistics).
@@ -288,17 +304,24 @@ impl JobServer {
         &self.session
     }
 
-    /// The `serve.*` counters and histograms collected so far.
-    pub fn metrics(&self) -> &MetricsRegistry {
-        &self.metrics
+    /// A snapshot of the `serve.*` counters and histograms collected so
+    /// far.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.lock().unwrap().clone()
+    }
+
+    /// The live metrics registry, for a scrape endpoint that snapshots
+    /// mid-run (`hlsb-serve --listen`).
+    pub fn metrics_handle(&self) -> Arc<Mutex<MetricsRegistry>> {
+        self.metrics.clone()
     }
 
     /// Moves the collected span tree out of the server (empty unless
-    /// [`ServeConfig::trace`] was set). The server's metrics registry is
-    /// attached to the tree.
+    /// [`ServeConfig::trace`] was set). A snapshot of the server's
+    /// metrics registry is attached to the tree.
     pub fn take_trace(&mut self) -> TraceTree {
         let mut tree = self.tracer.take_tree();
-        tree.metrics = self.metrics.clone();
+        tree.metrics = self.metrics();
         tree
     }
 
@@ -355,9 +378,11 @@ impl JobServer {
             span.attr_volatile("jobs", wave.len() as u64);
         }
         summary.jobs += wave.len();
-        self.metrics.count("serve.jobs", wave.len() as u64);
-        self.metrics
-            .observe("serve.queue-depth", &QUEUE_DEPTH_BOUNDS, wave.len() as f64);
+        {
+            let mut metrics = self.metrics.lock().unwrap();
+            metrics.count("serve.jobs", wave.len() as u64);
+            metrics.observe("serve.queue-depth", &QUEUE_DEPTH_BOUNDS, wave.len() as f64);
+        }
 
         // Parse + resolve. `slots` holds the finished outcomes; pending
         // evaluations remember which slot they fill.
@@ -499,41 +524,75 @@ impl JobServer {
             dup.findings = findings;
             dup.error = error;
         }
+        let mut wave_tally = ServeSummary::default();
         for outcome in &slots {
             if outcome.deduped {
                 summary.dedup_hits += 1;
-                self.metrics.count("serve.dedup-hits", 1);
+                wave_tally.dedup_hits += 1;
             }
             if outcome.from_store {
                 summary.store_hits += 1;
-                self.metrics.count("serve.store-hits", 1);
+                wave_tally.store_hits += 1;
             }
             match outcome.status {
                 JobStatus::Done => {}
-                JobStatus::Rejected => self.metrics.count("serve.rejected", 1),
+                JobStatus::Rejected => wave_tally.rejected += 1,
                 JobStatus::Failed => {
                     if !outcome.deduped {
                         // Parse/resolve failures were never tallied above.
                         if outcome.key.is_none() {
                             summary.failed += 1;
                         }
-                        self.metrics.count("serve.failed", 1);
+                        wave_tally.failed += 1;
                     }
                 }
             }
             emit(outcome);
         }
-        self.metrics.count("serve.evaluated", flows.len() as u64);
 
         let wave_ms = wave_start.elapsed().as_secs_f64() * 1e3;
-        self.metrics
-            .observe("serve.wave-ms", &WAVE_MS_BOUNDS, wave_ms);
-        let workers = self.session.threads().max(1) as f64;
-        self.metrics.observe(
-            "serve.worker-utilization",
-            &UTILIZATION_BOUNDS,
-            (flows.len() as f64 / workers).min(1.0),
-        );
+        {
+            let mut metrics = self.metrics.lock().unwrap();
+            // Zero tallies don't create counters: a clean run's registry
+            // holds no `serve.rejected`/`serve.failed` entry, as before.
+            for (name, tally) in [
+                ("serve.dedup-hits", wave_tally.dedup_hits),
+                ("serve.store-hits", wave_tally.store_hits),
+                ("serve.rejected", wave_tally.rejected),
+                ("serve.failed", wave_tally.failed),
+            ] {
+                if tally > 0 {
+                    metrics.count(name, tally as u64);
+                }
+            }
+            metrics.count("serve.evaluated", flows.len() as u64);
+            metrics.observe("serve.wave-ms", &WAVE_MS_BOUNDS, wave_ms);
+            let workers = self.session.threads().max(1) as f64;
+            metrics.observe(
+                "serve.worker-utilization",
+                &UTILIZATION_BOUNDS,
+                (flows.len() as f64 / workers).min(1.0),
+            );
+        }
+        if let Some(ledger) = &self.ledger {
+            let mut rec = RunRecord::new(
+                "serve-wave",
+                &format!("wave-{wave_index}"),
+                0,
+                "ok",
+                wave_ms,
+            );
+            rec.add_stage("wave", wave_ms);
+            rec.add_count("jobs", wave.len() as u64);
+            rec.add_count("evaluated", flows.len() as u64);
+            rec.add_count("store-hits", wave_tally.store_hits as u64);
+            rec.add_count("dedup-hits", wave_tally.dedup_hits as u64);
+            rec.add_count("rejected", wave_tally.rejected as u64);
+            rec.add_count("failed", wave_tally.failed as u64);
+            // Observational only: a full disk loses the record, never
+            // the wave.
+            let _ = ledger.append(rec);
+        }
         if span.is_enabled() {
             span.attr_volatile("evaluated", flows.len() as u64);
             span.attr_volatile("wave-ms", wave_ms);

@@ -1,0 +1,41 @@
+//! Persistent farm telemetry for the hlsb workspace.
+//!
+//! Every other observability layer in this workspace dies with its
+//! process: `serve.*` metrics live in a [`MetricsRegistry`]
+//! snapshot, span trees are one `--trace-out` file, and nothing compares
+//! a run against history. This crate is the durable layer on top:
+//!
+//! * [`ledger`] — the append-only **run ledger**: one flat JSONL
+//!   [`RunRecord`] per top-level run (flow evaluation, serve wave, DSE
+//!   campaign, explorer search) with per-stage wall times, cache-hit
+//!   splits and a counter digest, built on the store's
+//!   [`JsonlTable`](hlsb_store::JsonlTable) durability discipline and
+//!   advisory lock so concurrent processes can share one file.
+//! * [`prometheus`] — **Prometheus text exposition** of any
+//!   [`MetricsRegistry`] (counters → `_total`, histograms → cumulative
+//!   `_bucket`/`_sum`/`_count`), plus a dependency-free TCP scrape
+//!   endpoint ([`MetricsServer`]) for live wave metrics.
+//! * [`profile`] — **self-time profiles** over
+//!   [`TraceTree`](hlsb_trace::TraceTree) span trees: per-path
+//!   self/total wall-time tables and collapsed-stack (flamegraph)
+//!   output.
+//! * [`sentinel`] — the **noise-aware regression sentinel**: median-of-N
+//!   stage latencies and counter hit rates from the ledger, checked
+//!   against a committed [`Baseline`] with relative thresholds, for CI
+//!   gating.
+//!
+//! The crate deliberately depends only on `hlsb-store` and `hlsb-trace`,
+//! so `hlsb` (core), `hlsb-serve` and the bench harness can all layer it
+//! in without cycles.
+//!
+//! [`MetricsRegistry`]: hlsb_trace::MetricsRegistry
+
+pub mod ledger;
+pub mod profile;
+pub mod prometheus;
+pub mod sentinel;
+
+pub use ledger::{RunLedger, RunRecord};
+pub use profile::{collapsed_stacks, render_table, self_time, ProfileRow};
+pub use prometheus::{render_prometheus, scrape, MetricsServer, CONTENT_TYPE};
+pub use sentinel::{check, Baseline, CheckOutcome, RateRule, SentinelReport, StageRule};

@@ -151,14 +151,23 @@ impl TraceTree {
         for (name, h) in &self.metrics.histograms {
             let bounds: Vec<String> = h.bounds.iter().map(|b| fmt_f64(*b)).collect();
             let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+            // min/max only exist once something was observed; empty
+            // histograms omit them (and the parser restores the empty
+            // sentinels), keeping the round trip byte-identical.
+            let extremes = if h.total > 0 {
+                format!(",\"min\":{},\"max\":{}", fmt_f64(h.min), fmt_f64(h.max))
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
                 "{{\"type\":\"histogram\",\"name\":\"{}\",\"bounds\":[{}],\
-                 \"counts\":[{}],\"total\":{},\"sum\":{}}}\n",
+                 \"counts\":[{}],\"total\":{},\"sum\":{}{}}}\n",
                 json_escape(name),
                 bounds.join(","),
                 counts.join(","),
                 h.total,
-                fmt_f64(h.sum)
+                fmt_f64(h.sum),
+                extremes
             ));
         }
         out
@@ -291,6 +300,16 @@ fn parse_histogram(obj: &[(String, Json)]) -> Result<(String, crate::Histogram),
             _ => Err("count must be an unsigned integer".to_string()),
         })
         .collect::<Result<Vec<u64>, _>>()?;
+    // min/max are absent for empty histograms (and in trees written
+    // before they were tracked): fall back to the empty sentinels.
+    let min = match get(obj, "min") {
+        Some(j) => j.as_f64().ok_or("min must be a number")?,
+        None => f64::INFINITY,
+    };
+    let max = match get(obj, "max") {
+        Some(j) => j.as_f64().ok_or("max must be a number")?,
+        None => f64::NEG_INFINITY,
+    };
     Ok((
         get_str(obj, "name").ok_or("missing \"name\"")?.to_string(),
         crate::Histogram {
@@ -298,6 +317,8 @@ fn parse_histogram(obj: &[(String, Json)]) -> Result<(String, crate::Histogram),
             counts,
             total: get_u64(obj, "total")?,
             sum: get_f64(obj, "sum")?,
+            min,
+            max,
         },
     ))
 }

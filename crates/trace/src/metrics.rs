@@ -18,6 +18,10 @@ pub struct Histogram {
     pub total: u64,
     /// Sum of all observed values.
     pub sum: f64,
+    /// Smallest observed value (`f64::INFINITY` while empty).
+    pub min: f64,
+    /// Largest observed value (`f64::NEG_INFINITY` while empty).
+    pub max: f64,
 }
 
 impl Histogram {
@@ -27,6 +31,8 @@ impl Histogram {
             counts: vec![0; bounds.len() + 1],
             total: 0,
             sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
         }
     }
 
@@ -35,6 +41,8 @@ impl Histogram {
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
     }
 
     /// Mean of the observed values (0 when empty).
@@ -46,19 +54,61 @@ impl Histogram {
         }
     }
 
-    fn merge(&mut self, other: &Histogram) {
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) estimated by linear
+    /// interpolation inside the containing bucket, with the bucket's
+    /// edges tightened to the tracked `min`/`max` so `quantile(0.0)`
+    /// is exactly the minimum and `quantile(1.0)` exactly the maximum.
+    /// Returns 0 while empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut cum = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if (cum + count) as f64 >= rank {
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let hi = hi.max(lo);
+                let frac = ((rank - cum as f64) / count as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+            cum += count;
+        }
+        self.max
+    }
+
+    /// Accumulates `other` into `self`. Returns `true` when the bucket
+    /// layouts disagreed and the shape had to be dropped (totals, sum
+    /// and min/max stay honest; every observation lands in the overflow
+    /// bucket).
+    fn merge(&mut self, other: &Histogram) -> bool {
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
         if self.bounds == other.bounds {
             for (c, o) in self.counts.iter_mut().zip(&other.counts) {
                 *c += o;
             }
             self.total += other.total;
-            self.sum += other.sum;
+            false
         } else {
             // Mismatched layouts: keep the totals honest, drop the shape.
-            self.counts.iter_mut().for_each(|c| *c = 0);
-            *self.counts.last_mut().unwrap() = self.total + other.total;
             self.total += other.total;
-            self.sum += other.sum;
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            *self.counts.last_mut().unwrap() = self.total;
+            true
         }
     }
 }
@@ -105,18 +155,29 @@ impl MetricsRegistry {
     }
 
     /// Accumulates another registry into this one (counters add;
-    /// same-layout histograms add bucket-wise).
+    /// same-layout histograms add bucket-wise). Mismatched histogram
+    /// layouts keep totals honest but lose their bucket shape; every
+    /// such loss bumps the `metrics.merge-shape-drops` counter so it is
+    /// visible instead of silent.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, v) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += v;
         }
+        let mut shape_drops = 0;
         for (name, h) in &other.histograms {
             match self.histograms.get_mut(name) {
-                Some(mine) => mine.merge(h),
+                Some(mine) => {
+                    if mine.merge(h) {
+                        shape_drops += 1;
+                    }
+                }
                 None => {
                     self.histograms.insert(name.clone(), h.clone());
                 }
             }
+        }
+        if shape_drops > 0 {
+            self.count("metrics.merge-shape-drops", shape_drops);
         }
     }
 
@@ -128,10 +189,15 @@ impl MetricsRegistry {
             out.push_str(&format!("{name} = {v}\n"));
         }
         for (name, h) in &self.histograms {
+            let round3 = |v: f64| fmt_f64((v * 1000.0).round() / 1000.0);
             out.push_str(&format!(
-                "{name}: n={} mean={}\n",
+                "{name}: n={} mean={} min={} max={} p50={} p95={}\n",
                 h.total,
-                fmt_f64((h.mean() * 1000.0).round() / 1000.0)
+                round3(h.mean()),
+                round3(if h.total == 0 { 0.0 } else { h.min }),
+                round3(if h.total == 0 { 0.0 } else { h.max }),
+                round3(h.quantile(0.5)),
+                round3(h.quantile(0.95)),
             ));
             let mut lo = f64::NEG_INFINITY;
             for (i, count) in h.counts.iter().enumerate() {
@@ -195,6 +261,76 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.counts, vec![1, 1]);
         assert_eq!(h.total, 2);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 2.0);
+        assert_eq!(a.counter("metrics.merge-shape-drops"), 0);
+    }
+
+    #[test]
+    fn mismatched_bounds_merge_drops_shape_but_not_totals() {
+        let mut a = MetricsRegistry::default();
+        a.observe("h", &[1.0, 2.0], 0.5);
+        a.observe("h", &[1.0, 2.0], 1.5);
+        let mut b = MetricsRegistry::default();
+        b.observe("h", &[10.0], 7.0);
+        a.merge(&b);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.total, 3, "totals stay honest");
+        assert!((h.sum - 9.0).abs() < 1e-12);
+        assert_eq!(h.min, 0.5, "min survives the shape drop");
+        assert_eq!(h.max, 7.0, "max survives the shape drop");
+        assert_eq!(h.counts, vec![0, 0, 3], "all mass in the overflow bucket");
+        assert_eq!(
+            a.counter("metrics.merge-shape-drops"),
+            1,
+            "the loss is recorded, not silent"
+        );
+        // A second mismatched merge keeps counting.
+        a.merge(&b);
+        assert_eq!(a.counter("metrics.merge-shape-drops"), 2);
+    }
+
+    #[test]
+    fn min_max_track_observations() {
+        let mut m = MetricsRegistry::default();
+        m.observe("h", &[10.0], 3.0);
+        m.observe("h", &[10.0], -2.0);
+        m.observe("h", &[10.0], 25.0);
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.min, -2.0);
+        assert_eq!(h.max, 25.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut m = MetricsRegistry::default();
+        let bounds = [10.0, 20.0, 30.0];
+        // 10 values uniformly in (10, 20]: 11, 12, ..., 20.
+        for i in 1..=10 {
+            m.observe("h", &bounds, 10.0 + i as f64);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.quantile(0.0), 11.0, "q=0 is the tracked minimum");
+        assert_eq!(h.quantile(1.0), 20.0, "q=1 is the tracked maximum");
+        // All mass sits in one bucket whose edges tighten to [11, 20]:
+        // the median interpolates to the middle of that range.
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 15.5).abs() < 1e-9, "p50 = {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((19.0..=20.0).contains(&p95), "p95 = {p95}");
+        // Spread across buckets: ranks land in the right bucket.
+        let mut m = MetricsRegistry::default();
+        m.observe("s", &[1.0, 2.0], 0.5);
+        m.observe("s", &[1.0, 2.0], 1.5);
+        m.observe("s", &[1.0, 2.0], 9.0);
+        let s = m.histogram("s").unwrap();
+        assert!(s.quantile(0.2) <= 1.0, "first third in the first bucket");
+        let p50 = s.quantile(0.5);
+        assert!((1.0..=2.0).contains(&p50), "median in the middle bucket");
+        assert_eq!(s.quantile(1.0), 9.0);
+        // Empty histograms answer 0 rather than NaN.
+        let empty = Histogram::new(&[1.0]);
+        assert_eq!(empty.quantile(0.5), 0.0);
     }
 
     #[test]
